@@ -1,0 +1,145 @@
+package repro
+
+// One benchmark per table and figure of the paper (plus the ablations and
+// the substrate micro-benchmarks). Each artifact benchmark regenerates its
+// experiment end to end in Quick mode, so `go test -bench=.` is a full,
+// timed reproduction pass.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hostpim"
+	"repro/internal/parcelsys"
+	"repro/internal/queueing"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// benchExperiment regenerates one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := core.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Seed: 2004, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := e.Run(cfg, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failed := o.Failed(); len(failed) > 0 {
+			b.Fatalf("%s: check failed: %+v", id, failed[0])
+		}
+	}
+}
+
+// --- Paper artifacts ---
+
+func BenchmarkTable1Params(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkFig4Timeline(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig9Migration(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig5Gain(b *testing.B)           { benchExperiment(b, "fig5") }
+func BenchmarkFig6ResponseTime(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7Analytic(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkAccuracyBand(b *testing.B)       { benchExperiment(b, "accuracy") }
+func BenchmarkFig11LatencyHiding(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12IdleTime(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkBandwidthClaims(b *testing.B)    { benchExperiment(b, "bandwidth") }
+func BenchmarkSensitivity(b *testing.B)        { benchExperiment(b, "sensitivity") }
+func BenchmarkReplication(b *testing.B)        { benchExperiment(b, "replication") }
+func BenchmarkCombinedHybrid(b *testing.B)     { benchExperiment(b, "combined") }
+
+// --- Ablations ---
+
+func BenchmarkAblationControlPolicy(b *testing.B) { benchExperiment(b, "ablation-control") }
+func BenchmarkAblationOverhead(b *testing.B)      { benchExperiment(b, "ablation-overhead") }
+func BenchmarkAblationTopology(b *testing.B)      { benchExperiment(b, "ablation-topology") }
+func BenchmarkAblationCache(b *testing.B)         { benchExperiment(b, "ablation-cache") }
+func BenchmarkAblationOverlap(b *testing.B)       { benchExperiment(b, "ablation-overlap") }
+func BenchmarkAblationDRAM(b *testing.B)          { benchExperiment(b, "ablation-dram") }
+func BenchmarkAblationHotspot(b *testing.B)       { benchExperiment(b, "ablation-hotspot") }
+func BenchmarkAblationMTControl(b *testing.B)     { benchExperiment(b, "ablation-mtcontrol") }
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkKernelEventThroughput measures raw event scheduling and
+// dispatch (no processes).
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			k.Schedule(1, tick)
+		}
+	}
+	b.ResetTimer()
+	k.Schedule(1, tick)
+	if _, err := k.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelProcessSwitch measures the goroutine handoff cost of one
+// process Wait.
+func BenchmarkKernelProcessSwitch(b *testing.B) {
+	k := sim.NewKernel()
+	k.Spawn("p", func(c *sim.Context) {
+		for i := 0; i < b.N; i++ {
+			c.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	if _, err := k.RunUntilIdle(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMM1Simulation measures throughput of the queueing toolkit on a
+// standard M/M/1 at rho=0.7.
+func BenchmarkMM1Simulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		arr := rng.NewWithStream(uint64(i), 1)
+		svc := rng.NewWithStream(uint64(i), 2)
+		sink := queueing.NewSink("out")
+		srv := queueing.NewServer(k, "srv", 1, sim.FIFO,
+			func(*queueing.Job) float64 { return svc.Exp(1) }, sink)
+		queueing.NewSource(k, "in", func() float64 { return arr.Exp(1 / 0.7) }, srv).Start()
+		if err := k.Run(5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostPIMSimulate measures one full study-1 simulation point.
+func BenchmarkHostPIMSimulate(b *testing.B) {
+	p := hostpim.DefaultParams()
+	p.PctWL = 0.5
+	p.N = 16
+	p.W = 1e6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hostpim.Simulate(p, hostpim.SimOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParcelSysRun measures one full study-2 paired run.
+func BenchmarkParcelSysRun(b *testing.B) {
+	p := parcelsys.DefaultParams()
+	p.Horizon = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i)
+		if _, err := parcelsys.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

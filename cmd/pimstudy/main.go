@@ -1,0 +1,105 @@
+// Command pimstudy regenerates every table and figure of "Analysis and
+// Modeling of Advanced PIM Architecture Design Tradeoffs" (SC 2004) from
+// the models in this repository.
+//
+// Usage:
+//
+//	pimstudy [flags] <experiment>|all|list
+//
+// Experiments: table1, fig5, fig6, fig7, accuracy, fig11, fig12,
+// bandwidth, ablation-control, ablation-overhead, ablation-topology,
+// ablation-cache.
+//
+// Flags:
+//
+//	-seed N     random seed (default 2004)
+//	-quick      reduced grids (seconds instead of minutes)
+//	-workers N  sweep parallelism (default GOMAXPROCS)
+//	-csv DIR    also write each table as CSV into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pimstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pimstudy", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2004, "random seed")
+	quick := fs.Bool("quick", false, "reduced grids for a fast pass")
+	workers := fs.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+	csvDir := fs.String("csv", "", "write tables as CSV into this directory")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pimstudy [flags] <experiment>|all|list\n\nexperiments:\n")
+		for _, e := range core.Registry() {
+			fmt.Fprintf(fs.Output(), "  %-20s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintf(fs.Output(), "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment id")
+	}
+	cfg := core.Config{Seed: *seed, Quick: *quick, Workers: *workers, CSVDir: *csvDir}
+
+	switch id := fs.Arg(0); id {
+	case "list":
+		for _, e := range core.Registry() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+			fmt.Printf("%-20s paper: %s\n", "", e.PaperClaim)
+		}
+		return nil
+	case "all":
+		outs, err := core.RunAll(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		failures := 0
+		for id, o := range outs {
+			for _, c := range o.Failed() {
+				fmt.Printf("FAILED CHECK %s: %s (%s)\n", id, c.Name, c.Detail)
+				failures++
+			}
+		}
+		if failures > 0 {
+			return fmt.Errorf("%d checks failed", failures)
+		}
+		fmt.Println("\nall experiments reproduced; all checks passed")
+		return nil
+	default:
+		e, err := core.Find(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s — %s\npaper claim: %s\n\n", e.ID, e.Title, e.PaperClaim)
+		o, err := e.Run(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		for _, c := range o.Checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Printf("check %-44s %s  %s\n", c.Name, status, c.Detail)
+		}
+		if failed := o.Failed(); len(failed) > 0 {
+			return fmt.Errorf("%d checks failed", len(failed))
+		}
+		return nil
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-csv", dir, "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7_normalized.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
+
+func TestRunSeedFlag(t *testing.T) {
+	if err := run([]string{"-quick", "-seed", "7", "sensitivity"}); err != nil {
+		t.Fatal(err)
+	}
+}

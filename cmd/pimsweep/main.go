@@ -1,0 +1,233 @@
+// Command pimsweep runs custom parameter sweeps of the two models and
+// emits a table (and optionally CSV) — the tool for design-space questions
+// the canned pimstudy experiments don't answer.
+//
+// Usage:
+//
+//	pimsweep hostpim   -pct 0:1:11 -nodes 1,2,4,8,16,32,64 [flags]
+//	pimsweep parcelsys -parallelism 1,2,4,8 -latency 10,100,1000 [flags]
+//
+// Axis syntax: either a comma list ("1,2,4,8") or "lo:hi:n" for n evenly
+// spaced values ("0:1:11"). Every combination of the two axes is run.
+//
+// Common flags:
+//
+//	-seed N     base seed (default 1)
+//	-csv FILE   also write the table as CSV
+//	-workers N  parallel runs (default GOMAXPROCS)
+//
+// hostpim flags: -pmiss, -mix, -w, -overlap, -fixedmiss, -sim
+// parcelsys flags: -nodes, -remote, -mem, -horizon, -software
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/hostpim"
+	"repro/internal/parcel"
+	"repro/internal/parcelsys"
+	"repro/internal/report"
+	"repro/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pimsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: pimsweep hostpim|parcelsys [flags]")
+	}
+	switch args[0] {
+	case "hostpim":
+		return runHostPIM(args[1:])
+	case "parcelsys":
+		return runParcelSys(args[1:])
+	default:
+		return fmt.Errorf("unknown model %q (want hostpim or parcelsys)", args[0])
+	}
+}
+
+// parseAxis accepts "a,b,c" lists or "lo:hi:n" linspace syntax.
+func parseAxis(s string) ([]float64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty axis")
+	}
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("axis %q: want lo:hi:n", s)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		n, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || n <= 0 {
+			return nil, fmt.Errorf("axis %q: bad lo:hi:n", s)
+		}
+		return sweep.Linspace(lo, hi, n), nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("axis %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// emit renders the table and writes optional CSV.
+func emit(t *report.Table, csvPath string) error {
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if csvPath == "" {
+		return nil
+	}
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.RenderCSV(f)
+}
+
+func runHostPIM(args []string) error {
+	fs := flag.NewFlagSet("pimsweep hostpim", flag.ContinueOnError)
+	pctAxis := fs.String("pct", "0:1:11", "axis: %WL values")
+	nodeAxis := fs.String("nodes", "1,2,4,8,16,32,64", "axis: PIM node counts")
+	pmiss := fs.Float64("pmiss", 0.1, "HWP cache miss rate")
+	mix := fs.Float64("mix", 0.3, "load/store fraction")
+	w := fs.Float64("w", 100e6, "total operations")
+	overlap := fs.Bool("overlap", false, "overlap HWP and LWP phases")
+	fixedMiss := fs.Bool("fixedmiss", false, "fixed-miss control policy (default locality-aware)")
+	useSim := fs.Bool("sim", false, "run the DES simulation instead of the closed form")
+	seed := fs.Uint64("seed", 1, "base seed")
+	csvPath := fs.String("csv", "", "write CSV to this file")
+	workers := fs.Int("workers", 0, "parallel runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pcts, err := parseAxis(*pctAxis)
+	if err != nil {
+		return err
+	}
+	nodes, err := parseAxis(*nodeAxis)
+	if err != nil {
+		return err
+	}
+	grid, err := sweep.NewGrid(*seed,
+		sweep.Axis{Name: "pct", Values: pcts},
+		sweep.Axis{Name: "n", Values: nodes},
+	)
+	if err != nil {
+		return err
+	}
+	outs := grid.Run(*workers, func(pt sweep.Point) (map[string]float64, error) {
+		p := hostpim.DefaultParams()
+		p.PctWL = pt.Get("pct")
+		p.N = pt.GetInt("n")
+		p.Pmiss = *pmiss
+		p.MixLS = *mix
+		p.W = *w
+		p.Overlap = *overlap
+		if *fixedMiss {
+			p.Control = hostpim.ControlFixedMiss
+		}
+		var r hostpim.Result
+		var err error
+		if *useSim {
+			r, err = hostpim.Simulate(p, hostpim.SimOptions{Seed: pt.Seed})
+		} else {
+			r, err = hostpim.Analytic(p)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"total": r.Total, "gain": r.Gain, "relative": r.Relative,
+		}, nil
+	})
+	if err := sweep.FirstError(outs); err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("hostpim sweep (pmiss=%g mix=%g overlap=%v sim=%v)",
+		*pmiss, *mix, *overlap, *useSim),
+		"%WL", "N", "total cycles", "gain", "relative")
+	for _, o := range outs {
+		t.AddRow(o.Point.Get("pct"), o.Point.GetInt("n"),
+			o.Metrics["total"], o.Metrics["gain"], o.Metrics["relative"])
+	}
+	return emit(t, *csvPath)
+}
+
+func runParcelSys(args []string) error {
+	fs := flag.NewFlagSet("pimsweep parcelsys", flag.ContinueOnError)
+	parAxis := fs.String("parallelism", "1,2,4,8,16,32", "axis: parcels per node")
+	latAxis := fs.String("latency", "10,100,1000", "axis: one-way latency (cycles)")
+	nodes := fs.Int("nodes", 16, "node count")
+	remote := fs.Float64("remote", 0.3, "remote access fraction")
+	mem := fs.Float64("mem", 10, "local memory cycles")
+	horizon := fs.Float64("horizon", 100000, "simulated cycles")
+	software := fs.Bool("software", false, "software-only parcel overheads")
+	seed := fs.Uint64("seed", 1, "base seed")
+	csvPath := fs.String("csv", "", "write CSV to this file")
+	workers := fs.Int("workers", 0, "parallel runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pars, err := parseAxis(*parAxis)
+	if err != nil {
+		return err
+	}
+	lats, err := parseAxis(*latAxis)
+	if err != nil {
+		return err
+	}
+	grid, err := sweep.NewGrid(*seed,
+		sweep.Axis{Name: "p", Values: pars},
+		sweep.Axis{Name: "l", Values: lats},
+	)
+	if err != nil {
+		return err
+	}
+	outs := grid.Run(*workers, func(pt sweep.Point) (map[string]float64, error) {
+		p := parcelsys.DefaultParams()
+		p.Nodes = *nodes
+		p.Parallelism = pt.GetInt("p")
+		p.Latency = pt.Get("l")
+		p.RemoteFrac = *remote
+		p.MemCycles = *mem
+		p.Horizon = *horizon
+		p.Seed = pt.Seed
+		if *software {
+			p.Overhead = parcel.SoftwareOnly()
+		}
+		r, err := parcelsys.Run(p)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"ratio": r.Ratio, "ctrlIdle": r.Control.IdleFrac, "testIdle": r.Test.IdleFrac,
+		}, nil
+	})
+	if err := sweep.FirstError(outs); err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("parcelsys sweep (%d nodes, remote=%g, software=%v)",
+		*nodes, *remote, *software),
+		"parallelism", "latency", "ratio", "control idle", "test idle")
+	for _, o := range outs {
+		t.AddRow(o.Point.GetInt("p"), o.Point.Get("l"),
+			o.Metrics["ratio"], o.Metrics["ctrlIdle"], o.Metrics["testIdle"])
+	}
+	return emit(t, *csvPath)
+}

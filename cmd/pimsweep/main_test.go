@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseAxisList(t *testing.T) {
+	got, err := parseAxis("1,2, 4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{1, 2, 4, 8}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestParseAxisLinspace(t *testing.T) {
+	got, err := parseAxis("0:1:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestParseAxisErrors(t *testing.T) {
+	for _, bad := range []string{"", "a,b", "0:1", "0:1:0", "0:x:3"} {
+		if _, err := parseAxis(bad); err == nil {
+			t.Errorf("axis %q accepted", bad)
+		}
+	}
+}
+
+func TestHostPIMSweep(t *testing.T) {
+	if err := run([]string{"hostpim", "-pct", "0,0.5,1", "-nodes", "1,8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostPIMSweepSimulated(t *testing.T) {
+	if err := run([]string{"hostpim", "-sim", "-w", "1e6", "-pct", "0.5", "-nodes", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParcelSysSweep(t *testing.T) {
+	if err := run([]string{"parcelsys", "-parallelism", "1,8", "-latency", "100",
+		"-nodes", "4", "-horizon", "5000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{"hostpim", "-pct", "0.5", "-nodes", "4", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestBadModel(t *testing.T) {
+	if err := run([]string{"nonsense"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Command pimvm assembles and runs programs for the lightweight PIM node
+// ISA (internal/isa) on a multi-node machine with parcel-spawn support.
+//
+// Usage:
+//
+//	pimvm [flags] program.pasm
+//
+// Flags:
+//
+//	-nodes N     number of PIM nodes (default 4)
+//	-mem W       words of memory per node (default 65536)
+//	-latency L   inter-node parcel latency in cycles (default 200)
+//	-entry LBL   entry label (default "main"), started on node 0
+//	-threads T   initial threads at the entry point (default 1)
+//	-max C       cycle budget (default 10,000,000)
+//	-dis         print the disassembly and exit
+//	-stats       print per-node statistics after the run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pimvm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pimvm", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 4, "number of PIM nodes")
+	mem := fs.Int("mem", 65536, "words of memory per node")
+	latency := fs.Int64("latency", 200, "inter-node parcel latency (cycles)")
+	entry := fs.String("entry", "main", "entry label")
+	threads := fs.Int("threads", 1, "initial threads at the entry point")
+	maxCycles := fs.Int64("max", 10_000_000, "cycle budget")
+	dis := fs.Bool("dis", false, "disassemble and exit")
+	stats := fs.Bool("stats", false, "print per-node statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: pimvm [flags] program.pasm")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if *dis {
+		fmt.Print(isa.Disassemble(prog))
+		return nil
+	}
+	timing := isa.DefaultTiming()
+	timing.NetLatency = *latency
+	m, err := isa.NewMachine(*nodes, *mem, timing)
+	if err != nil {
+		return err
+	}
+	if err := m.LoadAll(prog); err != nil {
+		return err
+	}
+	m.Output = func(node int, v uint64) {
+		fmt.Printf("node %d: %d\n", node, v)
+	}
+	m.MaxCycles = *maxCycles
+	addr, err := prog.Entry(*entry)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *threads; i++ {
+		m.Nodes[0].StartThread(addr, uint64(i), 0)
+	}
+	cycles, err := m.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed in %d cycles, %d instructions\n", cycles, m.TotalInstructions())
+	if *stats {
+		t := report.NewTable("per-node statistics",
+			"node", "instructions", "mem ops", "wide ops", "spawns", "threads done", "utilization")
+		for i, n := range m.Nodes {
+			t.AddRow(i, n.Instructions, n.MemOps, n.WideOps, n.Spawns, n.Completed, m.Utilization(i))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.pasm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const countdown = `
+main:
+    addi r1, r0, 5
+loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    print r1
+    halt
+`
+
+func TestRunProgram(t *testing.T) {
+	path := writeProgram(t, countdown)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithStats(t *testing.T) {
+	path := writeProgram(t, countdown)
+	if err := run([]string{"-stats", "-nodes", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	path := writeProgram(t, countdown)
+	if err := run([]string{"-dis", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if err := run([]string{"/nonexistent.pasm"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBadEntry(t *testing.T) {
+	path := writeProgram(t, countdown)
+	if err := run([]string{"-entry", "nowhere", path}); err == nil {
+		t.Fatal("bad entry label accepted")
+	}
+}
+
+func TestAssemblyError(t *testing.T) {
+	path := writeProgram(t, "main:\n bogus r1\n")
+	if err := run([]string{path}); err == nil {
+		t.Fatal("assembly error not surfaced")
+	}
+}
+
+func TestCycleBudgetExceeded(t *testing.T) {
+	path := writeProgram(t, "main:\n jmp main\n")
+	if err := run([]string{"-max", "100", path}); err == nil {
+		t.Fatal("livelock not reported")
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing program accepted")
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Analysis and
+// Modeling of Advanced PIM Architecture Design Tradeoffs" (Upchurch,
+// Sterling, Brockman; SC 2004).
+//
+// The implementation lives under internal/: a deterministic discrete-event
+// simulation kernel (internal/sim) with queueing components
+// (internal/queueing) stands in for the paper's SES/Workbench substrate;
+// internal/hostpim and internal/parcelsys implement the paper's two
+// studies; internal/analytic holds the closed forms; internal/core
+// registers one runnable experiment per table and figure. The pimstudy
+// command (cmd/pimstudy) regenerates every artifact; bench_test.go at this
+// root carries one benchmark per artifact.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,109 @@
+// dramexplore example: the §2.1 "hidden bandwidth" argument, measured.
+// It sweeps access patterns from pure streaming to pure random over a PIM
+// chip model and shows how row-buffer locality and bank parallelism
+// produce the paper's 50 Gbit/s-per-macro and >1 Tbit/s-per-chip numbers —
+// and what happens to a cache-line-sized fraction of that bandwidth when
+// locality disappears.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dram"
+	"repro/internal/report"
+	"repro/internal/rng"
+)
+
+func main() {
+	macro := dram.PaperMacro()
+	chip := dram.PaperChip()
+
+	fmt.Println("paper macro:", macro.RowBits, "bit rows,", macro.WordBits, "bit words,",
+		macro.RowAccessNS, "ns row /", macro.PageAccessNS, "ns page")
+	fmt.Printf("arithmetic: stream %.1f Gbit/s, burst %.1f Gbit/s, random %.1f Gbit/s\n",
+		macro.StreamBandwidthBitsPerSec()/1e9,
+		macro.PeakPageBandwidthBitsPerSec()/1e9,
+		macro.RandomWordBandwidthBitsPerSec()/1e9)
+	fmt.Printf("chip (%d nodes): %.2f Tbit/s aggregate\n\n",
+		chip.Banks, chip.PeakBandwidthBitsPerSec()/1e12)
+
+	// Measure effective per-bank bandwidth under a locality sweep: each
+	// access is sequential with probability `seq`, else uniform random.
+	const accesses = 200000
+	st := rng.New(7)
+	t := report.NewTable("measured per-bank bandwidth vs access locality (open-page policy)",
+		"P(sequential)", "row hit rate", "effective Gbit/s", "% of stream peak")
+	for _, seq := range []float64{1.0, 0.95, 0.8, 0.5, 0.2, 0.0} {
+		bank, err := dram.NewBank(macro, dram.OpenPage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalNS := 0.0
+		row, wordsLeft := 0, macro.WordsPerRow()
+		for i := 0; i < accesses; i++ {
+			if !st.Bernoulli(seq) {
+				row = st.Intn(macro.Rows)
+				wordsLeft = macro.WordsPerRow()
+			} else if wordsLeft == 0 {
+				row = (row + 1) % macro.Rows
+				wordsLeft = macro.WordsPerRow()
+			}
+			totalNS += bank.Access(row)
+			wordsLeft--
+		}
+		bw := dram.EffectiveBandwidth(accesses, macro.WordBits, totalNS)
+		t.AddRow(seq, bank.HitRate(), bw/1e9, 100*bw/macro.StreamBandwidthBitsPerSec())
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Page policy comparison on a mixed stream.
+	fmt.Println()
+	t2 := report.NewTable("open vs closed page policy on a 70% sequential stream",
+		"policy", "row hit rate", "effective Gbit/s")
+	for _, pol := range []dram.PagePolicy{dram.OpenPage, dram.ClosedPage} {
+		bank, err := dram.NewBank(macro, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st2 := rng.New(13)
+		totalNS := 0.0
+		row := 0
+		for i := 0; i < accesses; i++ {
+			if !st2.Bernoulli(0.7) {
+				row = st2.Intn(macro.Rows)
+			}
+			totalNS += bank.Access(row)
+		}
+		bw := dram.EffectiveBandwidth(accesses, macro.WordBits, totalNS)
+		t2.AddRow(pol.String(), bank.HitRate(), bw/1e9)
+	}
+	if err := t2.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bank parallelism: interleaved streaming across the whole chip.
+	fmt.Println()
+	c, err := dram.NewChip(chip, dram.OpenPage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perBankNS := make([]float64, c.NumBanks())
+	words := int64(c.NumBanks()) * int64(macro.WordsPerRow()) * 64
+	for addr := int64(0); addr < words; addr++ {
+		bank, ns := c.Access(addr)
+		perBankNS[bank] += ns
+	}
+	slowest := 0.0
+	for _, ns := range perBankNS {
+		if ns > slowest {
+			slowest = ns
+		}
+	}
+	agg := dram.EffectiveBandwidth(int(words), macro.WordBits, slowest)
+	fmt.Printf("chip streaming measured: %.2f Tbit/s across %d banks (hit rate %.3f)\n",
+		agg/1e12, c.NumBanks(), c.AggregateHitRate())
+}

@@ -1,0 +1,87 @@
+// gups example: the full workload-to-prediction loop the paper's intro
+// motivates. Profile five synthetic kernels (streaming, GUPS random
+// update, pointer chasing, 5-point stencil, Zipf histogram) against a
+// concrete host cache, partition them between host and PIM by measured
+// temporal locality, fit the paper's Table 1 model from the measurements,
+// and predict the whole-application speedup of adding PIM nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/hostpim"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func main() {
+	hostCache := cache.Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: cache.LRU}
+	const opsPerKernel = 400000
+	const mix = 0.3
+
+	kernels := []workload.Generator{
+		workload.NewStreamer(rng.New(1), 1<<26, 8, mix),
+		workload.NewGUPS(rng.New(2), 1<<28, mix),
+		workload.NewPointerChase(rng.New(3), 1<<20, mix),
+		workload.NewStencil(rng.New(4), 2048, 2048, mix),
+		workload.NewHistogram(rng.New(5), 512, 1.1, mix),
+	}
+	// Relative dynamic op weights of each kernel in the application.
+	weights := []float64{2, 4, 2, 3, 1}
+
+	var profiles []workload.Profile
+	for _, k := range kernels {
+		p, err := workload.Measure(k, hostCache, nil, opsPerKernel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	placements := workload.Partition(profiles)
+
+	t := report.NewTable("kernel profiles against a 32 KiB 4-way LRU host cache",
+		"kernel", "weight", "mem-op mix", "miss rate", "placement")
+	for i, pl := range placements {
+		where := "host (HWP)"
+		if pl.OnPIM {
+			where = "PIM (LWP)"
+		}
+		t.AddRow(pl.Profile.Kernel, weights[i], pl.Profile.MixLS, pl.Profile.MissRate, where)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	params, err := workload.FitParams(hostpim.DefaultParams(), placements, weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted model: %%WL=%.3f  Pmiss(host)=%.3f  mix=%.3f  NB=%.3f\n\n",
+		params.PctWL, params.Pmiss, params.MixLS, params.NB())
+
+	t2 := report.NewTable("predicted application speedup from adding PIM nodes",
+		"PIM nodes", "gain (analytic)", "gain (simulated)")
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		p := params
+		p.N = n
+		an, err := hostpim.Analytic(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.W = 2e6 // scaled-down sim; statistics are W-invariant
+		sr, err := hostpim.Simulate(p, hostpim.SimOptions{Seed: 99})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.AddRow(n, an.Gain, sr.Gain)
+	}
+	if err := t2.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe GUPS and pointer-chase phases dominate the win: exactly the \"data")
+	fmt.Println("intensive, no temporal locality\" regime the paper argues PIM serves.")
+}

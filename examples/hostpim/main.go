@@ -1,0 +1,69 @@
+// hostpim example: a design-space walk for a hypothetical accelerator
+// team. Given a fixed silicon budget, is it better to (a) halve the host's
+// cache miss rate, or (b) double the PIM node count? The paper's NB
+// parameter answers this directly; this example sweeps both options across
+// workload mixes and renders Fig. 5/7-style comparisons, plus the NB
+// sensitivity table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analytic"
+	"repro/internal/hostpim"
+	"repro/internal/report"
+	"repro/internal/sweep"
+)
+
+func main() {
+	base := hostpim.DefaultParams()
+
+	// Option A: better host cache (Pmiss 0.1 -> 0.05).
+	betterCache := base
+	betterCache.Pmiss = 0.05
+	// Option B: the baseline host, but we may buy twice the PIM nodes.
+
+	pcts := sweep.Linspace(0.1, 0.9, 9)
+	t := report.NewTable("Design choice: halve Pmiss (A) vs double PIM nodes (B), N=16 baseline",
+		"%WL", "gain(base,N=16)", "gain(A: Pmiss/2, N=16)", "gain(B: base, N=32)")
+	for _, pct := range pcts {
+		g := func(p hostpim.Params, n int) float64 {
+			p.PctWL = pct
+			p.N = n
+			r, err := hostpim.Analytic(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r.Gain
+		}
+		t.AddRow(pct, g(base, 16), g(betterCache, 16), g(base, 32))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("NB(baseline)     = %.3f\n", base.NB())
+	fmt.Printf("NB(better cache) = %.3f  (better host raises the bar for PIM)\n", betterCache.NB())
+
+	fmt.Println("\nNB elasticities (d ln NB / d ln θ) — which knob moves the break-even most:")
+	st := report.NewTable("", "parameter", "elasticity")
+	for _, s := range analytic.NBSensitivities(base) {
+		st.AddRow(s.Param, s.Elasticity)
+	}
+	if err := st.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Where does PIM stop paying off? Boundary of the winning region.
+	fmt.Println()
+	for _, n := range []int{1, 2, 3} {
+		if pct, ok := analytic.BreakEvenPctWL(base, n); ok {
+			fmt.Printf("N=%d: PIM wins only above %%WL = %.3f\n", n, pct)
+		} else {
+			fmt.Printf("N=%d: PIM wins (or ties) across the whole %%WL range\n", n)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// hybrid example: the question a Cascade-era architect actually faces.
+// Study 1 says 32 PIM nodes give ~10x on a half-low-locality workload —
+// but that assumes PIM nodes never talk to each other. This example
+// composes study 1 with study 2: the low-locality phase has a remote
+// fraction over the PIM interconnect, and the gain becomes a function of
+// interconnect latency and parcels per node. It then asks how good the
+// interconnect must be (or how much parallelism the application must
+// expose) to keep 90% of the ideal gain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/hostpim"
+	"repro/internal/hybrid"
+	"repro/internal/report"
+)
+
+func main() {
+	base := hybrid.DefaultParams() // %WL=0.5, N=32, r=0.3
+	ideal, err := hostpim.Analytic(base.Host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ideal study-1 gain (no inter-PIM communication): %.2fx\n\n", ideal.Gain)
+
+	t := report.NewTable("hybrid gain vs interconnect latency and parcels per node",
+		"latency (cycles)", "P=1", "P=4", "P=16", "P=64")
+	for _, l := range []float64{0, 50, 200, 1000, 5000} {
+		row := []any{l}
+		for _, threads := range []int{1, 4, 16, 64} {
+			p := base
+			p.Latency = l
+			p.ThreadsPerNode = threads
+			r, err := hybrid.Analytic(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, r.Gain)
+		}
+		t.AddRow(row...)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// How much latency can each parallelism level absorb while keeping
+	// 90% of the ideal gain?
+	fmt.Println()
+	for _, threads := range []int{1, 4, 16, 64} {
+		lo, hi := 0.0, 1e6
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			p := base
+			p.Latency = mid
+			p.ThreadsPerNode = threads
+			r, err := hybrid.Analytic(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r.Gain >= 0.9*ideal.Gain {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		fmt.Printf("P=%-3d tolerates up to %7.0f cycles of latency at 90%% of ideal gain\n",
+			threads, lo)
+	}
+
+	// Cross-check the analytic efficiency against a parcel simulation.
+	fmt.Println()
+	p := base
+	p.Latency = 1000
+	p.ThreadsPerNode = 16
+	an, err := hybrid.Analytic(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, err := hybrid.AnalyticCalibrated(p, 40000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at L=1000, P=16: analytic gain %.2fx (eff %.2f), parcel-simulation-calibrated %.2fx (eff %.2f)\n",
+		an.Gain, an.Efficiency, cal.Gain, cal.Efficiency)
+}

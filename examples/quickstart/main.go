@@ -1,0 +1,49 @@
+// Quickstart: evaluate the paper's headline question in a few lines —
+// "how much does bolting N PIM processors onto a host buy me for a
+// workload that is %WL low-locality?" — using both the closed-form model
+// and the discrete-event queuing simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hostpim"
+)
+
+func main() {
+	// Table 1 parameters; 60% of the work has no temporal locality and is
+	// offloaded to 32 PIM nodes.
+	p := hostpim.DefaultParams()
+	p.PctWL = 0.6
+	p.N = 32
+
+	an, err := hostpim.Analytic(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic : control=%.3g cycles  pim=%.3g cycles  gain=%.2fx\n",
+		an.ControlTime, an.Total, an.Gain)
+
+	sr, err := hostpim.Simulate(p, hostpim.SimOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: control=%.3g cycles  pim=%.3g cycles  gain=%.2fx\n",
+		sr.ControlTime, sr.Total, sr.Gain)
+
+	fmt.Printf("\nbreak-even node count NB = %.3f (PIM wins for any %%WL once N > NB)\n", p.NB())
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		q := p
+		q.N = n
+		r, err := hostpim.Analytic(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if float64(n) > q.NB() {
+			marker = "  <- PIM wins"
+		}
+		fmt.Printf("  N=%3d  time=%.4g cycles  gain=%.2fx%s\n", n, r.Total, r.Gain, marker)
+	}
+}

@@ -1,0 +1,235 @@
+package repro
+
+// Cross-module integration tests: each test exercises a pipeline that no
+// single package covers — workload profiling feeding the study-1 model,
+// the ISA machine against the functional parcel machine, MVA bounds
+// against the parcel-system simulation, and analytic multithreading theory
+// against measured idle curves.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/cache"
+	"repro/internal/hostpim"
+	"repro/internal/isa"
+	"repro/internal/parcel"
+	"repro/internal/parcelsys"
+	"repro/internal/queueing"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestWorkloadToModelPipeline(t *testing.T) {
+	// Profile kernels -> partition -> fit -> both evaluation paths agree.
+	hostCache := cache.Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: cache.LRU}
+	kernels := []workload.Generator{
+		workload.NewStencil(rng.New(4), 1024, 1024, 0.3),
+		workload.NewGUPS(rng.New(2), 1<<26, 0.3),
+	}
+	var profiles []workload.Profile
+	for _, k := range kernels {
+		p, err := workload.Measure(k, hostCache, nil, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	placements := workload.Partition(profiles)
+	if placements[0].OnPIM || !placements[1].OnPIM {
+		t.Fatalf("partition wrong: %+v", placements)
+	}
+	params, err := workload.FitParams(hostpim.DefaultParams(), placements, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.N = 16
+	an, err := hostpim.Analytic(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.W = 2e6
+	sr, err := hostpim.Simulate(params, hostpim.SimOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(an.Gain, sr.Gain) > 0.05 {
+		t.Errorf("fitted model: analytic gain %g vs simulated %g", an.Gain, sr.Gain)
+	}
+	if an.Gain < 2 {
+		t.Errorf("half-GUPS app on 16 nodes gains only %g", an.Gain)
+	}
+}
+
+func TestISAMachineMatchesParcelMachineSemantics(t *testing.T) {
+	// The same distributed AMO-counter computation on the timed ISA
+	// machine and the untimed functional parcel machine must agree.
+	const nodes = 4
+	const perNode = 5
+
+	// Functional parcel machine.
+	pm := parcel.NewMachine(nodes, parcel.NewRegistry())
+	var ps []*parcel.Parcel
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < perNode; i++ {
+			ps = append(ps, &parcel.Parcel{
+				DestNode: 0, DestAddr: 0x100, Action: parcel.ActionAMOAdd,
+				Operands: []uint64{uint64(n + 1)}, SrcNode: uint32(n), ContAddr: 0x200,
+			})
+		}
+	}
+	if _, err := pm.Run(ps...); err != nil {
+		t.Fatal(err)
+	}
+	want := pm.Nodes[0].Mem.Load(0x100)
+
+	// ISA machine: every node spawns perNode incrementer threads at node 0.
+	src := `
+main:
+    nodeid r3
+    addi r3, r3, 1     ; contribution = node id + 1
+    addi r4, r0, 5     ; perNode
+    addi r5, r0, bump
+fan:
+    spawn r3, r0, r5   ; node 0
+    addi r4, r4, -1
+    bne r4, r0, fan
+    halt
+bump:
+    addi r3, r0, 256   ; 0x100
+    amoadd r5, r3, r1
+    halt
+`
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := isa.NewMachine(nodes, 2048, isa.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := prog.Entry("main")
+	for n := 0; n < nodes; n++ {
+		m.Nodes[n].StartThread(entry, 0, 0)
+	}
+	m.MaxCycles = 1_000_000
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Nodes[0].Mem[256]; got != want {
+		t.Errorf("ISA machine counter = %d, parcel machine = %d", got, want)
+	}
+}
+
+func TestMVABoundsParcelSystem(t *testing.T) {
+	// The test system's per-node throughput cannot exceed the closed-
+	// network bottleneck bound for its workload.
+	p := parcelsys.DefaultParams()
+	p.Nodes = 8
+	p.Parallelism = 32
+	p.RemoteFrac = 0.5
+	p.Latency = 200
+	p.Horizon = 50000
+	r, err := parcelsys.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-node ops/cycle in the test system.
+	opsPerCycle := float64(r.Test.Ops) / (p.Horizon * float64(p.Nodes))
+	// Bottleneck: the node CPU serves eOps useful + 1 access (+ overhead)
+	// per access-cycle of eOps+1 ops.
+	eOps := (1 - p.MixMem) / p.MixMem
+	demand := eOps + p.MemCycles + p.RemoteFrac*(p.Overhead.CreateCycles+p.Overhead.AssimilateCycles)
+	opsPerAccessCycle := eOps + 1
+	bound := opsPerAccessCycle / demand // ops per cycle at 100% utilization
+	if opsPerCycle > bound*1.02 {
+		t.Errorf("test throughput %g ops/cycle exceeds bottleneck bound %g", opsPerCycle, bound)
+	}
+	// And with P=32 at short latency it should be close to the bound.
+	if opsPerCycle < 0.85*bound {
+		t.Errorf("saturated throughput %g well below bound %g", opsPerCycle, bound)
+	}
+}
+
+func TestSaavedraBarreraPredictsIdleCurve(t *testing.T) {
+	// The analytic multithreading model's efficiency curve should track
+	// the measured busy fraction of the parcel test system across P.
+	base := parcelsys.DefaultParams()
+	base.Nodes = 16
+	base.RemoteFrac = 0.5
+	base.Latency = 400
+	base.Horizon = 40000
+	mm, err := analytic.ParcelModelFromWorkload(
+		base.MixMem, base.RemoteFrac, base.MemCycles, base.Latency,
+		base.Overhead.CreateCycles+base.Overhead.AssimilateCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 16, 64} {
+		p := base
+		p.Parallelism = par
+		r, err := parcelsys.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measuredBusy := 1 - r.Test.IdleFrac
+		predicted := mm.Efficiency(float64(par))
+		if math.Abs(measuredBusy-predicted) > 0.15 {
+			t.Errorf("P=%d: measured busy %g vs Saavedra-Barrera %g",
+				par, measuredBusy, predicted)
+		}
+	}
+}
+
+func TestMVAAgreesWithSaavedraBarreraAtSaturation(t *testing.T) {
+	// Two independent analytic models of the same phenomenon: the MVA
+	// saturation population equals the Saavedra-Barrera saturation point
+	// for a single-queue + delay network.
+	const r, l, c = 12.0, 300.0, 4.0
+	mm := analytic.MultithreadModel{R: r, L: l, C: c}
+	stations := []queueing.Station{
+		{Name: "cpu", Kind: queueing.QueueingStation, Demand: r + c},
+		{Name: "net", Kind: queueing.DelayStation, Demand: l},
+	}
+	nStar, xMax, _, err := queueing.BottleneckAnalysis(stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nStar-mm.SaturationPoint()) > 1e-9 {
+		t.Errorf("MVA N* = %g, Saavedra-Barrera P* = %g", nStar, mm.SaturationPoint())
+	}
+	// Saturated MVA throughput × runlength = saturated efficiency.
+	if math.Abs(xMax*(r+c)-1) > 1e-12 {
+		t.Errorf("bottleneck utilization bound broken")
+	}
+}
+
+func TestDeterministicGoldenMetrics(t *testing.T) {
+	// Regression guard: key fixed-seed results. Tolerances are loose
+	// enough to survive refactors that preserve semantics, tight enough
+	// to catch model changes.
+	p := hostpim.DefaultParams()
+	p.PctWL = 0.6
+	p.N = 32
+	an, err := hostpim.Analytic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Gain-10.1266) > 0.01 {
+		t.Errorf("golden analytic gain = %g, want ~10.13", an.Gain)
+	}
+	q := parcelsys.DefaultParams()
+	q.Horizon = 30000
+	r, err := parcelsys.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio < 2 || r.Ratio > 8 {
+		t.Errorf("golden parcel ratio = %g outside [2, 8]", r.Ratio)
+	}
+}

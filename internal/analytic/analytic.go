@@ -1,0 +1,206 @@
+// Package analytic is the paper's MATLAB/Excel layer: closed-form design-
+// space analysis on top of the two models. It evaluates the §3.1.2
+// equations over parameter surfaces, locates the N = NB coincidence point,
+// quantifies parameter sensitivities, and implements the Saavedra-Barrera
+// multithreading efficiency model ([27]) that §5.2 invokes to explain the
+// parcel results.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hostpim"
+)
+
+// SurfacePoint is one evaluated point of the Fig. 7 surface.
+type SurfacePoint struct {
+	PctWL    float64
+	N        int
+	Relative float64 // Time_relative = 1 − %WL (1 − NB/N)
+}
+
+// Surface evaluates Time_relative over the cross product of pcts and
+// nodes, in row-major order (pct outer, node inner).
+func Surface(base hostpim.Params, pcts []float64, nodes []int) ([]SurfacePoint, error) {
+	out := make([]SurfacePoint, 0, len(pcts)*len(nodes))
+	for _, pct := range pcts {
+		for _, n := range nodes {
+			p := base
+			p.PctWL = pct
+			p.N = n
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			out = append(out, SurfacePoint{PctWL: pct, N: n, Relative: hostpim.TimeRelative(p)})
+		}
+	}
+	return out, nil
+}
+
+// CoincidenceSpread returns the spread (max − min) of Time_relative across
+// the given %WL values at node count n. At n = NB the spread is exactly 0
+// — the paper's "point of coincidence... independent of %WL". Callers use
+// it to verify (and plot) the orthogonality of NB.
+func CoincidenceSpread(base hostpim.Params, pcts []float64, n float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	nb := base.NB()
+	for _, pct := range pcts {
+		rel := 1 - pct*(1-nb/n)
+		if rel < lo {
+			lo = rel
+		}
+		if rel > hi {
+			hi = rel
+		}
+	}
+	return hi - lo
+}
+
+// Sensitivity reports the local elasticity of NB with respect to each
+// Table 1 parameter: d(ln NB)/d(ln θ), estimated by central finite
+// differences. Elasticities answer the designer's question "which knob
+// moves the break-even node count most".
+type Sensitivity struct {
+	Param      string
+	Elasticity float64
+}
+
+// NBSensitivities returns elasticities for every continuous parameter of
+// the model, sorted as declared.
+func NBSensitivities(p hostpim.Params) []Sensitivity {
+	type knob struct {
+		name string
+		get  func(*hostpim.Params) *float64
+	}
+	knobs := []knob{
+		{"TLcycle", func(q *hostpim.Params) *float64 { return &q.TLCycle }},
+		{"TMH", func(q *hostpim.Params) *float64 { return &q.TMH }},
+		{"TCH", func(q *hostpim.Params) *float64 { return &q.TCH }},
+		{"TML", func(q *hostpim.Params) *float64 { return &q.TML }},
+		{"Pmiss", func(q *hostpim.Params) *float64 { return &q.Pmiss }},
+		{"mix_l/s", func(q *hostpim.Params) *float64 { return &q.MixLS }},
+	}
+	out := make([]Sensitivity, 0, len(knobs))
+	const h = 1e-6
+	for _, kb := range knobs {
+		up := p
+		down := p
+		pu := kb.get(&up)
+		pd := kb.get(&down)
+		base := *kb.get(&p)
+		*pu = base * (1 + h)
+		*pd = base * (1 - h)
+		el := (math.Log(up.NB()) - math.Log(down.NB())) / (2 * h)
+		out = append(out, Sensitivity{Param: kb.name, Elasticity: el})
+	}
+	return out
+}
+
+// BreakEvenPctWL returns the %WL at which the locality-aware control and
+// the PIM-augmented system tie for a given N, i.e. the boundary of the
+// "PIM wins" region in the (%WL, N) plane. Below NB nodes the system can
+// still win because the control also degrades; the boundary solves
+// gain(pct, N) = 1. Returns (pct, true) if a boundary exists in (0, 1).
+func BreakEvenPctWL(base hostpim.Params, n int) (float64, bool) {
+	p := base
+	p.N = n
+	gain := func(pct float64) float64 {
+		q := p
+		q.PctWL = pct
+		r, err := hostpim.Analytic(q)
+		if err != nil {
+			return math.NaN()
+		}
+		return r.Gain
+	}
+	// Gain(0) == 1 exactly; test the sign of the slope by probing.
+	const eps = 1e-6
+	g := gain(eps)
+	if math.IsNaN(g) {
+		return 0, false
+	}
+	if g >= 1 {
+		return 0, false // PIM wins (or ties) for every positive %WL
+	}
+	// Gain decreases then possibly recovers; find a crossing in (eps, 1].
+	lo, hi := eps, 1.0
+	if gain(hi) < 1 {
+		return 0, false // PIM never recovers: no interior boundary
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if gain(mid) < 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// MultithreadModel is the Saavedra-Barrera analysis of multithreaded
+// latency tolerance the paper's §5.2 appeals to: a processor runs R cycles
+// of work per thread between long-latency events of L cycles, paying C
+// cycles per context switch, with P threads resident.
+type MultithreadModel struct {
+	R float64 // run length between latency events (cycles)
+	L float64 // latency per event (cycles)
+	C float64 // context switch cost (cycles)
+}
+
+// Validate checks the model.
+func (m MultithreadModel) Validate() error {
+	if m.R <= 0 || m.L < 0 || m.C < 0 {
+		return fmt.Errorf("analytic: invalid multithread model %+v", m)
+	}
+	return nil
+}
+
+// SaturationPoint returns the number of threads at which the processor
+// saturates: P* = 1 + L / (R + C).
+func (m MultithreadModel) SaturationPoint() float64 {
+	return 1 + m.L/(m.R+m.C)
+}
+
+// Efficiency returns the processor efficiency with P resident threads:
+// linear regime  P·R/(R + C + L)        for P < P*,
+// saturated      R/(R + C)              for P ≥ P*.
+func (m MultithreadModel) Efficiency(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p < m.SaturationPoint() {
+		return p * m.R / (m.R + m.C + m.L)
+	}
+	return m.R / (m.R + m.C)
+}
+
+// Speedup returns Efficiency(P)/Efficiency(1) — the gain from
+// multithreading alone.
+func (m MultithreadModel) Speedup(p float64) float64 {
+	e1 := m.Efficiency(1)
+	if e1 == 0 {
+		return 0
+	}
+	return m.Efficiency(p) / e1
+}
+
+// ParcelModelFromWorkload maps the parcel-study workload parameters onto
+// the multithread model: run length R is the expected busy time between
+// remote events, latency L is the one-way flight time, and C the parcel
+// create+assimilate overhead. This is the analytic skeleton beneath the
+// Fig. 11 curves.
+func ParcelModelFromWorkload(mixMem, remoteFrac, memCycles, latency, overhead float64) (MultithreadModel, error) {
+	if mixMem <= 0 || mixMem > 1 || remoteFrac < 0 || remoteFrac > 1 {
+		return MultithreadModel{}, fmt.Errorf("analytic: invalid workload mix %g/%g", mixMem, remoteFrac)
+	}
+	if remoteFrac == 0 {
+		return MultithreadModel{R: 1, L: 0, C: 0}, nil
+	}
+	eOps := (1 - mixMem) / mixMem // useful ops per memory access
+	// Accesses per remote event: 1/remoteFrac; all but the last are local.
+	accesses := 1 / remoteFrac
+	busy := accesses*eOps + (accesses-1)*memCycles + memCycles // remote access serviced at destination
+	return MultithreadModel{R: busy, L: latency, C: overhead}, nil
+}

@@ -1,0 +1,201 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hostpim"
+)
+
+func TestSurfaceMatchesEquation(t *testing.T) {
+	base := hostpim.DefaultParams()
+	pcts := []float64{0, 0.5, 1}
+	nodes := []int{1, 4, 64}
+	pts, err := Surface(base, pcts, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("points = %d, want 9", len(pts))
+	}
+	nb := base.NB()
+	for _, pt := range pts {
+		want := 1 - pt.PctWL*(1-nb/float64(pt.N))
+		if math.Abs(pt.Relative-want) > 1e-12 {
+			t.Errorf("(%g, %d): %g != %g", pt.PctWL, pt.N, pt.Relative, want)
+		}
+	}
+}
+
+func TestCoincidenceAtNB(t *testing.T) {
+	base := hostpim.DefaultParams()
+	pcts := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1}
+	// Exactly at NB, all %WL curves meet: spread = 0.
+	if s := CoincidenceSpread(base, pcts, base.NB()); s > 1e-12 {
+		t.Errorf("spread at N=NB = %g, want 0", s)
+	}
+	// Away from NB the curves fan out.
+	if s := CoincidenceSpread(base, pcts, 2*base.NB()); s < 0.1 {
+		t.Errorf("spread at 2NB = %g, expected a visible fan", s)
+	}
+	if s := CoincidenceSpread(base, pcts, base.NB()/2); s < 0.1 {
+		t.Errorf("spread at NB/2 = %g, expected a visible fan", s)
+	}
+}
+
+func TestNBSensitivitiesSigns(t *testing.T) {
+	// NB = tL/tH. Raising LWP costs (TLcycle, TML) raises NB; raising HWP
+	// costs (TCH, TMH, Pmiss) lowers it.
+	sens := NBSensitivities(hostpim.DefaultParams())
+	bySign := map[string]float64{}
+	for _, s := range sens {
+		bySign[s.Param] = s.Elasticity
+	}
+	for _, pos := range []string{"TLcycle", "TML"} {
+		if bySign[pos] <= 0 {
+			t.Errorf("elasticity of %s = %g, want > 0", pos, bySign[pos])
+		}
+	}
+	for _, neg := range []string{"TMH", "TCH", "Pmiss"} {
+		if bySign[neg] >= 0 {
+			t.Errorf("elasticity of %s = %g, want < 0", neg, bySign[neg])
+		}
+	}
+	// Elasticities of a ratio in log space: TL+TML elasticities apply to
+	// the numerator only, so each must be <= 1 in magnitude.
+	for _, s := range sens {
+		if math.Abs(s.Elasticity) > 1+1e-6 {
+			t.Errorf("elasticity of %s = %g, |e| should be <= 1", s.Param, s.Elasticity)
+		}
+	}
+}
+
+func TestNBSensitivityValue(t *testing.T) {
+	// Analytical check for TLcycle: dln(NB)/dln(TL) = TL(1-mix)/tL.
+	p := hostpim.DefaultParams()
+	want := p.TLCycle * (1 - p.MixLS) / p.LWPOpCycles()
+	sens := NBSensitivities(p)
+	for _, s := range sens {
+		if s.Param == "TLcycle" {
+			if math.Abs(s.Elasticity-want) > 1e-4 {
+				t.Errorf("TLcycle elasticity = %g, want %g", s.Elasticity, want)
+			}
+		}
+	}
+}
+
+func TestBreakEvenPctWL(t *testing.T) {
+	base := hostpim.DefaultParams() // locality-aware control
+	// With many nodes PIM wins for every %WL: no interior boundary.
+	if _, ok := BreakEvenPctWL(base, 64); ok {
+		t.Error("found a break-even with N=64 where PIM always wins")
+	}
+	// With a single node the LWP array is slower than the degraded HWP
+	// only for part of the range; check the boundary exists and brackets
+	// a real sign change.
+	if pct, ok := BreakEvenPctWL(base, 1); ok {
+		p := base
+		p.N = 1
+		p.PctWL = pct
+		r, err := hostpim.Analytic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Gain-1) > 1e-6 {
+			t.Errorf("gain at reported boundary = %g, want 1", r.Gain)
+		}
+	}
+}
+
+func TestMultithreadSaturation(t *testing.T) {
+	m := MultithreadModel{R: 10, L: 90, C: 0}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp := m.SaturationPoint(); math.Abs(sp-10) > 1e-12 {
+		t.Errorf("saturation point = %g, want 10", sp)
+	}
+	// Below saturation: linear. E(1) = 10/100 = 0.1; E(5) = 0.5.
+	if e := m.Efficiency(1); math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("E(1) = %g", e)
+	}
+	if e := m.Efficiency(5); math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("E(5) = %g", e)
+	}
+	// At/above saturation: R/(R+C) = 1.
+	if e := m.Efficiency(10); math.Abs(e-1) > 1e-12 {
+		t.Errorf("E(10) = %g", e)
+	}
+	if e := m.Efficiency(100); math.Abs(e-1) > 1e-12 {
+		t.Errorf("E(100) = %g", e)
+	}
+}
+
+func TestMultithreadSwitchCostCapsEfficiency(t *testing.T) {
+	m := MultithreadModel{R: 10, L: 90, C: 10}
+	// Saturated efficiency = R/(R+C) = 0.5, never 1.
+	if e := m.Efficiency(1000); math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("saturated efficiency with switch cost = %g, want 0.5", e)
+	}
+}
+
+func TestMultithreadEfficiencyMonotone(t *testing.T) {
+	err := quick.Check(func(rRaw, lRaw, cRaw, p1Raw, p2Raw uint8) bool {
+		m := MultithreadModel{
+			R: 1 + float64(rRaw%50),
+			L: float64(lRaw % 200),
+			C: float64(cRaw % 20),
+		}
+		p1 := 1 + float64(p1Raw%32)
+		p2 := p1 + 1 + float64(p2Raw%32)
+		return m.Efficiency(p2) >= m.Efficiency(p1)-1e-12
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultithreadSpeedup(t *testing.T) {
+	m := MultithreadModel{R: 10, L: 90, C: 0}
+	// Speedup at saturation: E(10)/E(1) = 1/0.1 = 10.
+	if s := m.Speedup(10); math.Abs(s-10) > 1e-12 {
+		t.Errorf("speedup = %g, want 10", s)
+	}
+}
+
+func TestParcelModelFromWorkload(t *testing.T) {
+	m, err := ParcelModelFromWorkload(0.3, 0.5, 10, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// accesses per remote = 2; busy = 2*(7/3) + 1*10 + 10 = 24.67.
+	want := 2*(0.7/0.3) + 10 + 10
+	if math.Abs(m.R-want) > 1e-9 {
+		t.Errorf("R = %g, want %g", m.R, want)
+	}
+	if m.L != 500 || m.C != 4 {
+		t.Errorf("L/C = %g/%g", m.L, m.C)
+	}
+	// Zero remote: no latency to hide.
+	m0, err := ParcelModelFromWorkload(0.3, 0, 10, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.L != 0 {
+		t.Errorf("L = %g with no remote traffic", m0.L)
+	}
+	if _, err := ParcelModelFromWorkload(0, 0.5, 10, 500, 4); err == nil {
+		t.Error("invalid mix accepted")
+	}
+}
+
+func TestSurfaceRejectsInvalid(t *testing.T) {
+	base := hostpim.DefaultParams()
+	if _, err := Surface(base, []float64{2}, []int{1}); err == nil {
+		t.Error("invalid pct accepted")
+	}
+	if _, err := Surface(base, []float64{0.5}, []int{0}); err == nil {
+		t.Error("invalid node count accepted")
+	}
+}

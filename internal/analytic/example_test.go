@@ -1,0 +1,28 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/hostpim"
+)
+
+// The Saavedra-Barrera multithreading model the paper's §5.2 invokes:
+// 10 cycles of run length against 90 cycles of latency saturates at 10
+// threads.
+func ExampleMultithreadModel() {
+	m := analytic.MultithreadModel{R: 10, L: 90, C: 0}
+	fmt.Printf("saturation at %.0f threads; E(1)=%.2f E(5)=%.2f E(10)=%.2f\n",
+		m.SaturationPoint(), m.Efficiency(1), m.Efficiency(5), m.Efficiency(10))
+	// Output: saturation at 10 threads; E(1)=0.10 E(5)=0.50 E(10)=1.00
+}
+
+// The spread of the Fig. 7 curves vanishes exactly at N = NB.
+func ExampleCoincidenceSpread() {
+	base := hostpim.DefaultParams()
+	pcts := []float64{0.1, 0.5, 0.9}
+	fmt.Printf("spread at NB: %.3f, at 2NB: %.3f\n",
+		analytic.CoincidenceSpread(base, pcts, base.NB()),
+		analytic.CoincidenceSpread(base, pcts, 2*base.NB()))
+	// Output: spread at NB: 0.000, at 2NB: 0.400
+}

@@ -1,0 +1,293 @@
+// Package cache provides the two cache models used by the host-processor
+// (HWP) side of the paper's study 1.
+//
+// The paper models the HWP cache *statistically*: each load/store hits with
+// probability 1−Pmiss and costs TCH cycles, otherwise it costs the main
+// memory time TMH. StatCache reproduces exactly that. For the A4 ablation
+// (EXPERIMENTS.md) we also provide a concrete set-associative cache
+// simulator (SetAssocCache) plus reference address-stream generators, so
+// the statistical miss rate can be cross-checked against a real structure
+// on streams of controlled temporal locality.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// StatCache is the paper's statistical cache: a Bernoulli(Pmiss) coin per
+// access deciding between cache time and memory time.
+type StatCache struct {
+	// Pmiss is the miss probability for each access.
+	Pmiss float64
+	// HitCycles is the access time on a hit (the paper's TCH).
+	HitCycles float64
+	// MissCycles is the access time on a miss (the paper's TMH).
+	MissCycles float64
+
+	st       *rng.Stream
+	accesses int64
+	misses   int64
+}
+
+// NewStatCache creates a statistical cache. It panics unless
+// 0 <= pmiss <= 1 and times are positive.
+func NewStatCache(pmiss, hitCycles, missCycles float64, st *rng.Stream) *StatCache {
+	if pmiss < 0 || pmiss > 1 {
+		panic(fmt.Sprintf("cache: Pmiss = %g", pmiss))
+	}
+	if hitCycles <= 0 || missCycles <= 0 {
+		panic(fmt.Sprintf("cache: non-positive access times (%g, %g)", hitCycles, missCycles))
+	}
+	return &StatCache{Pmiss: pmiss, HitCycles: hitCycles, MissCycles: missCycles, st: st}
+}
+
+// Access samples one memory access and returns its latency in cycles.
+func (c *StatCache) Access() float64 {
+	c.accesses++
+	if c.st.Bernoulli(c.Pmiss) {
+		c.misses++
+		return c.MissCycles
+	}
+	return c.HitCycles
+}
+
+// ExpectedCycles returns the closed-form mean access time
+// (1−Pmiss)·TCH + Pmiss·TMH.
+func (c *StatCache) ExpectedCycles() float64 {
+	return (1-c.Pmiss)*c.HitCycles + c.Pmiss*c.MissCycles
+}
+
+// MissRate returns the observed miss rate so far.
+func (c *StatCache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Accesses returns the number of sampled accesses.
+func (c *StatCache) Accesses() int64 { return c.accesses }
+
+// Replacement selects the eviction policy of a concrete cache set.
+type Replacement int
+
+// Replacement policies.
+const (
+	LRU Replacement = iota
+	FIFOREPL
+	RandomRepl
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFOREPL:
+		return "FIFO"
+	case RandomRepl:
+		return "random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// Config describes a concrete set-associative cache.
+type Config struct {
+	// SizeBytes is total capacity; LineBytes the block size; Ways the
+	// associativity. Sets = SizeBytes / (LineBytes * Ways).
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Policy    Replacement
+}
+
+// Validate checks structural invariants (powers of two where required).
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: LineBytes %d not a power of two", c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*ways", c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: %d sets not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// SetAssocCache is a functional set-associative cache simulator tracking
+// hit/miss counts over an address stream. Addresses are byte addresses.
+type SetAssocCache struct {
+	cfg  Config
+	sets []cacheSet
+	st   *rng.Stream // used only by RandomRepl
+
+	accesses int64
+	misses   int64
+
+	lineShift uint
+	setMask   int64
+}
+
+type cacheSet struct {
+	tags  []int64 // -1 = invalid
+	order []int64 // LRU stamp or FIFO insertion stamp
+}
+
+// New creates a concrete cache. st may be nil unless Policy is RandomRepl.
+func New(cfg Config, st *rng.Stream) (*SetAssocCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == RandomRepl && st == nil {
+		return nil, fmt.Errorf("cache: RandomRepl requires a random stream")
+	}
+	sets := cfg.Sets()
+	c := &SetAssocCache{cfg: cfg, sets: make([]cacheSet, sets), st: st}
+	for i := range c.sets {
+		c.sets[i] = cacheSet{tags: make([]int64, cfg.Ways), order: make([]int64, cfg.Ways)}
+		for w := 0; w < cfg.Ways; w++ {
+			c.sets[i].tags[w] = -1
+		}
+	}
+	for shift := cfg.LineBytes; shift > 1; shift >>= 1 {
+		c.lineShift++
+	}
+	c.setMask = int64(sets - 1)
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *SetAssocCache) Config() Config { return c.cfg }
+
+// Access performs one access to the given byte address and reports whether
+// it hit.
+func (c *SetAssocCache) Access(addr int64) bool {
+	if addr < 0 {
+		panic(fmt.Sprintf("cache: negative address %d", addr))
+	}
+	c.accesses++
+	line := addr >> c.lineShift
+	setIdx := line & c.setMask
+	tag := line >> uint(popShift(c.setMask))
+	set := &c.sets[setIdx]
+
+	for w := range set.tags {
+		if set.tags[w] == tag {
+			if c.cfg.Policy == LRU {
+				set.order[w] = c.accesses
+			}
+			return true
+		}
+	}
+	c.misses++
+	// Choose a victim: first invalid way, else per policy.
+	victim := -1
+	for w := range set.tags {
+		if set.tags[w] == -1 {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		switch c.cfg.Policy {
+		case LRU, FIFOREPL:
+			victim = 0
+			for w := 1; w < len(set.order); w++ {
+				if set.order[w] < set.order[victim] {
+					victim = w
+				}
+			}
+		case RandomRepl:
+			victim = c.st.Intn(len(set.tags))
+		}
+	}
+	set.tags[victim] = tag
+	set.order[victim] = c.accesses // LRU stamp == FIFO insertion stamp here
+	return false
+}
+
+// popShift returns the number of set-index bits for a mask of form 2^k - 1.
+func popShift(mask int64) int {
+	n := 0
+	for mask > 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// MissRate returns the observed miss rate.
+func (c *SetAssocCache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Accesses returns the access count.
+func (c *SetAssocCache) Accesses() int64 { return c.accesses }
+
+// Misses returns the miss count.
+func (c *SetAssocCache) Misses() int64 { return c.misses }
+
+// Flush invalidates all lines, keeping statistics.
+func (c *SetAssocCache) Flush() {
+	for i := range c.sets {
+		for w := range c.sets[i].tags {
+			c.sets[i].tags[w] = -1
+		}
+	}
+}
+
+// --- Address stream generators for locality experiments ---
+
+// StreamGen produces a synthetic address stream with controllable temporal
+// locality; used to cross-validate the statistical cache against the
+// concrete one (ablation A4).
+type StreamGen struct {
+	st *rng.Stream
+	// Footprint is the number of distinct lines the stream touches.
+	Footprint int64
+	LineBytes int64
+	// Reuse is the probability each access revisits the hot working set
+	// instead of streaming on; 0 gives a pure streaming scan, values near 1
+	// give high temporal locality.
+	Reuse float64
+	// HotLines is the size (in lines) of the hot working set.
+	HotLines int64
+
+	next int64
+}
+
+// NewStreamGen creates a generator.
+func NewStreamGen(st *rng.Stream, footprint, hotLines int64, lineBytes int64, reuse float64) *StreamGen {
+	if footprint <= 0 || hotLines <= 0 || hotLines > footprint || lineBytes <= 0 {
+		panic("cache: invalid StreamGen geometry")
+	}
+	if reuse < 0 || reuse > 1 {
+		panic("cache: Reuse out of [0,1]")
+	}
+	return &StreamGen{st: st, Footprint: footprint, HotLines: hotLines, LineBytes: lineBytes, Reuse: reuse}
+}
+
+// Next returns the next byte address.
+func (g *StreamGen) Next() int64 {
+	if g.st.Bernoulli(g.Reuse) {
+		// Touch the hot set uniformly.
+		return int64(g.st.Uint64n(uint64(g.HotLines))) * g.LineBytes
+	}
+	// Stream through the cold region beyond the hot set.
+	cold := g.Footprint - g.HotLines
+	addr := (g.HotLines + g.next%cold) * g.LineBytes
+	g.next++
+	return addr
+}

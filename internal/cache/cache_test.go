@@ -1,0 +1,275 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestStatCacheMissRateConverges(t *testing.T) {
+	st := rng.New(1)
+	c := NewStatCache(0.1, 2, 90, st)
+	var total float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		total += c.Access()
+	}
+	if math.Abs(c.MissRate()-0.1) > 0.005 {
+		t.Errorf("observed miss rate = %g, want 0.1", c.MissRate())
+	}
+	mean := total / n
+	if math.Abs(mean-c.ExpectedCycles())/c.ExpectedCycles() > 0.02 {
+		t.Errorf("mean access = %g, expected %g", mean, c.ExpectedCycles())
+	}
+}
+
+func TestStatCacheExpectedCycles(t *testing.T) {
+	// Table 1 parameters: TCH=2, TMH=90, Pmiss=0.1 ⇒ 0.9*2 + 0.1*90 = 10.8.
+	c := NewStatCache(0.1, 2, 90, rng.New(2))
+	if e := c.ExpectedCycles(); math.Abs(e-10.8) > 1e-12 {
+		t.Errorf("expected cycles = %g, want 10.8", e)
+	}
+}
+
+func TestStatCacheDegenerate(t *testing.T) {
+	st := rng.New(3)
+	always := NewStatCache(1, 2, 90, st)
+	for i := 0; i < 100; i++ {
+		if always.Access() != 90 {
+			t.Fatal("Pmiss=1 returned a hit")
+		}
+	}
+	never := NewStatCache(0, 2, 90, st)
+	for i := 0; i < 100; i++ {
+		if never.Access() != 2 {
+			t.Fatal("Pmiss=0 returned a miss")
+		}
+	}
+}
+
+func TestStatCacheRejectsBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStatCache(-0.1, 2, 90, nil) },
+		func() { NewStatCache(1.1, 2, 90, nil) },
+		func() { NewStatCache(0.1, 0, 90, nil) },
+		func() { NewStatCache(0.1, 2, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid StatCache accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: LRU}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	if good.Sets() != 128 {
+		t.Errorf("sets = %d, want 128", good.Sets())
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 4},
+		{SizeBytes: 32768, LineBytes: 63, Ways: 4},      // not pow2
+		{SizeBytes: 1000, LineBytes: 64, Ways: 4},       // not divisible
+		{SizeBytes: 64 * 3 * 4, LineBytes: 64, Ways: 4}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestColdMissesThenHits(t *testing.T) {
+	c, err := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, Policy: LRU}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Error("repeat access missed")
+	}
+	if !c.Access(32) {
+		t.Error("same-line access missed")
+	}
+	if c.Misses() != 1 {
+		t.Errorf("misses = %d, want 1", c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2 ways, force 3 lines into one set.
+	cfg := Config{SizeBytes: 2 * 64 * 4, LineBytes: 64, Ways: 2, Policy: LRU} // 4 sets
+	c, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setStride := int64(64 * 4) // same set every 4 lines
+	a, b2, d := int64(0), setStride, 2*setStride
+	c.Access(a)  // miss
+	c.Access(b2) // miss
+	c.Access(a)  // hit, a now MRU
+	c.Access(d)  // miss, evicts b2 (LRU)
+	if !c.Access(a) {
+		t.Error("a evicted despite being MRU")
+	}
+	if c.Access(b2) {
+		t.Error("b2 still resident despite LRU eviction")
+	}
+}
+
+func TestFIFOEvictionDiffersFromLRU(t *testing.T) {
+	cfg := Config{SizeBytes: 2 * 64 * 4, LineBytes: 64, Ways: 2, Policy: FIFOREPL}
+	c, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setStride := int64(64 * 4)
+	a, b2, d := int64(0), setStride, 2*setStride
+	c.Access(a)  // insert a
+	c.Access(b2) // insert b2
+	c.Access(a)  // hit; FIFO does NOT refresh a
+	c.Access(d)  // evicts a (oldest insertion)
+	if c.Access(a) {
+		t.Error("FIFO kept a alive; LRU behaviour detected")
+	}
+}
+
+func TestRandomReplNeedsStream(t *testing.T) {
+	_, err := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, Policy: RandomRepl}, nil)
+	if err == nil {
+		t.Fatal("RandomRepl without stream accepted")
+	}
+	c, err := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, Policy: RandomRepl}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		c.Access(i * 64)
+	}
+	if c.Accesses() != 100 {
+		t.Errorf("accesses = %d", c.Accesses())
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	// Working set of 8 lines in a 16-line fully-covered cache: after warmup,
+	// zero misses.
+	c, err := New(Config{SizeBytes: 16 * 64, LineBytes: 64, Ways: 4, Policy: LRU}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 10; pass++ {
+		for line := int64(0); line < 8; line++ {
+			c.Access(line * 64)
+		}
+	}
+	if c.Misses() != 8 {
+		t.Errorf("misses = %d, want 8 cold misses only", c.Misses())
+	}
+}
+
+func TestThrashingScanAllMisses(t *testing.T) {
+	// Cyclic scan over 2x the cache size under LRU: every access misses
+	// after warmup (the classic LRU pathology).
+	cfg := Config{SizeBytes: 8 * 64, LineBytes: 64, Ways: 8, Policy: LRU} // 1 set, 8 ways
+	c, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 5; pass++ {
+		for line := int64(0); line < 16; line++ {
+			c.Access(line * 64)
+		}
+	}
+	if c.MissRate() != 1 {
+		t.Errorf("thrash miss rate = %g, want 1", c.MissRate())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c, _ := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, Policy: LRU}, nil)
+	c.Access(0)
+	c.Flush()
+	if c.Access(0) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestMissRateMonotoneInReuse(t *testing.T) {
+	// Higher temporal locality (Reuse) must not raise the miss rate.
+	missAt := func(reuse float64) float64 {
+		c, err := New(Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: LRU}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewStreamGen(rng.New(42), 1<<20, 256, 64, reuse)
+		for i := 0; i < 100000; i++ {
+			c.Access(g.Next())
+		}
+		return c.MissRate()
+	}
+	prev := 1.1
+	for _, reuse := range []float64{0, 0.25, 0.5, 0.75, 0.95} {
+		mr := missAt(reuse)
+		if mr > prev+0.01 {
+			t.Errorf("miss rate rose with locality: reuse=%g mr=%g prev=%g", reuse, mr, prev)
+		}
+		prev = mr
+	}
+	if m0 := missAt(0); m0 < 0.9 {
+		t.Errorf("pure streaming over huge footprint miss rate = %g, want ~1", m0)
+	}
+	if m1 := missAt(0.99); m1 > 0.15 {
+		t.Errorf("hot-set reuse=0.99 miss rate = %g, want small", m1)
+	}
+}
+
+func TestDecodeUniqueTags(t *testing.T) {
+	// Two addresses mapping to the same set with different tags never
+	// alias: filling way 0/1 and re-accessing both must hit.
+	err := quick.Check(func(raw uint16) bool {
+		c, err := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 2, Policy: LRU}, nil)
+		if err != nil {
+			return false
+		}
+		sets := int64(c.Config().Sets())
+		base := int64(raw%64) * 64
+		other := base + sets*64 // same set, different tag
+		c.Access(base)
+		c.Access(other)
+		return c.Access(base) && c.Access(other)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeAddressPanics(t *testing.T) {
+	c, _ := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, Policy: LRU}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Access(-4)
+}
+
+func BenchmarkSetAssocAccess(b *testing.B) {
+	c, _ := New(Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: LRU}, nil)
+	g := NewStreamGen(rng.New(7), 1<<18, 512, 64, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(g.Next())
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/dram"
+	"repro/internal/report"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "bandwidth",
+		Title: "Sec 2.1: reclaiming the hidden bandwidth",
+		PaperClaim: "a single on-chip DRAM macro sustains over 50 Gbit/s; with many " +
+			"nodes per chip, on-chip peak memory bandwidth exceeds 1 Tbit/s",
+		Run: runBandwidth,
+	})
+}
+
+func runBandwidth(cfg Config, w io.Writer) (*Outcome, error) {
+	macro := dram.PaperMacro()
+	chip := dram.PaperChip()
+
+	t := report.NewTable("Sec 2.1 — DRAM bandwidth arithmetic (paper parameters)",
+		"quantity", "value", "unit")
+	t.AddStringRow("row width", report.FormatFloat(float64(macro.RowBits)), "bits")
+	t.AddStringRow("page word width", report.FormatFloat(float64(macro.WordBits)), "bits")
+	t.AddStringRow("row access time", report.FormatFloat(macro.RowAccessNS), "ns")
+	t.AddStringRow("page access time", report.FormatFloat(macro.PageAccessNS), "ns")
+	t.AddStringRow("macro streaming bandwidth", report.FormatFloat(macro.StreamBandwidthBitsPerSec()/1e9), "Gbit/s")
+	t.AddStringRow("macro burst (open row) bandwidth", report.FormatFloat(macro.PeakPageBandwidthBitsPerSec()/1e9), "Gbit/s")
+	t.AddStringRow("macro random-word bandwidth", report.FormatFloat(macro.RandomWordBandwidthBitsPerSec()/1e9), "Gbit/s")
+	t.AddStringRow("nodes per chip", report.FormatFloat(float64(chip.Banks)), "")
+	t.AddStringRow("chip peak bandwidth", report.FormatFloat(chip.PeakBandwidthBitsPerSec()/1e12), "Tbit/s")
+	if err := emitTable(cfg, w, "bandwidth", t); err != nil {
+		return nil, err
+	}
+
+	// Cross-check against the functional bank simulator: stream every row
+	// of one macro and measure effective bandwidth.
+	bank, err := dram.NewBank(macro, dram.OpenPage)
+	if err != nil {
+		return nil, err
+	}
+	rows := macro.Rows
+	if cfg.Quick {
+		rows = 256
+	}
+	totalNS := 0.0
+	words := 0
+	for r := 0; r < rows; r++ {
+		totalNS += bank.AccessRun(r, macro.WordsPerRow())
+		words += macro.WordsPerRow()
+	}
+	measured := dram.EffectiveBandwidth(words, macro.WordBits, totalNS)
+
+	o := &Outcome{Metrics: map[string]float64{
+		"macro_stream_gbit": macro.StreamBandwidthBitsPerSec() / 1e9,
+		"chip_peak_tbit":    chip.PeakBandwidthBitsPerSec() / 1e12,
+		"measured_gbit":     measured / 1e9,
+	}}
+	o.check("macro sustains over 50 Gbit/s",
+		macro.StreamBandwidthBitsPerSec() > 50e9,
+		"%.1f Gbit/s", macro.StreamBandwidthBitsPerSec()/1e9)
+	o.check("chip exceeds 1 Tbit/s",
+		chip.PeakBandwidthBitsPerSec() > 1e12,
+		"%.2f Tbit/s with %d nodes", chip.PeakBandwidthBitsPerSec()/1e12, chip.Banks)
+	o.check("functional bank simulation matches the arithmetic",
+		relErr(measured, macro.StreamBandwidthBitsPerSec()) < 1e-9,
+		"measured %.2f Gbit/s", measured/1e9)
+	return o, nil
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}

@@ -1,0 +1,176 @@
+// Package core is the experiment layer: one registered, runnable
+// experiment per table and figure of the paper, plus the ablations listed
+// in DESIGN.md. Each experiment regenerates its artifact (tables and ASCII
+// charts on a writer, optional CSV files), reports key metrics, and
+// self-checks the paper's qualitative claims about its own result ("who
+// wins, by roughly what factor, where crossovers fall").
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives all stochastic draws; every experiment is deterministic
+	// given Seed.
+	Seed uint64
+	// Quick shrinks grids and horizons for tests and benchmarks. The full
+	// configuration reproduces the paper-scale sweeps.
+	Quick bool
+	// Workers bounds sweep parallelism (0 = GOMAXPROCS).
+	Workers int
+	// CSVDir, when non-empty, receives one CSV file per emitted table.
+	CSVDir string
+}
+
+// DefaultConfig returns the full-scale configuration with seed 2004 (the
+// paper's year; any seed works).
+func DefaultConfig() Config { return Config{Seed: 2004} }
+
+// Check is one verified claim about an experiment's outcome.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Outcome is what an experiment hands back besides its rendered output.
+type Outcome struct {
+	// Metrics are headline numbers (gains, ratios, error bands) keyed by
+	// stable names; EXPERIMENTS.md cites them.
+	Metrics map[string]float64
+	// Checks verify the paper's qualitative claims.
+	Checks []Check
+}
+
+// Failed returns the failed checks.
+func (o *Outcome) Failed() []Check {
+	var out []Check
+	for _, c := range o.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// check appends a named pass/fail with a formatted detail.
+func (o *Outcome) check(name string, pass bool, format string, args ...any) {
+	o.Checks = append(o.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Experiment is one runnable artifact reproduction.
+type Experiment struct {
+	// ID is the registry key ("table1", "fig5", ..., "ablation-control").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperClaim summarizes what the paper reports for this artifact.
+	PaperClaim string
+	// Run regenerates the artifact, writing human-readable output to w.
+	Run func(cfg Config, w io.Writer) (*Outcome, error)
+}
+
+// registry holds all experiments in presentation order.
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// Registry returns all experiments in presentation order.
+func Registry() []*Experiment { return registry }
+
+// IDs returns all experiment ids in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (*Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// RunAll executes every registered experiment in order, writing each
+// artifact to w, and returns outcomes keyed by id.
+func RunAll(cfg Config, w io.Writer) (map[string]*Outcome, error) {
+	out := make(map[string]*Outcome, len(registry))
+	for _, e := range registry {
+		fmt.Fprintf(w, "\n================ %s — %s ================\n", e.ID, e.Title)
+		o, err := e.Run(cfg, w)
+		if err != nil {
+			return out, fmt.Errorf("core: %s: %w", e.ID, err)
+		}
+		out[e.ID] = o
+		renderChecks(o, w)
+	}
+	return out, nil
+}
+
+// renderChecks prints an outcome's checks and headline metrics.
+func renderChecks(o *Outcome, w io.Writer) {
+	if len(o.Metrics) > 0 {
+		keys := make([]string, 0, len(o.Metrics))
+		for k := range o.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%s", k, report.FormatFloat(o.Metrics[k]))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, c := range o.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "check %-44s %s  %s\n", c.Name, status, c.Detail)
+	}
+}
+
+// emitTable renders a table to w and, if cfg.CSVDir is set, writes
+// <CSVDir>/<name>.csv.
+func emitTable(cfg Config, w io.Writer, name string, t *report.Table) error {
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if cfg.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.CSVDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(cfg.CSVDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.RenderCSV(f)
+}
+
+// emitChart renders a chart to w, tolerating nothing: chart errors are
+// experiment bugs.
+func emitChart(w io.Writer, c *report.Chart) error {
+	if err := c.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Seed: 2004, Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact in DESIGN.md's per-experiment index must be present.
+	want := []string{
+		"table1", "fig4", "fig5", "fig6", "fig7", "fig9", "accuracy", "fig11", "fig12",
+		"bandwidth", "sensitivity", "replication", "combined",
+		"ablation-control", "ablation-overhead", "ablation-topology", "ablation-cache",
+		"ablation-overlap", "ablation-dram", "ablation-hotspot", "ablation-mtcontrol",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("registry missing experiment %q", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, index lists %d", len(IDs()), len(want))
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, err := Find("table1")
+	if err != nil || e.ID != "table1" {
+		t.Fatalf("Find(table1) = %v, %v", e, err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestExperimentMetadata(t *testing.T) {
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.PaperClaim == "" || e.Run == nil {
+			t.Errorf("experiment %+v has missing metadata", e.ID)
+		}
+	}
+}
+
+// runExperiment executes one experiment in quick mode and fails the test on
+// any error or failed check.
+func runExperiment(t *testing.T, id string) (*Outcome, string) {
+	t.Helper()
+	e, err := Find(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	o, err := e.Run(quickCfg(), &sb)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	for _, c := range o.Failed() {
+		t.Errorf("%s: check %q failed: %s", id, c.Name, c.Detail)
+	}
+	if sb.Len() == 0 {
+		t.Errorf("%s produced no output", id)
+	}
+	return o, sb.String()
+}
+
+func TestTable1(t *testing.T) {
+	o, out := runExperiment(t, "table1")
+	if o.Metrics["NB"] != 3.125 {
+		t.Errorf("NB = %g", o.Metrics["NB"])
+	}
+	for _, want := range []string{"TLcycle", "Pmiss", "mix_l/s", "3.125"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	o, out := runExperiment(t, "fig5")
+	if o.Metrics["gain_full_lwp"] < 50 {
+		t.Errorf("extreme gain = %g", o.Metrics["gain_full_lwp"])
+	}
+	if !strings.Contains(out, "Figure 5") {
+		t.Error("missing figure title")
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	o, _ := runExperiment(t, "fig6")
+	if o.Metrics["t_100pct_n1"] <= 0 {
+		t.Error("missing response time metric")
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	o, _ := runExperiment(t, "fig7")
+	if o.Metrics["spread_at_NB"] > 1e-9 {
+		t.Errorf("spread at NB = %g", o.Metrics["spread_at_NB"])
+	}
+}
+
+func TestAccuracyQuick(t *testing.T) {
+	o, _ := runExperiment(t, "accuracy")
+	if o.Metrics["err_max"] > 0.18 {
+		t.Errorf("accuracy band %g exceeds the paper's", o.Metrics["err_max"])
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	o, out := runExperiment(t, "fig11")
+	if o.Metrics["best_ratio"] < 10 {
+		t.Errorf("best ratio = %g", o.Metrics["best_ratio"])
+	}
+	if !strings.Contains(out, "parallelism") {
+		t.Error("missing parallelism panels")
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	o, _ := runExperiment(t, "fig12")
+	if o.Metrics["test_idle_saturated"] > 0.1 {
+		t.Errorf("saturated test idle = %g", o.Metrics["test_idle_saturated"])
+	}
+}
+
+func TestBandwidthQuick(t *testing.T) {
+	o, _ := runExperiment(t, "bandwidth")
+	if o.Metrics["chip_peak_tbit"] <= 1 {
+		t.Errorf("chip bandwidth = %g Tbit/s", o.Metrics["chip_peak_tbit"])
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	for _, id := range []string{
+		"ablation-control", "ablation-overhead", "ablation-topology",
+		"ablation-cache", "ablation-overlap", "ablation-dram", "ablation-hotspot",
+		"ablation-mtcontrol", "ablation-mtcontrol",
+	} {
+		id := id
+		t.Run(id, func(t *testing.T) { runExperiment(t, id) })
+	}
+}
+
+func TestExtrasQuick(t *testing.T) {
+	for _, id := range []string{"fig4", "fig9", "sensitivity", "replication", "combined"} {
+		id := id
+		t.Run(id, func(t *testing.T) { runExperiment(t, id) })
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	outs, err := RunAll(quickCfg(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(Registry()) {
+		t.Errorf("RunAll returned %d outcomes for %d experiments", len(outs), len(Registry()))
+	}
+	for id, o := range outs {
+		for _, c := range o.Failed() {
+			t.Errorf("%s: %s: %s", id, c.Name, c.Detail)
+		}
+	}
+}
+
+func TestCSVEmission(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickCfg()
+	cfg.CSVDir = dir
+	e, err := Find("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(cfg, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "parameter,description,value") {
+		t.Errorf("CSV header wrong: %s", data)
+	}
+}
+
+func TestDeterministicOutcomes(t *testing.T) {
+	// Same seed, same quick config: identical metric values.
+	run := func() map[string]float64 {
+		e, _ := Find("fig11")
+		o, err := e.Run(quickCfg(), io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.Metrics
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("metric %s differed: %g vs %g", k, v, b[k])
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package dram models the on-chip DRAM macro that a PIM node sits next to:
+// row-buffer timing, bank organization, page policies, and the bandwidth
+// arithmetic behind the paper's background claims (§2.1) that a single
+// macro sustains >50 Gbit/s and a multi-node chip exceeds 1 Tbit/s.
+//
+// The model is a timing calculator plus an event-free functional simulator
+// of row-buffer state; it deliberately stays at the abstraction level of
+// the paper (row activate + page access, no DDR command-bus pipelining).
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// MacroConfig describes one DRAM macro (one array + row buffer).
+type MacroConfig struct {
+	// RowBits is the row width in bits (the paper: 2048).
+	RowBits int
+	// WordBits is the width of one page access out of the row buffer
+	// (the paper: 256).
+	WordBits int
+	// Rows is the number of rows in the macro.
+	Rows int
+	// RowAccessNS is the time to latch a row into the row buffer
+	// (the paper's "very conservative" 20 ns).
+	RowAccessNS float64
+	// PageAccessNS is the time to page one word out of the row buffer
+	// (the paper: 2 ns).
+	PageAccessNS float64
+	// PrechargeNS is the time to close a row before activating another.
+	// The paper folds this into row access; default 0 keeps its model.
+	PrechargeNS float64
+}
+
+// PaperMacro returns the macro configuration used in the paper's §2.1
+// bandwidth discussion.
+func PaperMacro() MacroConfig {
+	return MacroConfig{
+		RowBits:      2048,
+		WordBits:     256,
+		Rows:         4096,
+		RowAccessNS:  20,
+		PageAccessNS: 2,
+	}
+}
+
+// Validate checks configuration invariants.
+func (m MacroConfig) Validate() error {
+	switch {
+	case m.RowBits <= 0:
+		return fmt.Errorf("dram: RowBits = %d", m.RowBits)
+	case m.WordBits <= 0 || m.WordBits > m.RowBits:
+		return fmt.Errorf("dram: WordBits = %d with RowBits = %d", m.WordBits, m.RowBits)
+	case m.RowBits%m.WordBits != 0:
+		return fmt.Errorf("dram: RowBits %d not a multiple of WordBits %d", m.RowBits, m.WordBits)
+	case m.Rows <= 0:
+		return fmt.Errorf("dram: Rows = %d", m.Rows)
+	case m.RowAccessNS <= 0 || m.PageAccessNS <= 0:
+		return fmt.Errorf("dram: non-positive access times (%g, %g)", m.RowAccessNS, m.PageAccessNS)
+	case m.PrechargeNS < 0:
+		return fmt.Errorf("dram: negative precharge %g", m.PrechargeNS)
+	}
+	return nil
+}
+
+// WordsPerRow returns how many page-width words one row holds.
+func (m MacroConfig) WordsPerRow() int { return m.RowBits / m.WordBits }
+
+// CapacityBits returns the macro capacity in bits.
+func (m MacroConfig) CapacityBits() int64 {
+	return int64(m.Rows) * int64(m.RowBits)
+}
+
+// StreamBandwidthBitsPerSec returns the sustained bandwidth of streaming
+// whole rows: each row costs one row access plus WordsPerRow page accesses
+// (plus precharge), and delivers RowBits bits. For the paper's parameters
+// this exceeds 50 Gbit/s.
+func (m MacroConfig) StreamBandwidthBitsPerSec() float64 {
+	perRowNS := m.RowAccessNS + m.PrechargeNS + float64(m.WordsPerRow())*m.PageAccessNS
+	return float64(m.RowBits) / (perRowNS * 1e-9)
+}
+
+// PeakPageBandwidthBitsPerSec returns the burst bandwidth while paging out
+// of an open row buffer (no row activations).
+func (m MacroConfig) PeakPageBandwidthBitsPerSec() float64 {
+	return float64(m.WordBits) / (m.PageAccessNS * 1e-9)
+}
+
+// RandomWordBandwidthBitsPerSec returns the bandwidth when every access
+// opens a new row and uses a single word from it — the worst case that
+// motivates row-buffer locality.
+func (m MacroConfig) RandomWordBandwidthBitsPerSec() float64 {
+	perAccessNS := m.RowAccessNS + m.PrechargeNS + m.PageAccessNS
+	return float64(m.WordBits) / (perAccessNS * 1e-9)
+}
+
+// PagePolicy selects row-buffer management.
+type PagePolicy int
+
+// Page policies.
+const (
+	// OpenPage leaves the last row latched: hits cost a page access,
+	// misses cost precharge + activate + page.
+	OpenPage PagePolicy = iota
+	// ClosedPage precharges after every access: every access costs
+	// activate + page (no hit/miss distinction).
+	ClosedPage
+)
+
+func (p PagePolicy) String() string {
+	switch p {
+	case OpenPage:
+		return "open-page"
+	case ClosedPage:
+		return "closed-page"
+	default:
+		return fmt.Sprintf("PagePolicy(%d)", int(p))
+	}
+}
+
+// Bank is the functional row-buffer state machine for one macro with an
+// access-time calculator. It is not tied to the DES kernel: callers feed it
+// addresses and add the returned latencies into whatever clock they keep.
+type Bank struct {
+	cfg     MacroConfig
+	policy  PagePolicy
+	openRow int // -1 when no row latched
+
+	accesses int64
+	rowHits  int64
+	busyNS   float64
+}
+
+// NewBank creates a bank with no row latched.
+func NewBank(cfg MacroConfig, policy PagePolicy) (*Bank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Bank{cfg: cfg, policy: policy, openRow: -1}, nil
+}
+
+// Config returns the bank's macro configuration.
+func (b *Bank) Config() MacroConfig { return b.cfg }
+
+// Access performs one word access to the given row and returns its latency
+// in nanoseconds. Row indices out of range panic (caller bug).
+func (b *Bank) Access(row int) float64 {
+	if row < 0 || row >= b.cfg.Rows {
+		panic(fmt.Sprintf("dram: access to row %d of %d", row, b.cfg.Rows))
+	}
+	b.accesses++
+	var ns float64
+	switch b.policy {
+	case OpenPage:
+		if b.openRow == row {
+			b.rowHits++
+			ns = b.cfg.PageAccessNS
+		} else {
+			ns = b.cfg.PageAccessNS + b.cfg.RowAccessNS
+			if b.openRow >= 0 {
+				ns += b.cfg.PrechargeNS
+			}
+			b.openRow = row
+		}
+	case ClosedPage:
+		ns = b.cfg.RowAccessNS + b.cfg.PageAccessNS
+	default:
+		panic(fmt.Sprintf("dram: unknown policy %v", b.policy))
+	}
+	b.busyNS += ns
+	return ns
+}
+
+// AccessRun performs n sequential word accesses within one row (streaming)
+// and returns the total latency in nanoseconds.
+func (b *Bank) AccessRun(row, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("dram: AccessRun with n = %d", n))
+	}
+	total := b.Access(row)
+	for i := 1; i < n; i++ {
+		total += b.Access(row)
+	}
+	return total
+}
+
+// Stats returns (accesses, row-buffer hits, total busy nanoseconds).
+func (b *Bank) Stats() (accesses, hits int64, busyNS float64) {
+	return b.accesses, b.rowHits, b.busyNS
+}
+
+// HitRate returns the fraction of accesses that hit the open row.
+func (b *Bank) HitRate() float64 {
+	if b.accesses == 0 {
+		return 0
+	}
+	return float64(b.rowHits) / float64(b.accesses)
+}
+
+// OpenRow returns the currently latched row, or -1.
+func (b *Bank) OpenRow() int { return b.openRow }
+
+// ChipConfig describes a PIM memory chip: many banks, each pairable with a
+// lightweight processor node.
+type ChipConfig struct {
+	Macro MacroConfig
+	// Banks is the number of independent macro+logic nodes on the chip.
+	Banks int
+}
+
+// PaperChip returns a chip sized so its aggregate streaming bandwidth
+// crosses the paper's ">1 Tbit/s per chip" claim (32 nodes of the paper
+// macro: 32 × ~52 Gbit/s ≈ 1.7 Tbit/s; even 20 suffice).
+func PaperChip() ChipConfig {
+	return ChipConfig{Macro: PaperMacro(), Banks: 32}
+}
+
+// Validate checks the chip configuration.
+func (c ChipConfig) Validate() error {
+	if err := c.Macro.Validate(); err != nil {
+		return err
+	}
+	if c.Banks <= 0 {
+		return fmt.Errorf("dram: Banks = %d", c.Banks)
+	}
+	return nil
+}
+
+// PeakBandwidthBitsPerSec returns the chip aggregate streaming bandwidth:
+// banks operate independently and concurrently, so bandwidth scales
+// linearly in the bank count (the paper's core §2.1 argument).
+func (c ChipConfig) PeakBandwidthBitsPerSec() float64 {
+	return float64(c.Banks) * c.Macro.StreamBandwidthBitsPerSec()
+}
+
+// CapacityBits returns the chip capacity.
+func (c ChipConfig) CapacityBits() int64 {
+	return int64(c.Banks) * c.Macro.CapacityBits()
+}
+
+// Chip is a set of independent banks with an address interleaving scheme.
+type Chip struct {
+	cfg   ChipConfig
+	banks []*Bank
+}
+
+// NewChip creates a chip with all banks closed.
+func NewChip(cfg ChipConfig, policy PagePolicy) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Chip{cfg: cfg, banks: make([]*Bank, cfg.Banks)}
+	for i := range ch.banks {
+		b, err := NewBank(cfg.Macro, policy)
+		if err != nil {
+			return nil, err
+		}
+		ch.banks[i] = b
+	}
+	return ch, nil
+}
+
+// Bank returns bank i.
+func (c *Chip) Bank(i int) *Bank { return c.banks[i] }
+
+// NumBanks returns the number of banks.
+func (c *Chip) NumBanks() int { return len(c.banks) }
+
+// Decode maps a word address to (bank, row, column) with low-order word
+// interleaving across banks: consecutive words hit consecutive banks, the
+// classic layout for exposing bank parallelism.
+func (c *Chip) Decode(wordAddr int64) (bank, row, col int) {
+	if wordAddr < 0 {
+		panic(fmt.Sprintf("dram: negative address %d", wordAddr))
+	}
+	nb := int64(len(c.banks))
+	wpr := int64(c.cfg.Macro.WordsPerRow())
+	bank = int(wordAddr % nb)
+	inBank := wordAddr / nb
+	row = int((inBank / wpr) % int64(c.cfg.Macro.Rows))
+	col = int(inBank % wpr)
+	return bank, row, col
+}
+
+// Access performs one word access by flat word address and returns
+// (bank index, latency ns).
+func (c *Chip) Access(wordAddr int64) (int, float64) {
+	bank, row, _ := c.Decode(wordAddr)
+	return bank, c.banks[bank].Access(row)
+}
+
+// AggregateHitRate returns the chip-wide row-buffer hit rate.
+func (c *Chip) AggregateHitRate() float64 {
+	var acc, hits int64
+	for _, b := range c.banks {
+		a, h, _ := b.Stats()
+		acc += a
+		hits += h
+	}
+	if acc == 0 {
+		return 0
+	}
+	return float64(hits) / float64(acc)
+}
+
+// SystemConfig describes a full PIM memory system: multiple chips, each
+// with many banks. The paper (§2.1): "A typical memory system comprises
+// multiple DRAM components and the peak memory bandwidth made available
+// through PIM is proportional to this number of chips."
+type SystemConfig struct {
+	Chip ChipConfig
+	// Chips is the number of PIM memory components in the system.
+	Chips int
+}
+
+// PaperSystem returns an 8-chip system of paper chips (a plausible DIMM-
+// scale configuration).
+func PaperSystem() SystemConfig {
+	return SystemConfig{Chip: PaperChip(), Chips: 8}
+}
+
+// Validate checks the system configuration.
+func (s SystemConfig) Validate() error {
+	if err := s.Chip.Validate(); err != nil {
+		return err
+	}
+	if s.Chips <= 0 {
+		return fmt.Errorf("dram: Chips = %d", s.Chips)
+	}
+	return nil
+}
+
+// Nodes returns the total PIM node count.
+func (s SystemConfig) Nodes() int { return s.Chips * s.Chip.Banks }
+
+// PeakBandwidthBitsPerSec returns the system aggregate: linear in chips.
+func (s SystemConfig) PeakBandwidthBitsPerSec() float64 {
+	return float64(s.Chips) * s.Chip.PeakBandwidthBitsPerSec()
+}
+
+// CapacityBits returns total system capacity.
+func (s SystemConfig) CapacityBits() int64 {
+	return int64(s.Chips) * s.Chip.CapacityBits()
+}
+
+// EffectiveBandwidth returns the realized bandwidth in bits/s of an access
+// trace that took wallNS nanoseconds of (serialized per-bank) busy time on
+// a single bank, given words transferred. Helper for tests and examples.
+func EffectiveBandwidth(words int, wordBits int, wallNS float64) float64 {
+	if wallNS <= 0 {
+		return math.Inf(1)
+	}
+	return float64(words) * float64(wordBits) / (wallNS * 1e-9)
+}

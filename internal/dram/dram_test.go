@@ -1,0 +1,306 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPaperMacroBandwidthClaim(t *testing.T) {
+	// §2.1: "a single on-chip DRAM macro could sustain a bandwidth of over
+	// 50 Gbit/s" with 2048-bit rows, 20 ns row access, 2 ns page access.
+	m := PaperMacro()
+	bw := m.StreamBandwidthBitsPerSec()
+	if bw <= 50e9 {
+		t.Errorf("paper macro streaming bandwidth = %.3g bit/s, paper claims > 50 Gbit/s", bw)
+	}
+	// Sanity: 2048 bits / (20 + 8*2) ns ≈ 56.9 Gbit/s.
+	want := 2048.0 / (36e-9)
+	if math.Abs(bw-want)/want > 1e-12 {
+		t.Errorf("bandwidth = %g, want %g", bw, want)
+	}
+}
+
+func TestPaperChipBandwidthClaim(t *testing.T) {
+	// §2.1: "an on-chip peak memory bandwidth of greater than 1 Tbit/s is
+	// possible per chip".
+	c := PaperChip()
+	if bw := c.PeakBandwidthBitsPerSec(); bw <= 1e12 {
+		t.Errorf("paper chip bandwidth = %.3g bit/s, paper claims > 1 Tbit/s", bw)
+	}
+}
+
+func TestPeakPageBandwidth(t *testing.T) {
+	m := PaperMacro()
+	// 256 bits per 2 ns = 128 Gbit/s burst.
+	if bw := m.PeakPageBandwidthBitsPerSec(); math.Abs(bw-128e9) > 1 {
+		t.Errorf("peak page bandwidth = %g", bw)
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	// Burst >= streaming >= random for any valid configuration.
+	err := quick.Check(func(rowW, wordW, ra, pa uint8) bool {
+		word := 8 * (1 + int(wordW%32))
+		row := word * (1 + int(rowW%64))
+		cfg := MacroConfig{
+			RowBits:      row,
+			WordBits:     word,
+			Rows:         128,
+			RowAccessNS:  1 + float64(ra%100),
+			PageAccessNS: 1 + float64(pa%20),
+		}
+		if cfg.Validate() != nil {
+			return true
+		}
+		burst := cfg.PeakPageBandwidthBitsPerSec()
+		stream := cfg.StreamBandwidthBitsPerSec()
+		random := cfg.RandomWordBandwidthBitsPerSec()
+		return burst >= stream && stream >= random
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []MacroConfig{
+		{RowBits: 0, WordBits: 256, Rows: 1, RowAccessNS: 1, PageAccessNS: 1},
+		{RowBits: 2048, WordBits: 0, Rows: 1, RowAccessNS: 1, PageAccessNS: 1},
+		{RowBits: 2048, WordBits: 4096, Rows: 1, RowAccessNS: 1, PageAccessNS: 1},
+		{RowBits: 2048, WordBits: 300, Rows: 1, RowAccessNS: 1, PageAccessNS: 1}, // not divisible
+		{RowBits: 2048, WordBits: 256, Rows: 0, RowAccessNS: 1, PageAccessNS: 1},
+		{RowBits: 2048, WordBits: 256, Rows: 1, RowAccessNS: 0, PageAccessNS: 1},
+		{RowBits: 2048, WordBits: 256, Rows: 1, RowAccessNS: 1, PageAccessNS: 1, PrechargeNS: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if PaperMacro().Validate() != nil {
+		t.Error("paper macro rejected")
+	}
+}
+
+func TestOpenPageHitMissLatency(t *testing.T) {
+	b, err := NewBank(PaperMacro(), OpenPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First access: miss (activate + page) = 22 ns, no precharge (no open row).
+	if ns := b.Access(5); math.Abs(ns-22) > 1e-12 {
+		t.Errorf("cold miss latency = %g, want 22", ns)
+	}
+	// Same row: hit = 2 ns.
+	if ns := b.Access(5); math.Abs(ns-2) > 1e-12 {
+		t.Errorf("row hit latency = %g, want 2", ns)
+	}
+	// Different row: conflict = 22 ns (precharge 0 in paper model).
+	if ns := b.Access(6); math.Abs(ns-22) > 1e-12 {
+		t.Errorf("row conflict latency = %g, want 22", ns)
+	}
+	if b.OpenRow() != 6 {
+		t.Errorf("open row = %d, want 6", b.OpenRow())
+	}
+	if hr := b.HitRate(); math.Abs(hr-1.0/3.0) > 1e-12 {
+		t.Errorf("hit rate = %g, want 1/3", hr)
+	}
+}
+
+func TestClosedPageConstantLatency(t *testing.T) {
+	b, err := NewBank(PaperMacro(), ClosedPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if ns := b.Access(i % 3); math.Abs(ns-22) > 1e-12 {
+			t.Fatalf("closed page latency = %g, want 22", ns)
+		}
+	}
+	if b.HitRate() != 0 {
+		t.Errorf("closed page hit rate = %g", b.HitRate())
+	}
+}
+
+func TestPrechargeAddsToConflicts(t *testing.T) {
+	cfg := PaperMacro()
+	cfg.PrechargeNS = 15
+	b, err := NewBank(cfg, OpenPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Access(0) // cold: 22 (no precharge needed)
+	if ns := b.Access(1); math.Abs(ns-37) > 1e-12 {
+		t.Errorf("conflict with precharge = %g, want 37", ns)
+	}
+}
+
+func TestAccessRunStreamsRow(t *testing.T) {
+	b, err := NewBank(PaperMacro(), OpenPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 words: 22 + 7*2 = 36 ns — exactly one full row stream.
+	total := b.AccessRun(3, 8)
+	if math.Abs(total-36) > 1e-12 {
+		t.Errorf("row stream = %g ns, want 36", total)
+	}
+	// Bandwidth of the streamed row should equal the macro stream number.
+	bw := EffectiveBandwidth(8, 256, total)
+	if math.Abs(bw-PaperMacro().StreamBandwidthBitsPerSec())/bw > 1e-12 {
+		t.Errorf("streamed bandwidth %g != macro stream bandwidth", bw)
+	}
+}
+
+func TestAccessOutOfRangePanics(t *testing.T) {
+	b, _ := NewBank(PaperMacro(), OpenPage)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Access(PaperMacro().Rows)
+}
+
+func TestChipDecodeInterleaving(t *testing.T) {
+	c, err := NewChip(ChipConfig{Macro: PaperMacro(), Banks: 4}, OpenPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive addresses hit consecutive banks.
+	for addr := int64(0); addr < 8; addr++ {
+		bank, _, _ := c.Decode(addr)
+		if bank != int(addr%4) {
+			t.Errorf("addr %d -> bank %d, want %d", addr, bank, addr%4)
+		}
+	}
+	// Same bank, consecutive in-bank words share a row until WordsPerRow.
+	wpr := PaperMacro().WordsPerRow()
+	_, row0, col0 := c.Decode(0)
+	_, rowN, colN := c.Decode(int64(4 * (wpr - 1)))
+	if row0 != rowN {
+		t.Errorf("within-row addresses landed in rows %d and %d", row0, rowN)
+	}
+	if col0 != 0 || colN != wpr-1 {
+		t.Errorf("columns = %d, %d", col0, colN)
+	}
+	_, rowNext, _ := c.Decode(int64(4 * wpr))
+	if rowNext != row0+1 {
+		t.Errorf("next row = %d, want %d", rowNext, row0+1)
+	}
+}
+
+func TestChipDecodeRoundTripUnique(t *testing.T) {
+	c, _ := NewChip(ChipConfig{Macro: MacroConfig{
+		RowBits: 512, WordBits: 256, Rows: 8, RowAccessNS: 20, PageAccessNS: 2,
+	}, Banks: 2}, OpenPage)
+	type loc struct{ b, r, cl int }
+	seen := make(map[loc]int64)
+	capacityWords := int64(2 * 8 * 2) // banks * rows * wordsPerRow
+	for addr := int64(0); addr < capacityWords; addr++ {
+		b, r, cl := c.Decode(addr)
+		l := loc{b, r, cl}
+		if prev, dup := seen[l]; dup {
+			t.Fatalf("addresses %d and %d decode to same location %+v", prev, addr, l)
+		}
+		seen[l] = addr
+	}
+}
+
+func TestChipStreamingUsesAllBanks(t *testing.T) {
+	c, err := NewChip(ChipConfig{Macro: PaperMacro(), Banks: 8}, OpenPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := int64(0); addr < 64; addr++ {
+		c.Access(addr)
+	}
+	for i := 0; i < c.NumBanks(); i++ {
+		acc, _, _ := c.Bank(i).Stats()
+		if acc != 8 {
+			t.Errorf("bank %d accesses = %d, want 8", i, acc)
+		}
+	}
+}
+
+func TestSequentialHitRateBeatsRandom(t *testing.T) {
+	seqChip, _ := NewChip(PaperChip(), OpenPage)
+	rndChip, _ := NewChip(PaperChip(), OpenPage)
+	st := rng.New(77)
+	const n = 100000
+	capacityWords := PaperChip().CapacityBits() / 256
+	for i := int64(0); i < n; i++ {
+		seqChip.Access(i % capacityWords)
+		rndChip.Access(int64(st.Uint64n(uint64(capacityWords))))
+	}
+	seqHR := seqChip.AggregateHitRate()
+	rndHR := rndChip.AggregateHitRate()
+	if seqHR < 0.8 {
+		t.Errorf("sequential hit rate = %g, expected high spatial locality", seqHR)
+	}
+	if rndHR > 0.1 {
+		t.Errorf("random hit rate = %g, expected near zero", rndHR)
+	}
+	if seqHR <= rndHR {
+		t.Errorf("sequential (%g) not better than random (%g)", seqHR, rndHR)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	m := PaperMacro()
+	if got := m.CapacityBits(); got != int64(4096)*2048 {
+		t.Errorf("macro capacity = %d", got)
+	}
+	c := ChipConfig{Macro: m, Banks: 16}
+	if got := c.CapacityBits(); got != 16*int64(4096)*2048 {
+		t.Errorf("chip capacity = %d", got)
+	}
+}
+
+func TestSystemScalesWithChips(t *testing.T) {
+	s := PaperSystem()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 8*32 {
+		t.Errorf("nodes = %d", s.Nodes())
+	}
+	if got, want := s.PeakBandwidthBitsPerSec(), 8*PaperChip().PeakBandwidthBitsPerSec(); got != want {
+		t.Errorf("system bandwidth = %g, want %g", got, want)
+	}
+	if got, want := s.CapacityBits(), 8*PaperChip().CapacityBits(); got != want {
+		t.Errorf("system capacity = %d, want %d", got, want)
+	}
+	bad := s
+	bad.Chips = 0
+	if bad.Validate() == nil {
+		t.Error("zero chips accepted")
+	}
+}
+
+func TestNegativeAddressPanics(t *testing.T) {
+	c, _ := NewChip(PaperChip(), OpenPage)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Access(-1)
+}
+
+func BenchmarkBankAccess(b *testing.B) {
+	bank, _ := NewBank(PaperMacro(), OpenPage)
+	for i := 0; i < b.N; i++ {
+		bank.Access(i & 1023)
+	}
+}
+
+func BenchmarkChipAccess(b *testing.B) {
+	c, _ := NewChip(PaperChip(), OpenPage)
+	for i := 0; i < b.N; i++ {
+		c.Access(int64(i))
+	}
+}

@@ -1,0 +1,28 @@
+package dram_test
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// The §2.1 bandwidth arithmetic with the paper's own constants.
+func ExampleMacroConfig() {
+	m := dram.PaperMacro()
+	fmt.Printf("macro streams %.1f Gbit/s; chip of 32 nodes: %.2f Tbit/s\n",
+		m.StreamBandwidthBitsPerSec()/1e9,
+		dram.PaperChip().PeakBandwidthBitsPerSec()/1e12)
+	// Output: macro streams 56.9 Gbit/s; chip of 32 nodes: 1.82 Tbit/s
+}
+
+// Row-buffer behaviour: hits cost the page access, conflicts pay the full
+// activation.
+func ExampleBank_Access() {
+	b, err := dram.NewBank(dram.PaperMacro(), dram.OpenPage)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cold: %g ns, hit: %g ns, conflict: %g ns\n",
+		b.Access(3), b.Access(3), b.Access(4))
+	// Output: cold: 22 ns, hit: 2 ns, conflict: 22 ns
+}

@@ -1,0 +1,104 @@
+package hostpim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestDefaultCalibrationNearTable1(t *testing.T) {
+	c := DefaultDRAMCalibration()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// TML: 10 + 0.3*2 + 0.7*22 = 26 (Table 1 says 30 — same ballpark).
+	if got := c.TMLCycles(); math.Abs(got-26) > 1e-9 {
+		t.Errorf("TML = %g, want 26", got)
+	}
+	// TMH: 68 + 22 = 90 (Table 1 exactly).
+	if got := c.TMHCycles(); math.Abs(got-90) > 1e-9 {
+		t.Errorf("TMH = %g, want 90", got)
+	}
+	p, err := c.Apply(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NB with the calibrated TML shifts modestly from 3.125.
+	if p.NB() <= 0 || math.Abs(p.NB()-DefaultParams().NB()) > 1 {
+		t.Errorf("calibrated NB = %g, default %g", p.NB(), DefaultParams().NB())
+	}
+}
+
+func TestCalibrationMonotoneInRowHitRate(t *testing.T) {
+	// Better row-buffer locality at the PIM node can only lower TML and
+	// hence NB.
+	prevTML := math.Inf(1)
+	prevNB := math.Inf(1)
+	for _, h := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		c := DefaultDRAMCalibration()
+		c.LWPRowHitRate = h
+		p, err := c.Apply(DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.TML > prevTML {
+			t.Errorf("TML rose with hit rate %g", h)
+		}
+		if p.NB() > prevNB {
+			t.Errorf("NB rose with hit rate %g", h)
+		}
+		prevTML, prevNB = p.TML, p.NB()
+	}
+}
+
+func TestCalibrationRejectsInvalid(t *testing.T) {
+	c := DefaultDRAMCalibration()
+	c.LWPRowHitRate = 1.5
+	if _, err := c.Apply(DefaultParams()); err == nil {
+		t.Error("bad row hit rate accepted")
+	}
+	c = DefaultDRAMCalibration()
+	c.HWPOverheadNS = -1
+	if _, err := c.Apply(DefaultParams()); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	c = DefaultDRAMCalibration()
+	c.Macro = dram.MacroConfig{}
+	if _, err := c.Apply(DefaultParams()); err == nil {
+		t.Error("invalid macro accepted")
+	}
+}
+
+func TestCalibrationPropagatesToGain(t *testing.T) {
+	// End to end: slower PIM memory (no row locality + big overhead)
+	// must reduce the predicted gain.
+	fast := DefaultDRAMCalibration()
+	fast.LWPRowHitRate = 0.9
+	slow := DefaultDRAMCalibration()
+	slow.LWPRowHitRate = 0
+	slow.LWPOverheadNS = 40
+
+	base := DefaultParams()
+	base.PctWL = 0.8
+	base.N = 32
+	pf, err := fast.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := slow.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Analytic(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Analytic(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Gain <= rs.Gain {
+		t.Errorf("fast-memory gain %g not above slow-memory gain %g", rf.Gain, rs.Gain)
+	}
+}

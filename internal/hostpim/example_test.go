@@ -1,0 +1,38 @@
+package hostpim_test
+
+import (
+	"fmt"
+
+	"repro/internal/hostpim"
+)
+
+// Evaluate the paper's closed-form model at Table 1 with 60% low-locality
+// work on 32 PIM nodes.
+func ExampleAnalytic() {
+	p := hostpim.DefaultParams()
+	p.PctWL = 0.6
+	p.N = 32
+	r, err := hostpim.Analytic(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gain %.2fx, relative time %.3f\n", r.Gain, r.Relative)
+	// Output: gain 10.13x, relative time 0.459
+}
+
+// NB is the paper's third orthogonal parameter: the break-even PIM node
+// count, independent of the workload split.
+func ExampleParams_NB() {
+	p := hostpim.DefaultParams()
+	fmt.Printf("NB = %.3f (PIM wins for any %%WL once N > NB)\n", p.NB())
+	// Output: NB = 3.125 (PIM wins for any %WL once N > NB)
+}
+
+// TimeRelative is the published equation 1 - %WL(1 - NB/N).
+func ExampleTimeRelative() {
+	p := hostpim.DefaultParams()
+	p.PctWL = 1.0
+	p.N = 64
+	fmt.Printf("%.4f\n", hostpim.TimeRelative(p))
+	// Output: 0.0488
+}

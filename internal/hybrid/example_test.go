@@ -1,0 +1,25 @@
+package hybrid_test
+
+import (
+	"fmt"
+
+	"repro/internal/hybrid"
+)
+
+// Composing the paper's two studies: inter-PIM latency erodes the study-1
+// gain at P=1; parcels per node buy it back.
+func ExampleAnalytic() {
+	p := hybrid.DefaultParams() // %WL=0.5, N=32, remote 30%
+	p.Latency = 2000
+	for _, threads := range []int{1, 64} {
+		p.ThreadsPerNode = threads
+		r, err := hybrid.Analytic(p)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("P=%-2d efficiency %.2f gain %.2fx\n", threads, r.Efficiency, r.Gain)
+	}
+	// Output:
+	// P=1  efficiency 0.06 gain 3.22x
+	// P=64 efficiency 0.97 gain 7.34x
+}

@@ -1,0 +1,207 @@
+// Package hybrid combines the paper's two studies into the system its
+// introduction actually motivates: "hybrid systems comprising a
+// combination of conventional microprocessors and advanced PIM based
+// intelligent main memory."
+//
+// Study 1 assumes the LWP phase scales perfectly as N uniform threads —
+// no inter-PIM communication. Study 2 shows what inter-node latency does
+// to PIM nodes and how parcels recover it. This package closes the loop:
+// during the LWP phase each PIM node's work includes a remote-access
+// fraction over the PIM interconnect, so the phase runs at the node
+// efficiency predicted by the Saavedra-Barrera multithreading model (or
+// measured from a parcelsys simulation), and the study-1 gain becomes a
+// function of (N, %WL, remote fraction, latency, parcels per node).
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/hostpim"
+	"repro/internal/parcel"
+	"repro/internal/parcelsys"
+)
+
+// Params couples a study-1 host/PIM split with a study-2 PIM interconnect.
+type Params struct {
+	// Host is the study-1 parameter set (Table 1 + %WL + N).
+	Host hostpim.Params
+	// RemoteFrac is the fraction of LWP memory accesses that reference
+	// another PIM node during the low-locality phase.
+	RemoteFrac float64
+	// Latency is the flat one-way inter-PIM latency in HWP cycles.
+	Latency float64
+	// ThreadsPerNode is the number of parcels resident per PIM node (the
+	// study-2 parallelism knob applied inside the LWP phase).
+	ThreadsPerNode int
+	// Overhead prices parcel creation/assimilation.
+	Overhead parcel.CostModel
+}
+
+// DefaultParams returns Table 1 with a 30% remote fraction, 200-cycle
+// interconnect, and 4 parcels per node.
+func DefaultParams() Params {
+	h := hostpim.DefaultParams()
+	h.PctWL = 0.5
+	h.N = 32
+	return Params{
+		Host:           h,
+		RemoteFrac:     0.3,
+		Latency:        200,
+		ThreadsPerNode: 4,
+		Overhead:       parcel.HardwareAssisted(),
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if err := p.Host.Validate(); err != nil {
+		return err
+	}
+	if p.RemoteFrac < 0 || p.RemoteFrac > 1 {
+		return fmt.Errorf("hybrid: RemoteFrac = %g", p.RemoteFrac)
+	}
+	if p.Latency < 0 {
+		return fmt.Errorf("hybrid: Latency = %g", p.Latency)
+	}
+	if p.ThreadsPerNode <= 0 {
+		return fmt.Errorf("hybrid: ThreadsPerNode = %d", p.ThreadsPerNode)
+	}
+	return p.Overhead.Validate()
+}
+
+// Result extends the study-1 result with the PIM-phase efficiency.
+type Result struct {
+	hostpim.Result
+	// Efficiency is the PIM-node busy fraction during the LWP phase
+	// (1.0 recovers study 1 exactly).
+	Efficiency float64
+	// SaturationThreads is the parcels-per-node count at which the phase
+	// saturates.
+	SaturationThreads float64
+}
+
+// nodeEfficiency returns the Saavedra-Barrera efficiency of one PIM node
+// under this workload, and the saturation point.
+func (p Params) nodeEfficiency() (float64, float64, error) {
+	if p.RemoteFrac == 0 || p.Host.N == 1 {
+		return 1, 1, nil
+	}
+	// Run length between remote events in LWP terms: the paper's
+	// instruction mix with TML-cycle local accesses, expressed in HWP
+	// cycles like everything else in the study-1 model.
+	eOps := (1 - p.Host.MixLS) / p.Host.MixLS // useful ops per access
+	opCycles := p.Host.TLCycle
+	accesses := 1 / p.RemoteFrac
+	busy := accesses*eOps*opCycles + (accesses-1)*p.Host.TML + p.Host.TML
+	mm := analytic.MultithreadModel{
+		R: busy,
+		L: p.Latency,
+		C: p.Overhead.CreateCycles + p.Overhead.AssimilateCycles,
+	}
+	if err := mm.Validate(); err != nil {
+		return 0, 0, err
+	}
+	// The saturated ceiling R/(R+C) stays below 1: parcel overhead is real
+	// work lost, so it remains in the efficiency rather than being
+	// normalized away.
+	return mm.Efficiency(float64(p.ThreadsPerNode)), mm.SaturationPoint(), nil
+}
+
+// Analytic evaluates the hybrid model in closed form: the LWP phase of
+// study 1 is stretched by the node efficiency.
+func Analytic(p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	base, err := hostpim.Analytic(p.Host)
+	if err != nil {
+		return Result{}, err
+	}
+	eff, sat, err := p.nodeEfficiency()
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Result: base, Efficiency: eff, SaturationThreads: sat}
+	if eff > 0 && eff < 1 {
+		r.TimeLWPPhase = base.TimeLWPPhase / eff
+	}
+	if p.Host.Overlap {
+		r.Total = r.TimeHWPPhase
+		if r.TimeLWPPhase > r.Total {
+			r.Total = r.TimeLWPPhase
+		}
+	} else {
+		r.Total = r.TimeHWPPhase + r.TimeLWPPhase
+	}
+	if r.Total > 0 {
+		r.Gain = r.ControlTime / r.Total
+	}
+	r.Relative = r.Total / (p.Host.W * p.Host.HWPOpCycles(p.Host.Pmiss))
+	return r, nil
+}
+
+// CalibratedEfficiency measures the PIM-node busy fraction from an actual
+// parcelsys simulation of the LWP phase's communication pattern, instead
+// of the closed-form Saavedra-Barrera curve. Horizon is in cycles; the
+// measurement uses the study-2 test system with this workload's mix.
+func CalibratedEfficiency(p Params, horizon float64, seed uint64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if p.RemoteFrac == 0 || p.Host.N == 1 {
+		return 1, nil
+	}
+	q := parcelsys.Params{
+		Nodes:       p.Host.N,
+		Parallelism: p.ThreadsPerNode,
+		RemoteFrac:  p.RemoteFrac,
+		Latency:     p.Latency,
+		MixMem:      p.Host.MixLS,
+		MemCycles:   p.Host.TML,
+		Overhead:    p.Overhead,
+		Horizon:     horizon,
+		Seed:        seed,
+	}
+	r, err := parcelsys.Run(q)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - r.Test.IdleFrac, nil
+}
+
+// AnalyticCalibrated is Analytic with the efficiency replaced by the
+// simulated measurement.
+func AnalyticCalibrated(p Params, horizon float64, seed uint64) (Result, error) {
+	eff, err := CalibratedEfficiency(p, horizon, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	base, err := hostpim.Analytic(p.Host)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Result: base, Efficiency: eff}
+	if eff > 0 && eff < 1 {
+		r.TimeLWPPhase = base.TimeLWPPhase / eff
+	}
+	r.Total = r.TimeHWPPhase + r.TimeLWPPhase
+	if r.Total > 0 {
+		r.Gain = r.ControlTime / r.Total
+	}
+	r.Relative = r.Total / (p.Host.W * p.Host.HWPOpCycles(p.Host.Pmiss))
+	return r, nil
+}
+
+// EffectiveNB returns the hybrid break-even node count: study 1's NB
+// divided by the phase efficiency (a slower effective LWP raises the bar).
+func EffectiveNB(p Params) (float64, error) {
+	eff, _, err := p.nodeEfficiency()
+	if err != nil {
+		return 0, err
+	}
+	if eff <= 0 {
+		return 0, fmt.Errorf("hybrid: zero efficiency")
+	}
+	return p.Host.NB() / eff, nil
+}

@@ -1,0 +1,186 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hostpim"
+	"repro/internal/stats"
+)
+
+func TestZeroRemoteRecoversStudy1(t *testing.T) {
+	p := DefaultParams()
+	p.RemoteFrac = 0
+	r, err := Analytic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := hostpim.Analytic(p.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Efficiency != 1 {
+		t.Errorf("efficiency = %g with no remote traffic", r.Efficiency)
+	}
+	if math.Abs(r.Total-base.Total) > 1e-9 || math.Abs(r.Gain-base.Gain) > 1e-9 {
+		t.Errorf("hybrid (%g, %g) != study 1 (%g, %g)", r.Total, r.Gain, base.Total, base.Gain)
+	}
+}
+
+func TestSingleNodeRecoversStudy1(t *testing.T) {
+	p := DefaultParams()
+	p.Host.N = 1
+	r, err := Analytic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Efficiency != 1 {
+		t.Errorf("efficiency = %g with one node", r.Efficiency)
+	}
+}
+
+func TestLatencyErodesGain(t *testing.T) {
+	prev := math.Inf(1)
+	for _, l := range []float64{0, 100, 1000, 10000} {
+		p := DefaultParams()
+		p.ThreadsPerNode = 1
+		p.Latency = l
+		r, err := Analytic(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Gain > prev+1e-9 {
+			t.Errorf("gain rose with latency at L=%g: %g > %g", l, r.Gain, prev)
+		}
+		prev = r.Gain
+	}
+	// At P=1 and large latency, the hybrid gain collapses well below the
+	// ideal study-1 value.
+	p := DefaultParams()
+	p.ThreadsPerNode = 1
+	p.Latency = 10000
+	r, _ := Analytic(p)
+	ideal, _ := hostpim.Analytic(p.Host)
+	if r.Gain > ideal.Gain/3 {
+		t.Errorf("latency did not bite: hybrid %g vs ideal %g", r.Gain, ideal.Gain)
+	}
+}
+
+func TestParcelsRestoreGain(t *testing.T) {
+	// With enough parcels per node the hybrid gain approaches the ideal
+	// (minus the overhead share).
+	p := DefaultParams()
+	p.Latency = 1000
+	p.ThreadsPerNode = 1
+	low, err := Analytic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ThreadsPerNode = 64
+	high, err := Analytic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, _ := hostpim.Analytic(p.Host)
+	if high.Gain <= low.Gain {
+		t.Errorf("parallelism did not help: %g vs %g", high.Gain, low.Gain)
+	}
+	if high.Gain < 0.9*ideal.Gain {
+		t.Errorf("saturated hybrid gain %g far below ideal %g", high.Gain, ideal.Gain)
+	}
+	if high.Efficiency <= low.Efficiency {
+		t.Errorf("efficiency not monotone: %g vs %g", high.Efficiency, low.Efficiency)
+	}
+}
+
+func TestEffectiveNBRises(t *testing.T) {
+	p := DefaultParams()
+	p.ThreadsPerNode = 1
+	p.Latency = 2000
+	nb, err := EffectiveNB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb <= p.Host.NB() {
+		t.Errorf("effective NB %g not above base %g under communication", nb, p.Host.NB())
+	}
+	p.RemoteFrac = 0
+	nb0, err := EffectiveNB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nb0-p.Host.NB()) > 1e-12 {
+		t.Errorf("effective NB %g != base %g with no communication", nb0, p.Host.NB())
+	}
+}
+
+func TestCalibratedEfficiencyTracksAnalytic(t *testing.T) {
+	p := DefaultParams()
+	p.Host.N = 8
+	p.Latency = 400
+	for _, threads := range []int{1, 8, 64} {
+		p.ThreadsPerNode = threads
+		an, _, err := p.nodeEfficiency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := CalibratedEfficiency(p, 30000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(an-sim) > 0.15 {
+			t.Errorf("P=%d: analytic efficiency %g vs simulated %g", threads, an, sim)
+		}
+	}
+}
+
+func TestAnalyticCalibratedGain(t *testing.T) {
+	p := DefaultParams()
+	p.Host.N = 8
+	p.Latency = 400
+	p.ThreadsPerNode = 8
+	an, err := Analytic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := AnalyticCalibrated(p, 30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(an.Gain, cal.Gain) > 0.2 {
+		t.Errorf("analytic gain %g vs calibrated %g", an.Gain, cal.Gain)
+	}
+}
+
+func TestOverlapComposesWithHybrid(t *testing.T) {
+	p := DefaultParams()
+	p.Host.Overlap = true
+	p.ThreadsPerNode = 1
+	p.Latency = 2000
+	r, err := Analytic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Max(r.TimeHWPPhase, r.TimeLWPPhase)
+	if math.Abs(r.Total-want) > 1e-6 {
+		t.Errorf("overlap total %g != max(phases) %g", r.Total, want)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.RemoteFrac = -1 },
+		func(p *Params) { p.RemoteFrac = 2 },
+		func(p *Params) { p.Latency = -5 },
+		func(p *Params) { p.ThreadsPerNode = 0 },
+		func(p *Params) { p.Host.N = 0 },
+		func(p *Params) { p.Overhead.CreateCycles = -1 },
+	}
+	for i, mod := range cases {
+		p := DefaultParams()
+		mod(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}

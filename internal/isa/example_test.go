@@ -1,0 +1,68 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Assemble and run a small program on a single PIM node.
+func ExampleAssemble() {
+	prog, err := isa.Assemble(`
+main:
+    addi r1, r0, 6
+    addi r2, r0, 7
+    mul  r3, r1, r2
+    print r3
+    halt
+`)
+	if err != nil {
+		panic(err)
+	}
+	m, err := isa.NewMachine(1, 1024, isa.DefaultTiming())
+	if err != nil {
+		panic(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		panic(err)
+	}
+	m.Output = func(node int, v uint64) { fmt.Println("result:", v) }
+	entry, _ := prog.Entry("main")
+	m.Nodes[0].StartThread(entry, 0, 0)
+	m.MaxCycles = 1000
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	// Output: result: 42
+}
+
+// The reference tree-sum program fans out parcel-spawned workers and
+// reduces with wide-word vsum instructions.
+func ExampleTreeSumProgram() {
+	const nodes = 4
+	layout := isa.DefaultTreeSumLayout()
+	prog, err := isa.TreeSumProgram(nodes, layout)
+	if err != nil {
+		panic(err)
+	}
+	m, err := isa.NewMachine(nodes, 16384, isa.DefaultTiming())
+	if err != nil {
+		panic(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		panic(err)
+	}
+	for _, n := range m.Nodes {
+		for k := 0; k < layout.DataWords; k++ {
+			n.Mem[layout.DataBase+uint64(k)] = 1 // all ones: total = nodes*words
+		}
+	}
+	m.Output = func(node int, v uint64) { fmt.Println("tree sum:", v) }
+	entry, _ := prog.Entry("main")
+	m.Nodes[0].StartThread(entry, 0, 0)
+	m.MaxCycles = 1_000_000
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	// Output: tree sum: 1024
+}

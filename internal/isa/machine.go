@@ -1,0 +1,436 @@
+package isa
+
+import (
+	"fmt"
+)
+
+// Timing parameterizes the cycle costs of the interpreter, in LWP cycles.
+// Defaults follow Table 1's LWP figures (memory = TML/TLcycle = 6 LWP
+// cycles) and the hardware-assisted parcel costs.
+type Timing struct {
+	// MemCycles is the cost of LD/ST/AMO (one word through the row
+	// buffer).
+	MemCycles int64
+	// WideMemCycles is the cost of a wide (W-word) memory operation; with
+	// a 2048-bit row one activation covers all W words, so the default
+	// equals MemCycles.
+	WideMemCycles int64
+	// SpawnCycles is the local cost of creating and launching a parcel.
+	SpawnCycles int64
+	// NetLatency is the parcel flight time between distinct nodes.
+	NetLatency int64
+}
+
+// DefaultTiming returns the Table-1-derived costs.
+func DefaultTiming() Timing {
+	return Timing{MemCycles: 6, WideMemCycles: 6, SpawnCycles: 2, NetLatency: 200}
+}
+
+// Validate checks the timing.
+func (t Timing) Validate() error {
+	if t.MemCycles <= 0 || t.WideMemCycles <= 0 || t.SpawnCycles < 0 || t.NetLatency < 0 {
+		return fmt.Errorf("isa: invalid timing %+v", t)
+	}
+	return nil
+}
+
+// Thread is one hardware thread context.
+type Thread struct {
+	PC   uint64
+	Regs [NumRegs]uint64
+	// stall > 0 means the thread is paying a multi-cycle cost.
+	stall int64
+	done  bool
+}
+
+// flight is a parcel in transit.
+type flight struct {
+	arrive int64 // cycle of delivery
+	node   int
+	entry  uint64
+	arg    uint64
+	src    uint64
+}
+
+// NodeState is one PIM node of the machine.
+type NodeState struct {
+	ID  int
+	Mem []uint64
+	// threads holds live thread contexts; issue is round-robin.
+	threads []*Thread
+	next    int
+
+	// Counters.
+	Instructions int64
+	MemOps       int64
+	WideOps      int64
+	Spawns       int64
+	BusyCycles   int64
+	IdleCycles   int64
+	Completed    int64
+}
+
+// Load copies a program image into node memory.
+func (n *NodeState) Load(p *Program) error {
+	if p.Origin+uint64(len(p.Words)) > uint64(len(n.Mem)) {
+		return fmt.Errorf("isa: program [%d, %d) exceeds node memory %d",
+			p.Origin, p.Origin+uint64(len(p.Words)), len(n.Mem))
+	}
+	copy(n.Mem[p.Origin:], p.Words)
+	return nil
+}
+
+// StartThread creates a thread at entry with r1 = arg, r2 = src.
+func (n *NodeState) StartThread(entry, arg, src uint64) *Thread {
+	t := &Thread{PC: entry}
+	t.Regs[1] = arg
+	t.Regs[2] = src
+	n.threads = append(n.threads, t)
+	return t
+}
+
+// LiveThreads returns the number of unfinished threads.
+func (n *NodeState) LiveThreads() int {
+	c := 0
+	for _, t := range n.threads {
+		if !t.done {
+			c++
+		}
+	}
+	return c
+}
+
+// Machine is a deterministic cycle-driven multi-node PIM interpreter: one
+// instruction issue per node per cycle from the round-robin ready thread
+// (fine-grain multithreading), memory/wide/parcel costs modeled as thread
+// stalls, parcels delivered after a flat network latency.
+type Machine struct {
+	Nodes  []*NodeState
+	Timing Timing
+	// Output receives values from the print instruction (nil = dropped).
+	Output func(node int, value uint64)
+	// Trace, when non-nil, observes every issued instruction before it
+	// executes — the debugger/profiler hook.
+	Trace func(cycle int64, node int, pc uint64, in Instr)
+	// MaxCycles bounds Run (0 = no bound).
+	MaxCycles int64
+
+	cycle    int64
+	inFlight []flight
+}
+
+// NewMachine creates n nodes with memWords words of memory each.
+func NewMachine(n int, memWords int, timing Timing) (*Machine, error) {
+	if n <= 0 || memWords <= 0 {
+		return nil, fmt.Errorf("isa: NewMachine(%d, %d)", n, memWords)
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Timing: timing}
+	for i := 0; i < n; i++ {
+		m.Nodes = append(m.Nodes, &NodeState{ID: i, Mem: make([]uint64, memWords)})
+	}
+	return m, nil
+}
+
+// Cycle returns the current cycle count.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// LoadAll loads the same program into every node (SPMD style).
+func (m *Machine) LoadAll(p *Program) error {
+	for _, n := range m.Nodes {
+		if err := n.Load(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes until no threads are live and no parcels are in flight, or
+// until MaxCycles. It returns the cycle count and an error for execution
+// faults (bad opcode, out-of-range memory) or cycle exhaustion.
+func (m *Machine) Run() (int64, error) {
+	for {
+		live := false
+		for _, n := range m.Nodes {
+			if n.LiveThreads() > 0 {
+				live = true
+				break
+			}
+		}
+		if !live && len(m.inFlight) == 0 {
+			return m.cycle, nil
+		}
+		if m.MaxCycles > 0 && m.cycle >= m.MaxCycles {
+			return m.cycle, fmt.Errorf("isa: exceeded %d cycles (livelock or unfinished work)", m.MaxCycles)
+		}
+		if err := m.Step(); err != nil {
+			return m.cycle, err
+		}
+	}
+}
+
+// Step advances the machine one cycle.
+func (m *Machine) Step() error {
+	m.cycle++
+	// Deliver parcels due this cycle (in send order: deterministic).
+	kept := m.inFlight[:0]
+	for _, f := range m.inFlight {
+		if f.arrive <= m.cycle {
+			m.Nodes[f.node].StartThread(f.entry, f.arg, f.src)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	m.inFlight = kept
+	for _, n := range m.Nodes {
+		if err := m.stepNode(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact drops finished thread contexts once they dominate the list, so
+// long-running nodes don't scan dead threads forever.
+func (n *NodeState) compact() {
+	if len(n.threads) < 64 {
+		return
+	}
+	live := 0
+	for _, t := range n.threads {
+		if !t.done {
+			live++
+		}
+	}
+	if live*2 > len(n.threads) {
+		return
+	}
+	kept := n.threads[:0]
+	for _, t := range n.threads {
+		if !t.done {
+			kept = append(kept, t)
+		}
+	}
+	n.threads = kept
+	n.next = 0
+}
+
+// stepNode issues at most one instruction on node n.
+func (m *Machine) stepNode(n *NodeState) error {
+	n.compact()
+	// Find the next ready thread round-robin; stalled threads tick down.
+	nThreads := len(n.threads)
+	if nThreads == 0 {
+		n.IdleCycles++
+		return nil
+	}
+	var chosen *Thread
+	for i := 0; i < nThreads; i++ {
+		t := n.threads[(n.next+i)%nThreads]
+		if t.done {
+			continue
+		}
+		if t.stall > 0 {
+			t.stall--
+			continue
+		}
+		if chosen == nil {
+			chosen = t
+			n.next = (n.next + i + 1) % nThreads
+		}
+	}
+	if chosen == nil {
+		// All threads done or stalled; stalled memory cycles count busy
+		// (the bank is working), pure-done means idle.
+		if n.LiveThreads() > 0 {
+			n.BusyCycles++
+		} else {
+			n.IdleCycles++
+		}
+		return nil
+	}
+	n.BusyCycles++
+	return m.execute(n, chosen)
+}
+
+// execute runs one instruction on thread t of node n.
+func (m *Machine) execute(n *NodeState, t *Thread) error {
+	if t.PC >= uint64(len(n.Mem)) {
+		return fmt.Errorf("isa: node %d: PC %d out of memory", n.ID, t.PC)
+	}
+	in, err := DecodeInstr(n.Mem[t.PC])
+	if err != nil {
+		return fmt.Errorf("isa: node %d pc %d: %w", n.ID, t.PC, err)
+	}
+	if m.Trace != nil {
+		m.Trace(m.cycle, n.ID, t.PC, in)
+	}
+	n.Instructions++
+	pcNext := t.PC + 1
+	rd := func() uint64 { return t.Regs[in.Rd] }
+	ra := func() uint64 { return t.Regs[in.Ra] }
+	rb := func() uint64 { return t.Regs[in.Rb] }
+	set := func(r uint8, v uint64) {
+		if r != 0 {
+			t.Regs[r] = v
+		}
+	}
+	mem := func(addr uint64) (uint64, error) {
+		if addr >= uint64(len(n.Mem)) {
+			return 0, fmt.Errorf("isa: node %d pc %d: memory access %d out of %d",
+				n.ID, t.PC, addr, len(n.Mem))
+		}
+		return n.Mem[addr], nil
+	}
+
+	switch in.Op {
+	case OpHalt:
+		t.done = true
+		n.Completed++
+		return nil
+	case OpAdd:
+		set(in.Rd, ra()+rb())
+	case OpSub:
+		set(in.Rd, ra()-rb())
+	case OpMul:
+		set(in.Rd, ra()*rb())
+	case OpAnd:
+		set(in.Rd, ra()&rb())
+	case OpOr:
+		set(in.Rd, ra()|rb())
+	case OpXor:
+		set(in.Rd, ra()^rb())
+	case OpShl:
+		set(in.Rd, ra()<<(rb()&63))
+	case OpShr:
+		set(in.Rd, ra()>>(rb()&63))
+	case OpAddi:
+		set(in.Rd, ra()+uint64(int64(in.Imm)))
+	case OpLui:
+		set(in.Rd, uint64(uint32(in.Imm))<<24)
+	case OpLd:
+		addr := ra() + uint64(int64(in.Imm))
+		v, err := mem(addr)
+		if err != nil {
+			return err
+		}
+		set(in.Rd, v)
+		t.stall = m.Timing.MemCycles - 1
+		n.MemOps++
+	case OpSt:
+		addr := ra() + uint64(int64(in.Imm))
+		if _, err := mem(addr); err != nil {
+			return err
+		}
+		n.Mem[addr] = rd()
+		t.stall = m.Timing.MemCycles - 1
+		n.MemOps++
+	case OpBeq:
+		if ra() == rb() {
+			pcNext = uint64(in.Imm)
+		}
+	case OpBne:
+		if ra() != rb() {
+			pcNext = uint64(in.Imm)
+		}
+	case OpBlt:
+		if ra() < rb() {
+			pcNext = uint64(in.Imm)
+		}
+	case OpJmp:
+		pcNext = uint64(in.Imm)
+	case OpJr:
+		pcNext = ra()
+	case OpAmoAdd:
+		addr := ra()
+		v, err := mem(addr)
+		if err != nil {
+			return err
+		}
+		n.Mem[addr] = v + rb()
+		set(in.Rd, v)
+		t.stall = m.Timing.MemCycles - 1
+		n.MemOps++
+	case OpVAdd:
+		d, a, b := rd(), ra(), rb()
+		if _, err := mem(d + WideWords - 1); err != nil {
+			return err
+		}
+		if _, err := mem(a + WideWords - 1); err != nil {
+			return err
+		}
+		if _, err := mem(b + WideWords - 1); err != nil {
+			return err
+		}
+		for i := uint64(0); i < WideWords; i++ {
+			n.Mem[d+i] = n.Mem[a+i] + n.Mem[b+i]
+		}
+		t.stall = m.Timing.WideMemCycles - 1
+		n.WideOps++
+	case OpVSum:
+		a := ra()
+		if _, err := mem(a + WideWords - 1); err != nil {
+			return err
+		}
+		var s uint64
+		for i := uint64(0); i < WideWords; i++ {
+			s += n.Mem[a+i]
+		}
+		set(in.Rd, s)
+		t.stall = m.Timing.WideMemCycles - 1
+		n.WideOps++
+	case OpSpawn:
+		dst := int(ra())
+		if dst < 0 || dst >= len(m.Nodes) {
+			return fmt.Errorf("isa: node %d pc %d: spawn to node %d of %d",
+				n.ID, t.PC, dst, len(m.Nodes))
+		}
+		lat := int64(0)
+		if dst != n.ID {
+			lat = m.Timing.NetLatency
+		}
+		m.inFlight = append(m.inFlight, flight{
+			arrive: m.cycle + lat + 1,
+			node:   dst,
+			entry:  rb(),
+			arg:    rd(),
+			src:    uint64(n.ID),
+		})
+		t.stall = m.Timing.SpawnCycles - 1
+		if t.stall < 0 {
+			t.stall = 0
+		}
+		n.Spawns++
+	case OpNodeID:
+		set(in.Rd, uint64(n.ID))
+	case OpPrint:
+		if m.Output != nil {
+			m.Output(n.ID, ra())
+		}
+	default:
+		return fmt.Errorf("isa: node %d pc %d: unimplemented op %v", n.ID, t.PC, in.Op)
+	}
+	t.PC = pcNext
+	return nil
+}
+
+// TotalInstructions sums instruction counts over nodes.
+func (m *Machine) TotalInstructions() int64 {
+	var s int64
+	for _, n := range m.Nodes {
+		s += n.Instructions
+	}
+	return s
+}
+
+// Utilization returns the busy fraction of node i over the run.
+func (m *Machine) Utilization(i int) float64 {
+	n := m.Nodes[i]
+	total := n.BusyCycles + n.IdleCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(n.BusyCycles) / float64(total)
+}

@@ -1,0 +1,252 @@
+package isa
+
+import (
+	"fmt"
+)
+
+// This file ships reference PIM assembly programs — the kernels a PIM
+// release would demo: a parcel-fanout tree sum, a STREAM-style wide-word
+// triad, and a GUPS random-update loop with an in-assembly LCG. Each
+// builder returns an assembled Program plus the memory-map constants the
+// caller needs to stage inputs and read results.
+
+// TreeSumLayout names the memory locations used by TreeSumProgram.
+type TreeSumLayout struct {
+	// DataBase is the per-node input vector base address.
+	DataBase uint64
+	// DataWords is the per-node vector length (multiple of WideWords).
+	DataWords int
+	// AccAddr (node 0) receives the grand total.
+	AccAddr uint64
+	// DoneAddr (node 0) counts completed workers.
+	DoneAddr uint64
+}
+
+// DefaultTreeSumLayout places data at 8192 and results at 9000/9001.
+func DefaultTreeSumLayout() TreeSumLayout {
+	return TreeSumLayout{DataBase: 8192, DataWords: 256, AccAddr: 9000, DoneAddr: 9001}
+}
+
+// TreeSumProgram builds the parcel-fanout tree sum: node 0 spawns one
+// worker per node, each worker reduces its local vector with vsum and
+// AMO-adds the partial into node 0's accumulator; node 0 spins on the
+// completion counter, then writes the total to AccAddr and prints it.
+func TreeSumProgram(nodes int, layout TreeSumLayout) (*Program, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("isa: TreeSumProgram with %d nodes", nodes)
+	}
+	if layout.DataWords <= 0 || layout.DataWords%WideWords != 0 {
+		return nil, fmt.Errorf("isa: TreeSumProgram DataWords %d not a positive multiple of %d",
+			layout.DataWords, WideWords)
+	}
+	chunks := layout.DataWords / WideWords
+	src := fmt.Sprintf(`
+main:
+    addi r3, r0, 0
+    addi r4, r0, %d        ; node count
+    addi r5, r0, worker
+fan:
+    spawn r0, r3, r5
+    addi r3, r3, 1
+    bne  r3, r4, fan
+    addi r6, r0, %d        ; done counter
+wait:
+    ld   r7, r6, 0
+    bne  r7, r4, wait
+    addi r8, r0, %d        ; accumulator
+    ld   r9, r8, 0
+    print r9
+    halt
+
+worker:
+    addi r3, r0, %d        ; vector base
+    addi r4, r0, 0         ; partial
+    addi r5, r0, %d        ; chunk count
+chunk:
+    vsum r6, r3
+    add  r4, r4, r6
+    addi r3, r3, %d
+    addi r5, r5, -1
+    bne  r5, r0, chunk
+    addi r7, r0, 0
+    addi r8, r0, accum
+    spawn r4, r7, r8
+    halt
+
+accum:
+    addi r3, r0, %d
+    amoadd r5, r3, r1
+    addi r3, r0, %d
+    addi r4, r0, 1
+    amoadd r5, r3, r4
+    halt
+`, nodes, layout.DoneAddr, layout.AccAddr,
+		layout.DataBase, chunks, WideWords,
+		layout.AccAddr, layout.DoneAddr)
+	return Assemble(src)
+}
+
+// TriadLayout names the locations used by StreamTriadProgram.
+type TriadLayout struct {
+	// A, B, C are the three vector base addresses; C = A + B.
+	A, B, C uint64
+	// Words is the vector length (multiple of WideWords).
+	Words int
+}
+
+// DefaultTriadLayout uses 1 KiW vectors at 8192/12288/16384.
+func DefaultTriadLayout() TriadLayout {
+	return TriadLayout{A: 8192, B: 12288, C: 16384, Words: 1024}
+}
+
+// StreamTriadProgram builds the wide-word streaming add C = A + B using
+// the row-buffer-wide vadd: one instruction moves WideWords words, the
+// §2.1 "reclaim the hidden bandwidth" argument in instruction form.
+func StreamTriadProgram(layout TriadLayout) (*Program, error) {
+	if layout.Words <= 0 || layout.Words%WideWords != 0 {
+		return nil, fmt.Errorf("isa: StreamTriadProgram Words %d not a positive multiple of %d",
+			layout.Words, WideWords)
+	}
+	src := fmt.Sprintf(`
+main:
+    addi r1, r0, %d        ; A
+    addi r2, r0, %d        ; B
+    addi r3, r0, %d        ; C
+    addi r4, r0, %d        ; chunks
+loop:
+    vadd r3, r1, r2
+    addi r1, r1, %d
+    addi r2, r2, %d
+    addi r3, r3, %d
+    addi r4, r4, -1
+    bne  r4, r0, loop
+    halt
+`, layout.A, layout.B, layout.C, layout.Words/WideWords,
+		WideWords, WideWords, WideWords)
+	return Assemble(src)
+}
+
+// ChaseLayout names the locations used by DistributedChaseProgram.
+type ChaseLayout struct {
+	// ResultAddr (node 0) receives the accumulated sum.
+	ResultAddr uint64
+	// DoneAddr (node 0) is set to 1 when the walk completes.
+	DoneAddr uint64
+}
+
+// DefaultChaseLayout places results at 9000/9001.
+func DefaultChaseLayout() ChaseLayout {
+	return ChaseLayout{ResultAddr: 9000, DoneAddr: 9001}
+}
+
+// ChasePack packs a chase continuation argument: the running sum in the
+// high bits and the current element address in the low 24.
+func ChasePack(sum, addr uint64) uint64 { return sum<<24 | addr&0xffffff }
+
+// ChaseLink packs an element's link word: next node in the high bits,
+// next element address in the low 24; zero terminates the list.
+func ChaseLink(node, addr uint64) uint64 { return node<<24 | addr&0xffffff }
+
+// DistributedChaseProgram is Fig. 9 in assembly: a thread walks a linked
+// list distributed across nodes by *migrating itself* with SPAWN instead
+// of fetching remote words. Each element is two words: [link, value] with
+// link = ChaseLink(nextNode, nextAddr) or 0 at the tail. Start a thread at
+// label "chase" on the first element's node with r1 = ChasePack(0, addr).
+// The final sum is AMO-added into node 0's ResultAddr and DoneAddr is
+// bumped.
+func DistributedChaseProgram(layout ChaseLayout) (*Program, error) {
+	if layout.ResultAddr == 0 || layout.DoneAddr == 0 {
+		return nil, fmt.Errorf("isa: DistributedChaseProgram needs nonzero result addresses")
+	}
+	src := fmt.Sprintf(`
+chase:
+    addi r3, r0, maskw
+    ld   r4, r3, 0          ; 0xffffff
+    and  r5, r1, r4         ; current element address
+    addi r6, r0, 24
+    shr  r7, r1, r6         ; running sum
+    ld   r8, r5, 1          ; element value
+    add  r7, r7, r8
+    ld   r9, r5, 0          ; link word
+    beq  r9, r0, finish
+    and  r10, r9, r4        ; next address
+    shr  r11, r9, r6        ; next node
+    shl  r12, r7, r6        ; repack continuation
+    or   r12, r12, r10
+    addi r13, r0, chase
+    spawn r12, r11, r13     ; migrate the computation to the data
+    halt
+finish:
+    addi r11, r0, 0         ; home node
+    addi r13, r0, deliver
+    spawn r7, r11, r13      ; send the sum home
+    halt
+deliver:
+    addi r3, r0, %d
+    amoadd r5, r3, r1
+    addi r3, r0, %d
+    addi r4, r0, 1
+    amoadd r5, r3, r4
+    halt
+
+maskw: .word 0xffffff
+`, layout.ResultAddr, layout.DoneAddr)
+	return Assemble(src)
+}
+
+// GUPSLayout names the locations used by GUPSProgram.
+type GUPSLayout struct {
+	// TableBase is the update table base; TableWords its length (power of
+	// two).
+	TableBase  uint64
+	TableWords int
+	// Updates is the number of random read-modify-writes per thread.
+	Updates int
+}
+
+// DefaultGUPSLayout uses a 4096-word table at 8192 with 512 updates.
+func DefaultGUPSLayout() GUPSLayout {
+	return GUPSLayout{TableBase: 8192, TableWords: 4096, Updates: 512}
+}
+
+// GUPSProgram builds the random-update kernel entirely in assembly: a
+// 64-bit LCG generates indices, each update XORs the LCG state into the
+// table slot (the HPCC RandomAccess recipe). The thread's r1 argument
+// seeds the LCG, so concurrent threads walk different sequences.
+func GUPSProgram(layout GUPSLayout) (*Program, error) {
+	if layout.TableWords <= 0 || layout.TableWords&(layout.TableWords-1) != 0 {
+		return nil, fmt.Errorf("isa: GUPSProgram table %d not a power of two", layout.TableWords)
+	}
+	if layout.Updates <= 0 {
+		return nil, fmt.Errorf("isa: GUPSProgram with %d updates", layout.Updates)
+	}
+	// LCG multiplier loaded from a data word (too wide for an immediate).
+	src := fmt.Sprintf(`
+main:
+    addi r3, r0, lcgmul
+    ld   r4, r3, 0         ; multiplier
+    addi r3, r0, lcginc
+    ld   r5, r3, 0         ; increment
+    addi r6, r1, 1         ; LCG state: seed from thread argument + 1
+    addi r7, r0, %d        ; updates remaining
+    addi r8, r0, %d        ; table mask
+    addi r9, r0, %d        ; table base
+loop:
+    mul  r6, r6, r4        ; state = state*mul + inc
+    add  r6, r6, r5
+    addi r10, r0, 40
+    shr  r11, r6, r10      ; high bits make better indices
+    and  r11, r11, r8
+    add  r11, r11, r9      ; slot address
+    ld   r12, r11, 0       ; read
+    xor  r12, r12, r6      ; modify
+    st   r12, r11, 0       ; write
+    addi r7, r7, -1
+    bne  r7, r0, loop
+    halt
+
+lcgmul: .word 0x5851f42d4c957f2d
+lcginc: .word 0x14057b7ef767814f
+`, layout.Updates, layout.TableWords-1, layout.TableBase)
+	return Assemble(src)
+}

@@ -1,0 +1,270 @@
+package isa
+
+import (
+	"testing"
+)
+
+func TestTreeSumProgramCorrect(t *testing.T) {
+	const nodes = 8
+	layout := DefaultTreeSumLayout()
+	prog, err := TreeSumProgram(nodes, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(nodes, 16384, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	for i, n := range m.Nodes {
+		for k := 0; k < layout.DataWords; k++ {
+			v := uint64(i*layout.DataWords + k + 1)
+			n.Mem[layout.DataBase+uint64(k)] = v
+			want += v
+		}
+	}
+	var got uint64
+	m.Output = func(node int, v uint64) { got = v }
+	entry, err := prog.Entry("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Nodes[0].StartThread(entry, 0, 0)
+	m.MaxCycles = 10_000_000
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("tree sum = %d, want %d", got, want)
+	}
+}
+
+func TestTreeSumProgramValidation(t *testing.T) {
+	if _, err := TreeSumProgram(0, DefaultTreeSumLayout()); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad := DefaultTreeSumLayout()
+	bad.DataWords = WideWords + 1
+	if _, err := TreeSumProgram(4, bad); err == nil {
+		t.Error("non-multiple DataWords accepted")
+	}
+}
+
+func TestStreamTriadProgramCorrect(t *testing.T) {
+	layout := DefaultTriadLayout()
+	prog, err := StreamTriadProgram(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(1, 32768, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	node := m.Nodes[0]
+	for i := 0; i < layout.Words; i++ {
+		node.Mem[layout.A+uint64(i)] = uint64(i)
+		node.Mem[layout.B+uint64(i)] = uint64(3 * i)
+	}
+	entry, _ := prog.Entry("main")
+	node.StartThread(entry, 0, 0)
+	m.MaxCycles = 10_000_000
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < layout.Words; i++ {
+		if got := node.Mem[layout.C+uint64(i)]; got != uint64(4*i) {
+			t.Fatalf("C[%d] = %d, want %d", i, got, 4*i)
+		}
+	}
+	// Wide ops move WideWords per instruction.
+	if node.WideOps != int64(layout.Words/WideWords) {
+		t.Errorf("wide ops = %d, want %d", node.WideOps, layout.Words/WideWords)
+	}
+}
+
+func TestStreamTriadWideSpeedAdvantage(t *testing.T) {
+	// The triad via vadd must finish in far fewer cycles than a scalar
+	// equivalent would need: at most ~4 cycles+1 mem per chunk of 8 words.
+	layout := DefaultTriadLayout()
+	prog, err := StreamTriadProgram(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(1, 32768, DefaultTiming())
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := prog.Entry("main")
+	m.Nodes[0].StartThread(entry, 0, 0)
+	m.MaxCycles = 10_000_000
+	cycles, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar lower bound: 3 memory ops per word at MemCycles each.
+	scalarBound := int64(layout.Words) * 3 * DefaultTiming().MemCycles
+	if cycles*2 > scalarBound {
+		t.Errorf("wide triad took %d cycles; scalar bound is %d — wide ops not paying off",
+			cycles, scalarBound)
+	}
+}
+
+func TestDistributedChaseProgram(t *testing.T) {
+	const nodes = 8
+	const elems = 40
+	layout := DefaultChaseLayout()
+	prog, err := DistributedChaseProgram(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := DefaultTiming()
+	tm.NetLatency = 100
+	m, err := NewMachine(nodes, 16384, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Scatter a chain over the nodes (deterministic layout).
+	type loc struct {
+		node int
+		addr uint64
+	}
+	chain := make([]loc, elems)
+	for i := range chain {
+		chain[i] = loc{node: (i * 5) % nodes, addr: uint64(0x400 + 2*i)}
+	}
+	wantSum := uint64(0)
+	for i, e := range chain {
+		link := uint64(0)
+		if i+1 < len(chain) {
+			nxt := chain[i+1]
+			link = ChaseLink(uint64(nxt.node), nxt.addr)
+		}
+		v := uint64(i + 1)
+		wantSum += v
+		m.Nodes[e.node].Mem[e.addr] = link
+		m.Nodes[e.node].Mem[e.addr+1] = v
+	}
+	entry, err := prog.Entry("chase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Nodes[chain[0].node].StartThread(entry, ChasePack(0, chain[0].addr), 0)
+	m.MaxCycles = 10_000_000
+	cycles, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Nodes[0].Mem[layout.ResultAddr]; got != wantSum {
+		t.Errorf("chase sum = %d, want %d", got, wantSum)
+	}
+	if m.Nodes[0].Mem[layout.DoneAddr] != 1 {
+		t.Errorf("done flag = %d", m.Nodes[0].Mem[layout.DoneAddr])
+	}
+	// The walk is fully serial: makespan must include one network hop per
+	// inter-node migration.
+	hops := int64(0)
+	for i := 1; i < len(chain); i++ {
+		if chain[i].node != chain[i-1].node {
+			hops++
+		}
+	}
+	if chain[len(chain)-1].node != 0 {
+		hops++ // delivery home
+	}
+	if cycles < hops*tm.NetLatency {
+		t.Errorf("makespan %d below %d hops x %d latency", cycles, hops, tm.NetLatency)
+	}
+}
+
+func TestChasePackRoundTrip(t *testing.T) {
+	arg := ChasePack(123456, 0x1234)
+	if arg&0xffffff != 0x1234 || arg>>24 != 123456 {
+		t.Errorf("pack wrong: %#x", arg)
+	}
+	link := ChaseLink(7, 0x400)
+	if link&0xffffff != 0x400 || link>>24 != 7 {
+		t.Errorf("link wrong: %#x", link)
+	}
+}
+
+func TestGUPSProgramTouchesTable(t *testing.T) {
+	layout := DefaultGUPSLayout()
+	prog, err := GUPSProgram(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(1, 16384, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := prog.Entry("main")
+	// Two threads with different seeds interleave updates.
+	m.Nodes[0].StartThread(entry, 1, 0)
+	m.Nodes[0].StartThread(entry, 2, 0)
+	m.MaxCycles = 10_000_000
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	touched := 0
+	for i := 0; i < layout.TableWords; i++ {
+		if m.Nodes[0].Mem[layout.TableBase+uint64(i)] != 0 {
+			touched++
+		}
+	}
+	// 1024 updates over 4096 slots: expect a few hundred distinct dirty
+	// slots (collisions and self-inverse XOR pairs reduce the count).
+	if touched < layout.TableWords/20 {
+		t.Errorf("only %d table slots touched by %d updates", touched, 2*layout.Updates)
+	}
+	// Each update is ld+st: 2 memory ops, plus the two constant loads.
+	wantMem := int64(2*2*layout.Updates) + 4
+	if m.Nodes[0].MemOps != wantMem {
+		t.Errorf("mem ops = %d, want %d", m.Nodes[0].MemOps, wantMem)
+	}
+}
+
+func TestGUPSProgramValidation(t *testing.T) {
+	bad := DefaultGUPSLayout()
+	bad.TableWords = 1000 // not a power of two
+	if _, err := GUPSProgram(bad); err == nil {
+		t.Error("non-power-of-two table accepted")
+	}
+	bad = DefaultGUPSLayout()
+	bad.Updates = 0
+	if _, err := GUPSProgram(bad); err == nil {
+		t.Error("zero updates accepted")
+	}
+}
+
+func TestWideWordDotWord(t *testing.T) {
+	// 64-bit .word constants survive assembly exactly.
+	p, err := Assemble(`
+main:
+    halt
+big: .word 0x5851f42d4c957f2d
+neg: .word -2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Entry("big")
+	if p.Words[a-p.Origin] != 0x5851f42d4c957f2d {
+		t.Errorf("wide word = %#x", p.Words[a-p.Origin])
+	}
+	n, _ := p.Entry("neg")
+	if p.Words[n-p.Origin] != ^uint64(1) {
+		t.Errorf("negative word = %#x", p.Words[n-p.Origin])
+	}
+}

@@ -1,0 +1,23 @@
+package network_test
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// The paper's flat model vs topologies calibrated to the same mean.
+func ExampleMeanHops() {
+	for _, topo := range []network.Topology{
+		network.Ring{N: 16},
+		network.Torus2D{W: 4, H: 4},
+		network.Hypercube{Dim: 4},
+	} {
+		fmt.Printf("%-12s mean hops %.2f, diameter %d\n",
+			topo.Name(), network.MeanHops(topo), topo.Diameter())
+	}
+	// Output:
+	// ring(16)     mean hops 4.27, diameter 8
+	// torus(4x4)   mean hops 2.13, diameter 4
+	// hypercube(4) mean hops 2.13, diameter 4
+}

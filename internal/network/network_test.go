@@ -1,0 +1,211 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFlatNetwork(t *testing.T) {
+	f := NewFlat(8, 100)
+	if f.Latency(0, 0) != 0 {
+		t.Error("local latency != 0")
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j && f.Latency(i, j) != 100 {
+				t.Fatalf("Latency(%d,%d) = %g", i, j, f.Latency(i, j))
+			}
+		}
+	}
+	if f.Nodes() != 8 {
+		t.Errorf("Nodes = %d", f.Nodes())
+	}
+}
+
+func TestFlatNetworkBoundsPanic(t *testing.T) {
+	f := NewFlat(4, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Latency(0, 4)
+}
+
+func TestRingHops(t *testing.T) {
+	r := Ring{N: 8}
+	cases := []struct{ a, b, want int }{
+		{0, 1, 1}, {0, 4, 4}, {0, 7, 1}, {2, 6, 4}, {1, 5, 4}, {0, 5, 3},
+	}
+	for _, c := range cases {
+		if got := r.Hops(c.a, c.b); got != c.want {
+			t.Errorf("ring Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if r.Diameter() != 4 {
+		t.Errorf("diameter = %d", r.Diameter())
+	}
+}
+
+func TestMeshHops(t *testing.T) {
+	m := Mesh2D{W: 4, H: 4}
+	if got := m.Hops(0, 15); got != 6 {
+		t.Errorf("mesh corner-to-corner = %d, want 6", got)
+	}
+	if got := m.Hops(5, 6); got != 1 {
+		t.Errorf("mesh neighbor = %d, want 1", got)
+	}
+	if m.Diameter() != 6 {
+		t.Errorf("diameter = %d", m.Diameter())
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	tr := Torus2D{W: 4, H: 4}
+	// Corner to corner wraps: 1 hop in each dimension.
+	if got := tr.Hops(0, 15); got != 2 {
+		t.Errorf("torus corner wrap = %d, want 2", got)
+	}
+	if tr.Diameter() != 4 {
+		t.Errorf("diameter = %d", tr.Diameter())
+	}
+	// Torus never exceeds mesh distance.
+	m := Mesh2D{W: 4, H: 4}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if tr.Hops(i, j) > m.Hops(i, j) {
+				t.Fatalf("torus (%d,%d) worse than mesh", i, j)
+			}
+		}
+	}
+}
+
+func TestHypercubeHops(t *testing.T) {
+	h := Hypercube{Dim: 4}
+	if h.Nodes() != 16 {
+		t.Errorf("nodes = %d", h.Nodes())
+	}
+	if got := h.Hops(0b0000, 0b1111); got != 4 {
+		t.Errorf("antipodal hops = %d, want 4", got)
+	}
+	if got := h.Hops(0b0101, 0b0100); got != 1 {
+		t.Errorf("neighbor hops = %d, want 1", got)
+	}
+}
+
+func TestValidateAllTopologies(t *testing.T) {
+	topos := []Topology{
+		Ring{N: 2}, Ring{N: 7}, Ring{N: 8},
+		Mesh2D{W: 3, H: 5}, Mesh2D{W: 4, H: 4},
+		Torus2D{W: 4, H: 4}, Torus2D{W: 5, H: 3},
+		Hypercube{Dim: 1}, Hypercube{Dim: 4},
+	}
+	for _, topo := range topos {
+		if err := Validate(topo); err != nil {
+			t.Errorf("%s: %v", topo.Name(), err)
+		}
+	}
+}
+
+func TestHopNetworkLatency(t *testing.T) {
+	h := NewHop(Ring{N: 8}, 10, 5)
+	if got := h.Latency(0, 4); got != 45 {
+		t.Errorf("latency = %g, want 45", got)
+	}
+	if h.Latency(3, 3) != 0 {
+		t.Error("local latency != 0")
+	}
+}
+
+func TestMeanHopsRing(t *testing.T) {
+	// Ring of 4: distances from any node are 1, 2, 1 -> mean 4/3.
+	got := MeanHops(Ring{N: 4})
+	if math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Errorf("mean hops = %g, want 4/3", got)
+	}
+}
+
+func TestEquivalentFlatLatency(t *testing.T) {
+	h := NewHop(Ring{N: 4}, 30, 12)
+	want := 12 + 30*4.0/3.0
+	if got := EquivalentFlatLatency(h); math.Abs(got-want) > 1e-12 {
+		t.Errorf("equivalent flat = %g, want %g", got, want)
+	}
+}
+
+func TestHypercubeBeatsRingAtScale(t *testing.T) {
+	// The log-diameter topology must have lower mean hops for n = 64.
+	ring := MeanHops(Ring{N: 64})
+	cube := MeanHops(Hypercube{Dim: 6})
+	if cube >= ring {
+		t.Errorf("hypercube mean hops %g not below ring %g", cube, ring)
+	}
+}
+
+func TestTopologySymmetryProperty(t *testing.T) {
+	topos := []Topology{Ring{N: 13}, Mesh2D{W: 5, H: 7}, Torus2D{W: 6, H: 4}, Hypercube{Dim: 5}}
+	for _, topo := range topos {
+		n := topo.Nodes()
+		err := quick.Check(func(a, b uint16) bool {
+			i, j := int(a)%n, int(b)%n
+			return topo.Hops(i, j) == topo.Hops(j, i)
+		}, &quick.Config{MaxCount: 300})
+		if err != nil {
+			t.Errorf("%s: %v", topo.Name(), err)
+		}
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, "wire", 50, 0.5)
+	var sendDone, arrive sim.Time
+	k.Spawn("sender", func(c *sim.Context) {
+		l.Send(c, 100, func() { arrive = k.Now() })
+		sendDone = c.Now()
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone != 50 { // 100 bytes * 0.5 cycles
+		t.Errorf("serialization completed at %g, want 50", sendDone)
+	}
+	if arrive != 100 { // + 50 propagation
+		t.Errorf("arrival at %g, want 100", arrive)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	// Two messages of 100 bytes on a 1-cycle/byte link: second waits for
+	// the first to serialize.
+	k := sim.NewKernel()
+	l := NewLink(k, "wire", 0, 1)
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		k.Spawn("s", func(c *sim.Context) {
+			l.Send(c, 100, nil)
+			done = append(done, c.Now())
+		})
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 100 || done[1] != 200 {
+		t.Errorf("completion times = %v, want [100 200]", done)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, "wire", 0, 1)
+	k.Spawn("s", func(c *sim.Context) { l.Send(c, 25, nil) })
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if u := l.Utilization(k.Now()); math.Abs(u-0.25) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.25", u)
+	}
+}

@@ -1,0 +1,47 @@
+package parcel_test
+
+import (
+	"fmt"
+
+	"repro/internal/parcel"
+)
+
+// A parcel round-trips through the Fig. 8 wire format.
+func ExampleParcel_Encode() {
+	p := &parcel.Parcel{
+		DestNode: 3,
+		DestAddr: 0x1000,
+		Action:   parcel.ActionAMOAdd,
+		Operands: []uint64{5},
+		SrcNode:  0,
+		ContAddr: 0x2000,
+	}
+	buf, err := p.Encode()
+	if err != nil {
+		panic(err)
+	}
+	q, err := parcel.Decode(buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d bytes on the wire; action %v to node %d\n",
+		len(buf), q.Action, q.DestNode)
+	// Output: 59 bytes on the wire; action amo-add to node 3
+}
+
+// Message-driven computation: an AMO parcel mutates remote memory and the
+// reply lands at the continuation address.
+func ExampleMachine_Run() {
+	m := parcel.NewMachine(4, parcel.NewRegistry())
+	m.Nodes[2].Mem.Store(0x10, 40)
+	handled, err := m.Run(&parcel.Parcel{
+		DestNode: 2, DestAddr: 0x10, Action: parcel.ActionAMOAdd,
+		Operands: []uint64{2}, SrcNode: 0, ContAddr: 0x99,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("handled %d parcels; counter now %d; old value delivered: %d\n",
+		handled, m.Nodes[2].Mem.Load(0x10), m.Nodes[0].Mem.Load(0x99))
+	// Output: handled 2 parcels; counter now 42; old value delivered: 40
+}

@@ -1,0 +1,249 @@
+package parcel
+
+import (
+	"fmt"
+)
+
+// Method is user code invoked by ActionInvoke. It runs at the destination
+// node against the node's local memory, may commit local side effects, and
+// returns any new parcels to emit (the split-transaction continuation
+// style of §4.1: servicing one parcel may generate outgoing parcels).
+type Method func(m *Memory, p *Parcel) []*Parcel
+
+// Registry maps method ids to code blocks ("a pointer to a method code
+// block" in the paper's description of the action specifier).
+type Registry struct {
+	methods map[uint32]Method
+}
+
+// NewRegistry creates an empty method registry.
+func NewRegistry() *Registry {
+	return &Registry{methods: make(map[uint32]Method)}
+}
+
+// Register binds id to fn, replacing any previous binding.
+func (r *Registry) Register(id uint32, fn Method) {
+	if fn == nil {
+		panic("parcel: Register with nil method")
+	}
+	r.methods[id] = fn
+}
+
+// Lookup returns the method bound to id.
+func (r *Registry) Lookup(id uint32) (Method, bool) {
+	fn, ok := r.methods[id]
+	return fn, ok
+}
+
+// Memory is one PIM node's word-addressed local memory. Sparse, so tests
+// and examples can use large virtual addresses cheaply.
+type Memory struct {
+	words         map[uint64]uint64
+	reads, writes int64
+}
+
+// NewMemory creates an empty (all-zero) memory.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[uint64]uint64)}
+}
+
+// Load returns the word at addr (zero if never written).
+func (m *Memory) Load(addr uint64) uint64 {
+	m.reads++
+	return m.words[addr]
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr, value uint64) {
+	m.writes++
+	if value == 0 {
+		delete(m.words, addr)
+		return
+	}
+	m.words[addr] = value
+}
+
+// Ops returns (loads, stores) performed.
+func (m *Memory) Ops() (int64, int64) { return m.reads, m.writes }
+
+// Footprint returns the number of nonzero words.
+func (m *Memory) Footprint() int { return len(m.words) }
+
+// Node is one PIM node's parcel engine: local memory plus the action
+// interpreter. Handle executes one incident parcel to completion locally
+// and returns the outgoing parcels it generates (reply and/or new work).
+type Node struct {
+	ID       uint32
+	Mem      *Memory
+	Registry *Registry
+
+	handled [numBuiltinActions]int64
+}
+
+// NewNode creates a node with empty memory sharing the given registry.
+func NewNode(id uint32, reg *Registry) *Node {
+	return &Node{ID: id, Mem: NewMemory(), Registry: reg}
+}
+
+// Handle performs p's action against local memory. It returns outgoing
+// parcels (possibly none). Handling a parcel addressed to another node is
+// a routing bug and errors.
+func (n *Node) Handle(p *Parcel) ([]*Parcel, error) {
+	if p.DestNode != n.ID {
+		return nil, fmt.Errorf("parcel: node %d received parcel for node %d", n.ID, p.DestNode)
+	}
+	if p.Action < numBuiltinActions {
+		n.handled[p.Action]++
+	}
+	switch p.Action {
+	case ActionRead:
+		return []*Parcel{p.Reply(n.Mem.Load(p.DestAddr))}, nil
+	case ActionWrite:
+		if len(p.Operands) != 1 {
+			return nil, fmt.Errorf("parcel: write with %d operands", len(p.Operands))
+		}
+		n.Mem.Store(p.DestAddr, p.Operands[0])
+		return nil, nil
+	case ActionAMOAdd:
+		if len(p.Operands) != 1 {
+			return nil, fmt.Errorf("parcel: amo-add with %d operands", len(p.Operands))
+		}
+		old := n.Mem.Load(p.DestAddr)
+		n.Mem.Store(p.DestAddr, old+p.Operands[0])
+		return []*Parcel{p.Reply(old)}, nil
+	case ActionAMOCas:
+		if len(p.Operands) != 2 {
+			return nil, fmt.Errorf("parcel: amo-cas with %d operands", len(p.Operands))
+		}
+		old := n.Mem.Load(p.DestAddr)
+		if old == p.Operands[0] {
+			n.Mem.Store(p.DestAddr, p.Operands[1])
+		}
+		return []*Parcel{p.Reply(old)}, nil
+	case ActionInvoke:
+		fn, ok := n.Registry.Lookup(p.MethodID)
+		if !ok {
+			return nil, fmt.Errorf("parcel: unknown method %d", p.MethodID)
+		}
+		return fn(n.Mem, p), nil
+	case ActionReply:
+		// Deliver the result into the continuation address.
+		if len(p.Operands) != 1 {
+			return nil, fmt.Errorf("parcel: reply with %d operands", len(p.Operands))
+		}
+		n.Mem.Store(p.DestAddr, p.Operands[0])
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("parcel: unknown action %v", p.Action)
+	}
+}
+
+// Handled returns how many parcels of the given built-in action this node
+// has processed.
+func (n *Node) Handled(a Action) int64 {
+	if a >= numBuiltinActions {
+		return 0
+	}
+	return n.handled[a]
+}
+
+// Machine is a functional multi-node parcel machine: it routes parcels
+// between nodes until quiescence. It is untimed — the timed, statistical
+// version is internal/parcelsys — and exists to validate parcel semantics
+// (message-driven computation, split transactions, chained parcels) and to
+// power the parcels example.
+type Machine struct {
+	Nodes []*Node
+	// Delivered counts parcels routed, by action.
+	Delivered int64
+	// CheckWire, when set, round-trips every routed parcel through the
+	// wire codec, exercising Encode/Decode on real traffic.
+	CheckWire bool
+}
+
+// NewMachine builds an n-node machine sharing one method registry.
+func NewMachine(n int, reg *Registry) *Machine {
+	if n <= 0 {
+		panic(fmt.Sprintf("parcel: NewMachine(%d)", n))
+	}
+	m := &Machine{Nodes: make([]*Node, n)}
+	for i := range m.Nodes {
+		m.Nodes[i] = NewNode(uint32(i), reg)
+	}
+	return m
+}
+
+// Run injects the given parcels and processes until no parcels remain in
+// flight (BFS order, deterministic). It returns the number of parcels
+// handled or an error from any handler.
+func (m *Machine) Run(initial ...*Parcel) (int64, error) {
+	queue := append([]*Parcel(nil), initial...)
+	var handled int64
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if int(p.DestNode) >= len(m.Nodes) {
+			return handled, fmt.Errorf("parcel: destination node %d out of %d", p.DestNode, len(m.Nodes))
+		}
+		if m.CheckWire {
+			buf, err := p.Encode()
+			if err != nil {
+				return handled, fmt.Errorf("parcel: encode: %w", err)
+			}
+			q, err := Decode(buf)
+			if err != nil {
+				return handled, fmt.Errorf("parcel: decode: %w", err)
+			}
+			p = q
+		}
+		m.Delivered++
+		out, err := m.Nodes[p.DestNode].Handle(p)
+		if err != nil {
+			return handled, err
+		}
+		handled++
+		queue = append(queue, out...)
+	}
+	return handled, nil
+}
+
+// CostModel captures the cycle costs of the parcel mechanism used by the
+// statistical study (§4.2): creation and send overhead at the source,
+// assimilation overhead at the destination, plus per-action service.
+// "Hardware support for parcels minimizes overhead of parcel creation,
+// transport, and assimilation" — these knobs quantify the claim.
+type CostModel struct {
+	// CreateCycles is spent by the sender to form and launch a parcel.
+	CreateCycles float64
+	// AssimilateCycles is spent by the receiver to accept a parcel and
+	// instantiate its action (context setup).
+	AssimilateCycles float64
+	// ReplyCycles is spent to form a reply parcel.
+	ReplyCycles float64
+}
+
+// HardwareAssisted returns the paper's optimistic hardware-supported cost
+// point: near-zero software overhead.
+func HardwareAssisted() CostModel {
+	return CostModel{CreateCycles: 2, AssimilateCycles: 2, ReplyCycles: 2}
+}
+
+// SoftwareOnly returns an active-messages-style software cost point, an
+// order of magnitude heavier (used by the A2 ablation).
+func SoftwareOnly() CostModel {
+	return CostModel{CreateCycles: 50, AssimilateCycles: 50, ReplyCycles: 30}
+}
+
+// Validate checks the cost model.
+func (cm CostModel) Validate() error {
+	if cm.CreateCycles < 0 || cm.AssimilateCycles < 0 || cm.ReplyCycles < 0 {
+		return fmt.Errorf("parcel: negative cost in %+v", cm)
+	}
+	return nil
+}
+
+// RoundTripOverhead returns the total mechanism cycles consumed by one
+// request/reply pair, excluding wire latency and action service.
+func (cm CostModel) RoundTripOverhead() float64 {
+	return cm.CreateCycles + cm.AssimilateCycles + cm.ReplyCycles + cm.AssimilateCycles
+}

@@ -1,0 +1,219 @@
+// Package parcel implements the paper's parcel (PARallel Control ELement)
+// abstraction (§4.1, Fig. 8): a memory-borne message that names a
+// destination datum in virtual memory, an action to perform on it — from a
+// simple read through atomic arithmetic to remote method invocation — plus
+// operand values and a continuation telling the remote node where any
+// result should go.
+//
+// The package provides the parcel structure, a binary wire codec with the
+// transport-layer wrapper of Fig. 8 (destination routing header + checksum),
+// an action registry, and a functional executor used by the examples and
+// by the parcel-machine integration tests.
+package parcel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Action identifies what a parcel asks the destination node to do.
+type Action uint8
+
+// Built-in actions. Values are part of the wire format.
+const (
+	// ActionRead returns the word at DestAddr to the continuation.
+	ActionRead Action = iota
+	// ActionWrite stores Operands[0] at DestAddr; no reply.
+	ActionWrite
+	// ActionAMOAdd atomically adds Operands[0] to the word at DestAddr and
+	// returns the previous value.
+	ActionAMOAdd
+	// ActionAMOCas compares the word at DestAddr with Operands[0] and, if
+	// equal, stores Operands[1]; returns the previous value.
+	ActionAMOCas
+	// ActionInvoke runs the registered method MethodID on the destination
+	// object; the method decides whether to reply and may emit new parcels.
+	ActionInvoke
+	// ActionReply carries a result value back to a continuation address.
+	ActionReply
+
+	numBuiltinActions
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionRead:
+		return "read"
+	case ActionWrite:
+		return "write"
+	case ActionAMOAdd:
+		return "amo-add"
+	case ActionAMOCas:
+		return "amo-cas"
+	case ActionInvoke:
+		return "invoke"
+	case ActionReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Parcel is the inner message of Fig. 8: destination data virtual address,
+// action specifier, operands, and the continuation identifying where any
+// result should be delivered.
+type Parcel struct {
+	// DestNode and DestAddr name the target datum in the global address
+	// space (node id + virtual address within the node).
+	DestNode uint32
+	DestAddr uint64
+	// Action selects the operation; MethodID selects the code block for
+	// ActionInvoke.
+	Action   Action
+	MethodID uint32
+	// Operands are the argument values.
+	Operands []uint64
+	// SrcNode and ContAddr form the continuation: the reply parcel (if
+	// any) is sent to ContAddr on SrcNode.
+	SrcNode  uint32
+	ContAddr uint64
+	// Seq tags the parcel for matching replies to requests.
+	Seq uint64
+}
+
+// Reply constructs the reply parcel delivering value to p's continuation.
+func (p *Parcel) Reply(value uint64) *Parcel {
+	return &Parcel{
+		DestNode: p.SrcNode,
+		DestAddr: p.ContAddr,
+		Action:   ActionReply,
+		Operands: []uint64{value},
+		SrcNode:  p.DestNode,
+		Seq:      p.Seq,
+	}
+}
+
+// --- Wire format ---
+//
+// Outer wrapper (transport layer, Fig. 8's "outer wrapper"):
+//   magic(2) | version(1) | reserved(1) | dstNode(4) | srcNode(4) |
+//   payloadLen(4) | payload(...) | crc32(4)
+// Inner payload:
+//   destAddr(8) | action(1) | methodID(4) | seq(8) | contAddr(8) |
+//   nOperands(2) | operands(8 each)
+
+const (
+	wireMagic   uint16 = 0x9142
+	wireVersion byte   = 1
+	headerLen          = 2 + 1 + 1 + 4 + 4 + 4
+	innerFixed         = 8 + 1 + 4 + 8 + 8 + 2
+	trailerLen         = 4
+	// MaxOperands bounds a parcel's operand list (wire field is uint16,
+	// but parcels are lightweight by design).
+	MaxOperands = 1024
+)
+
+// Codec errors.
+var (
+	ErrShortBuffer     = errors.New("parcel: buffer too short")
+	ErrBadMagic        = errors.New("parcel: bad magic")
+	ErrBadVersion      = errors.New("parcel: unsupported version")
+	ErrBadChecksum     = errors.New("parcel: checksum mismatch")
+	ErrTooManyOperands = errors.New("parcel: too many operands")
+	ErrTruncated       = errors.New("parcel: truncated payload")
+)
+
+// EncodedSize returns the exact wire size of p in bytes.
+func (p *Parcel) EncodedSize() int {
+	return headerLen + innerFixed + 8*len(p.Operands) + trailerLen
+}
+
+// Encode serializes p into the Fig. 8 wire format.
+func (p *Parcel) Encode() ([]byte, error) {
+	if len(p.Operands) > MaxOperands {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyOperands, len(p.Operands))
+	}
+	buf := make([]byte, p.EncodedSize())
+	binary.BigEndian.PutUint16(buf[0:], wireMagic)
+	buf[2] = wireVersion
+	buf[3] = 0
+	binary.BigEndian.PutUint32(buf[4:], p.DestNode)
+	binary.BigEndian.PutUint32(buf[8:], p.SrcNode)
+	payloadLen := innerFixed + 8*len(p.Operands)
+	binary.BigEndian.PutUint32(buf[12:], uint32(payloadLen))
+	off := headerLen
+	binary.BigEndian.PutUint64(buf[off:], p.DestAddr)
+	off += 8
+	buf[off] = byte(p.Action)
+	off++
+	binary.BigEndian.PutUint32(buf[off:], p.MethodID)
+	off += 4
+	binary.BigEndian.PutUint64(buf[off:], p.Seq)
+	off += 8
+	binary.BigEndian.PutUint64(buf[off:], p.ContAddr)
+	off += 8
+	binary.BigEndian.PutUint16(buf[off:], uint16(len(p.Operands)))
+	off += 2
+	for _, v := range p.Operands {
+		binary.BigEndian.PutUint64(buf[off:], v)
+		off += 8
+	}
+	crc := crc32.ChecksumIEEE(buf[:off])
+	binary.BigEndian.PutUint32(buf[off:], crc)
+	return buf, nil
+}
+
+// Decode parses one parcel from buf, verifying the wrapper and checksum.
+func Decode(buf []byte) (*Parcel, error) {
+	if len(buf) < headerLen+innerFixed+trailerLen {
+		return nil, ErrShortBuffer
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != wireMagic {
+		return nil, ErrBadMagic
+	}
+	if buf[2] != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	p := &Parcel{
+		DestNode: binary.BigEndian.Uint32(buf[4:]),
+		SrcNode:  binary.BigEndian.Uint32(buf[8:]),
+	}
+	payloadLen := int(binary.BigEndian.Uint32(buf[12:]))
+	total := headerLen + payloadLen + trailerLen
+	if payloadLen < innerFixed || len(buf) < total {
+		return nil, ErrTruncated
+	}
+	wantCRC := binary.BigEndian.Uint32(buf[headerLen+payloadLen:])
+	if crc32.ChecksumIEEE(buf[:headerLen+payloadLen]) != wantCRC {
+		return nil, ErrBadChecksum
+	}
+	off := headerLen
+	p.DestAddr = binary.BigEndian.Uint64(buf[off:])
+	off += 8
+	p.Action = Action(buf[off])
+	off++
+	p.MethodID = binary.BigEndian.Uint32(buf[off:])
+	off += 4
+	p.Seq = binary.BigEndian.Uint64(buf[off:])
+	off += 8
+	p.ContAddr = binary.BigEndian.Uint64(buf[off:])
+	off += 8
+	n := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	if n > MaxOperands {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyOperands, n)
+	}
+	if payloadLen != innerFixed+8*n {
+		return nil, ErrTruncated
+	}
+	if n > 0 {
+		p.Operands = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			p.Operands[i] = binary.BigEndian.Uint64(buf[off:])
+			off += 8
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,388 @@
+package parcel
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Parcel{
+		DestNode: 7,
+		DestAddr: 0xdeadbeef00,
+		Action:   ActionAMOAdd,
+		MethodID: 42,
+		Operands: []uint64{1, 2, 3},
+		SrcNode:  3,
+		ContAddr: 0x1000,
+		Seq:      99,
+	}
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != p.EncodedSize() {
+		t.Errorf("encoded %d bytes, EncodedSize says %d", len(buf), p.EncodedSize())
+	}
+	q, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Errorf("round trip mismatch:\n  in  %+v\n  out %+v", p, q)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	st := rng.New(314)
+	err := quick.Check(func(dn, sn uint32, da, ca, seq uint64, act uint8, nOps uint8) bool {
+		p := &Parcel{
+			DestNode: dn, SrcNode: sn, DestAddr: da, ContAddr: ca, Seq: seq,
+			Action:   Action(act % uint8(numBuiltinActions)),
+			MethodID: uint32(seq),
+		}
+		if n := int(nOps % 16); n > 0 {
+			p.Operands = make([]uint64, n)
+			for i := range p.Operands {
+				p.Operands[i] = st.Uint64()
+			}
+		}
+		buf, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		q, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, q)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := &Parcel{DestNode: 1, DestAddr: 8, Action: ActionWrite, Operands: []uint64{5}}
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte one at a time: decode must never silently succeed
+	// with different content.
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0xff
+		q, err := Decode(mut)
+		if err != nil {
+			continue // rejected: good
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("byte %d corruption decoded silently to %+v", i, q)
+		}
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	if _, err := Decode(make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestDecodeBadMagicAndVersion(t *testing.T) {
+	p := &Parcel{DestNode: 0, Action: ActionRead}
+	buf, _ := p.Encode()
+	bad := append([]byte(nil), buf...)
+	binary.BigEndian.PutUint16(bad[0:], 0x1234)
+	if _, err := Decode(bad); err != ErrBadMagic {
+		t.Errorf("bad magic -> %v", err)
+	}
+	bad2 := append([]byte(nil), buf...)
+	bad2[2] = 99
+	// Version byte is covered by CRC but checked first.
+	if _, err := Decode(bad2); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	p := &Parcel{DestNode: 0, Action: ActionRead, Operands: []uint64{1, 2}}
+	buf, _ := p.Encode()
+	if _, err := Decode(buf[:len(buf)-5]); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+}
+
+func TestTooManyOperands(t *testing.T) {
+	p := &Parcel{Operands: make([]uint64, MaxOperands+1)}
+	if _, err := p.Encode(); err == nil {
+		t.Error("oversized parcel accepted")
+	}
+}
+
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	// Decode must reject or accept arbitrary byte soup without panicking.
+	st := rng.New(1234)
+	for trial := 0; trial < 5000; trial++ {
+		n := st.Intn(128)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(st.Uint64())
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on %d bytes: %v", n, r)
+				}
+			}()
+			_, _ = Decode(buf)
+		}()
+	}
+	// Also: valid header with adversarial payload lengths.
+	p := &Parcel{DestNode: 1, Action: ActionRead}
+	good, _ := p.Encode()
+	for trial := 0; trial < 2000; trial++ {
+		buf := append([]byte(nil), good...)
+		// Corrupt the length field with random values.
+		for i := 12; i < 16; i++ {
+			buf[i] = byte(st.Uint64())
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on corrupted length: %v", r)
+				}
+			}()
+			_, _ = Decode(buf)
+		}()
+	}
+}
+
+func TestReplyTargetsContinuation(t *testing.T) {
+	p := &Parcel{
+		DestNode: 5, DestAddr: 100, Action: ActionRead,
+		SrcNode: 2, ContAddr: 777, Seq: 13,
+	}
+	r := p.Reply(0xabc)
+	if r.DestNode != 2 || r.DestAddr != 777 {
+		t.Errorf("reply went to node %d addr %d", r.DestNode, r.DestAddr)
+	}
+	if r.Action != ActionReply || r.Operands[0] != 0xabc || r.Seq != 13 {
+		t.Errorf("reply = %+v", r)
+	}
+}
+
+func TestNodeReadWrite(t *testing.T) {
+	reg := NewRegistry()
+	n := NewNode(0, reg)
+	out, err := n.Handle(&Parcel{DestNode: 0, DestAddr: 16, Action: ActionWrite, Operands: []uint64{42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("write produced %d parcels", len(out))
+	}
+	out, err = n.Handle(&Parcel{DestNode: 0, DestAddr: 16, Action: ActionRead, SrcNode: 0, ContAddr: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Operands[0] != 42 {
+		t.Errorf("read reply = %+v", out)
+	}
+}
+
+func TestNodeAMOAdd(t *testing.T) {
+	n := NewNode(0, NewRegistry())
+	n.Mem.Store(4, 10)
+	out, err := n.Handle(&Parcel{DestNode: 0, DestAddr: 4, Action: ActionAMOAdd, Operands: []uint64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Operands[0] != 10 {
+		t.Errorf("amo-add returned %d, want old value 10", out[0].Operands[0])
+	}
+	if n.Mem.Load(4) != 15 {
+		t.Errorf("memory = %d, want 15", n.Mem.Load(4))
+	}
+}
+
+func TestNodeAMOCas(t *testing.T) {
+	n := NewNode(0, NewRegistry())
+	n.Mem.Store(4, 7)
+	// Failed CAS: expected 9, actual 7.
+	out, _ := n.Handle(&Parcel{DestNode: 0, DestAddr: 4, Action: ActionAMOCas, Operands: []uint64{9, 100}})
+	if out[0].Operands[0] != 7 || n.Mem.Load(4) != 7 {
+		t.Error("failed CAS mutated memory")
+	}
+	// Successful CAS.
+	out, _ = n.Handle(&Parcel{DestNode: 0, DestAddr: 4, Action: ActionAMOCas, Operands: []uint64{7, 100}})
+	if out[0].Operands[0] != 7 || n.Mem.Load(4) != 100 {
+		t.Error("successful CAS did not take effect")
+	}
+}
+
+func TestNodeRejectsMisrouted(t *testing.T) {
+	n := NewNode(3, NewRegistry())
+	if _, err := n.Handle(&Parcel{DestNode: 5}); err == nil {
+		t.Error("misrouted parcel accepted")
+	}
+}
+
+func TestNodeOperandArity(t *testing.T) {
+	n := NewNode(0, NewRegistry())
+	cases := []*Parcel{
+		{DestNode: 0, Action: ActionWrite},                            // 0 operands
+		{DestNode: 0, Action: ActionAMOAdd, Operands: []uint64{1, 2}}, // 2
+		{DestNode: 0, Action: ActionAMOCas, Operands: []uint64{1}},    // 1
+		{DestNode: 0, Action: ActionReply},                            // 0
+		{DestNode: 0, Action: ActionInvoke, MethodID: 999},            // unregistered
+	}
+	for i, p := range cases {
+		if _, err := n.Handle(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestInvokeMethodChaining(t *testing.T) {
+	// A method that walks a linked list one hop per parcel: node i holds
+	// next pointer at addr 0 and a value at addr 1; the method accumulates
+	// the sum in Operands[0] and forwards itself until next == 0.
+	const methodWalk = 1
+	reg := NewRegistry()
+	reg.Register(methodWalk, func(m *Memory, p *Parcel) []*Parcel {
+		sum := p.Operands[0] + m.Load(1)
+		next := m.Load(0)
+		if next == 0 {
+			return []*Parcel{p.Reply(sum)}
+		}
+		return []*Parcel{{
+			DestNode: uint32(next), Action: ActionInvoke, MethodID: methodWalk,
+			Operands: []uint64{sum}, SrcNode: p.SrcNode, ContAddr: p.ContAddr, Seq: p.Seq,
+		}}
+	})
+	m := NewMachine(4, reg)
+	// Chain 1 -> 2 -> 3, values 10, 20, 30.
+	for i, v := range map[int]uint64{1: 10, 2: 20, 3: 30} {
+		m.Nodes[i].Mem.Store(1, v)
+	}
+	m.Nodes[1].Mem.Store(0, 2)
+	m.Nodes[2].Mem.Store(0, 3)
+	_, err := m.Run(&Parcel{
+		DestNode: 1, Action: ActionInvoke, MethodID: methodWalk,
+		Operands: []uint64{0}, SrcNode: 0, ContAddr: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Nodes[0].Mem.Load(500); got != 60 {
+		t.Errorf("walked sum = %d, want 60", got)
+	}
+}
+
+func TestMachineWireCheckMode(t *testing.T) {
+	reg := NewRegistry()
+	m := NewMachine(2, reg)
+	m.CheckWire = true
+	handled, err := m.Run(
+		&Parcel{DestNode: 1, DestAddr: 4, Action: ActionWrite, Operands: []uint64{9}},
+		&Parcel{DestNode: 1, DestAddr: 4, Action: ActionRead, SrcNode: 0, ContAddr: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handled != 3 { // write + read + reply
+		t.Errorf("handled = %d, want 3", handled)
+	}
+	if m.Nodes[0].Mem.Load(2) != 9 {
+		t.Errorf("reply value = %d", m.Nodes[0].Mem.Load(2))
+	}
+}
+
+func TestMachineDistributedCounter(t *testing.T) {
+	// Many AMO-add parcels from different "sources" to one counter: final
+	// value must be the exact sum (atomicity at the memory).
+	m := NewMachine(8, NewRegistry())
+	var ps []*Parcel
+	want := uint64(0)
+	for i := 0; i < 100; i++ {
+		v := uint64(i + 1)
+		want += v
+		ps = append(ps, &Parcel{
+			DestNode: 3, DestAddr: 0x40, Action: ActionAMOAdd,
+			Operands: []uint64{v}, SrcNode: uint32(i % 8), ContAddr: uint64(0x1000 + i),
+		})
+	}
+	if _, err := m.Run(ps...); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Nodes[3].Mem.Load(0x40); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if m.Nodes[3].Handled(ActionAMOAdd) != 100 {
+		t.Errorf("amo count = %d", m.Nodes[3].Handled(ActionAMOAdd))
+	}
+}
+
+func TestMachineOutOfRangeDest(t *testing.T) {
+	m := NewMachine(2, NewRegistry())
+	if _, err := m.Run(&Parcel{DestNode: 9}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+func TestMemoryZeroDefault(t *testing.T) {
+	mem := NewMemory()
+	if mem.Load(12345) != 0 {
+		t.Error("unwritten word != 0")
+	}
+	mem.Store(1, 5)
+	mem.Store(1, 0) // storing zero reclaims
+	if mem.Footprint() != 0 {
+		t.Errorf("footprint = %d after zero store", mem.Footprint())
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	hw, sw := HardwareAssisted(), SoftwareOnly()
+	if err := hw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if hw.RoundTripOverhead() >= sw.RoundTripOverhead() {
+		t.Error("hardware-assisted overhead not below software")
+	}
+	bad := CostModel{CreateCycles: -1}
+	if bad.Validate() == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := &Parcel{DestNode: 1, DestAddr: 0x100, Action: ActionAMOAdd, Operands: []uint64{1, 2, 3, 4}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	p := &Parcel{DestNode: 1, DestAddr: 0x100, Action: ActionAMOAdd, Operands: []uint64{1, 2, 3, 4}}
+	buf, _ := p.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package parcel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// timedCounter builds a timed machine, injects AMO-add parcels from every
+// node into a counter on node 0, and runs to quiescence.
+func timedCounter(t *testing.T, nodes, perNode int, latency float64) (*TimedMachine, sim.Time) {
+	t.Helper()
+	k := sim.NewKernel()
+	tm, err := NewTimedMachine(k, nodes, NewRegistry(), HardwareAssisted(), latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < perNode; i++ {
+			err := tm.Inject(&Parcel{
+				DestNode: 0, DestAddr: 0x10, Action: ActionAMOAdd,
+				Operands: []uint64{1}, SrcNode: uint32(n), ContAddr: 0x20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	done, err := tm.RunToQuiescence(1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm, done
+}
+
+func TestTimedMachineMatchesFunctionalSemantics(t *testing.T) {
+	const nodes, perNode = 4, 10
+	tm, _ := timedCounter(t, nodes, perNode, 100)
+	// Compare against the untimed functional machine.
+	fm := NewMachine(nodes, NewRegistry())
+	var ps []*Parcel
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < perNode; i++ {
+			ps = append(ps, &Parcel{
+				DestNode: 0, DestAddr: 0x10, Action: ActionAMOAdd,
+				Operands: []uint64{1}, SrcNode: uint32(n), ContAddr: 0x20,
+			})
+		}
+	}
+	if _, err := fm.Run(ps...); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tm.Node(0).Mem.Load(0x10), fm.Nodes[0].Mem.Load(0x10); got != want {
+		t.Errorf("timed counter = %d, functional = %d", got, want)
+	}
+	// Every AMO generates a reply to its source: handled = 2x injected.
+	if tm.TotalHandled() != 2*nodes*perNode {
+		t.Errorf("handled = %d, want %d", tm.TotalHandled(), 2*nodes*perNode)
+	}
+}
+
+func TestTimedMachineLatencyStretchesMakespan(t *testing.T) {
+	_, fast := timedCounter(t, 4, 10, 10)
+	_, slow := timedCounter(t, 4, 10, 2000)
+	if slow <= fast {
+		t.Errorf("makespan did not grow with latency: %g vs %g", fast, slow)
+	}
+	// Replies make one network hop, partially overlapped with service:
+	// the makespan must absorb most of the one-way latency increase.
+	if slow-fast < 1500 {
+		t.Errorf("latency barely visible: fast=%g slow=%g", fast, slow)
+	}
+}
+
+func TestTimedMachineSerializationAtDestination(t *testing.T) {
+	// All work lands on node 0: its busy fraction dominates the others.
+	tm, done := timedCounter(t, 4, 20, 50)
+	b0 := tm.BusyFrac(0, done)
+	for i := 1; i < 4; i++ {
+		if bi := tm.BusyFrac(i, done); bi > b0 {
+			t.Errorf("node %d busier (%g) than the AMO target (%g)", i, bi, b0)
+		}
+	}
+	if b0 < 0.5 {
+		t.Errorf("target node busy fraction = %g, expected high", b0)
+	}
+}
+
+func TestTimedMachineChainedInvocation(t *testing.T) {
+	// The linked-list walk from the functional tests, now timed: parcels
+	// hop 1 -> 2 -> 3, then reply to node 0.
+	const methodWalk = 1
+	reg := NewRegistry()
+	reg.Register(methodWalk, func(m *Memory, p *Parcel) []*Parcel {
+		sum := p.Operands[0] + m.Load(1)
+		next := m.Load(0)
+		if next == 0 {
+			return []*Parcel{p.Reply(sum)}
+		}
+		return []*Parcel{{
+			DestNode: uint32(next), Action: ActionInvoke, MethodID: methodWalk,
+			Operands: []uint64{sum}, SrcNode: p.SrcNode, ContAddr: p.ContAddr, Seq: p.Seq,
+		}}
+	})
+	k := sim.NewKernel()
+	const latency = 500.0
+	tm, err := NewTimedMachine(k, 4, reg, HardwareAssisted(), latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range map[int]uint64{1: 10, 2: 20, 3: 30} {
+		tm.Node(i).Mem.Store(1, v)
+	}
+	tm.Node(1).Mem.Store(0, 2)
+	tm.Node(2).Mem.Store(0, 3)
+	if err := tm.Inject(&Parcel{
+		DestNode: 1, Action: ActionInvoke, MethodID: methodWalk,
+		Operands: []uint64{0}, SrcNode: 0, ContAddr: 0x99,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done, err := tm.RunToQuiescence(1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.Node(0).Mem.Load(0x99); got != 60 {
+		t.Errorf("walk sum = %d, want 60", got)
+	}
+	// The walk makes 3 network hops (1->2, 2->3, 3->0): makespan must
+	// exceed 3 one-way latencies.
+	if done < 3*latency {
+		t.Errorf("makespan %g below 3 hops x %g", done, latency)
+	}
+}
+
+func TestTimedMachineHandlerErrorSurfaces(t *testing.T) {
+	k := sim.NewKernel()
+	tm, err := NewTimedMachine(k, 2, NewRegistry(), HardwareAssisted(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unregistered method: handler errors.
+	if err := tm.Inject(&Parcel{DestNode: 1, Action: ActionInvoke, MethodID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.RunToQuiescence(1e6); err == nil {
+		t.Error("handler error not surfaced")
+	}
+}
+
+func TestTimedMachineValidation(t *testing.T) {
+	k := sim.NewKernel()
+	if _, err := NewTimedMachine(k, 0, NewRegistry(), HardwareAssisted(), 10); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewTimedMachine(k, 2, NewRegistry(), HardwareAssisted(), -1); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := NewTimedMachine(k, 2, NewRegistry(), CostModel{CreateCycles: -1}, 10); err == nil {
+		t.Error("bad cost model accepted")
+	}
+	tm, err := NewTimedMachine(sim.NewKernel(), 2, NewRegistry(), HardwareAssisted(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Inject(&Parcel{DestNode: 9}); err == nil {
+		t.Error("out-of-range injection accepted")
+	}
+}
+
+func TestTimedMachineEmptyRun(t *testing.T) {
+	k := sim.NewKernel()
+	tm, err := NewTimedMachine(k, 2, NewRegistry(), HardwareAssisted(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := tm.RunToQuiescence(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 0 {
+		t.Errorf("empty machine quiesced at %g", done)
+	}
+}

@@ -1,0 +1,472 @@
+// Package parcelsys implements the paper's second study (§4): the
+// statistical queuing comparison of a conventional blocking message-passing
+// system (the control) against a parcel-driven split-transaction system
+// (the test) under a flat system-wide latency.
+//
+// Both systems run the same workload for the same simulated time and the
+// total work completed is compared (Fig. 11); per-node idle time is the
+// second dependent variable (Fig. 12).
+//
+// Workload model. Computation is carried by logical threads. A thread
+// executes runs of useful 1-cycle operations punctuated by memory accesses
+// (fraction MixMem of operations); each access is remote with probability
+// RemoteFrac.
+//
+//   - Control system: one thread lives permanently on each processor. A
+//     local access busies the node's memory for MemCycles. A remote access
+//     sends a request (latency L), is serviced by the destination node's
+//     memory, and returns (latency L); the processor *waits idle* the whole
+//     round trip — the paper's third processor state.
+//
+//   - Test system: Parallelism threads per processor circulate as parcels.
+//     A remote access moves the computation to the data: the node pays the
+//     parcel-creation overhead, ships the continuation (one-way latency L),
+//     and immediately services its next pending parcel; it idles only when
+//     no parcels are queued ("split transaction execution").
+package parcelsys
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/parcel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Params configures one paired (control, test) experiment.
+type Params struct {
+	// Nodes is the number of processors in each system (Fig. 12 sweeps
+	// 1…256).
+	Nodes int
+	// Parallelism is the number of parcels per processor in the test
+	// system — the paper's "degree of parallelism exposed by the
+	// split-transaction model" (Fig. 11's six major experiments).
+	Parallelism int
+	// RemoteFrac is the fraction of memory accesses that are remote.
+	RemoteFrac float64
+	// Latency is the flat one-way system latency in cycles.
+	Latency float64
+	// MixMem is the fraction of operations that access memory (the
+	// instruction-mix parameter shared by both systems; Table 1's 0.30).
+	MixMem float64
+	// MemCycles is the local memory access time in cycles.
+	MemCycles float64
+	// Overhead prices the parcel mechanism (creation/assimilation); the
+	// control system pays none of it.
+	Overhead parcel.CostModel
+	// Horizon is the simulated time both systems run for.
+	Horizon float64
+	// Seed drives all stochastic draws.
+	Seed uint64
+	// Net, when non-nil, supplies per-pair one-way latencies (a hop-count
+	// topology from internal/network) instead of the paper's flat Latency.
+	// Net.Nodes() must equal Nodes.
+	Net network.Network
+	// Hotspot skews remote destinations: with probability Hotspot a remote
+	// access targets node 0 regardless of source; the remainder are
+	// uniform. 0 (the paper's assumption) means uniform traffic.
+	Hotspot float64
+	// ControlThreads gives the control system multiple blocking threads
+	// per processor (conventional multithreaded message passing). The
+	// paper's control is single-threaded; raising this isolates the
+	// parcels' remaining advantage (one-way migration vs round trips and
+	// hardware-assisted handling). 0 means 1.
+	ControlThreads int
+}
+
+// DefaultParams returns the parameter point used by the Fig. 11/12
+// reproductions: PIM-like nodes (MixMem 0.3, 10-cycle local memory),
+// hardware-assisted parcel overheads.
+func DefaultParams() Params {
+	return Params{
+		Nodes:       16,
+		Parallelism: 4,
+		RemoteFrac:  0.3,
+		Latency:     200,
+		MixMem:      0.3,
+		MemCycles:   10,
+		Overhead:    parcel.HardwareAssisted(),
+		Horizon:     200000,
+		Seed:        1,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.Nodes <= 0:
+		return fmt.Errorf("parcelsys: Nodes = %d", p.Nodes)
+	case p.Parallelism <= 0:
+		return fmt.Errorf("parcelsys: Parallelism = %d", p.Parallelism)
+	case p.RemoteFrac < 0 || p.RemoteFrac > 1:
+		return fmt.Errorf("parcelsys: RemoteFrac = %g", p.RemoteFrac)
+	case p.Latency < 0:
+		return fmt.Errorf("parcelsys: Latency = %g", p.Latency)
+	case p.MixMem <= 0 || p.MixMem > 1:
+		return fmt.Errorf("parcelsys: MixMem = %g (the workload needs memory accesses)", p.MixMem)
+	case p.MemCycles <= 0:
+		return fmt.Errorf("parcelsys: MemCycles = %g", p.MemCycles)
+	case p.Horizon <= 0:
+		return fmt.Errorf("parcelsys: Horizon = %g", p.Horizon)
+	}
+	if p.Net != nil && p.Net.Nodes() != p.Nodes {
+		return fmt.Errorf("parcelsys: network has %d nodes, system has %d", p.Net.Nodes(), p.Nodes)
+	}
+	if p.Hotspot < 0 || p.Hotspot > 1 {
+		return fmt.Errorf("parcelsys: Hotspot = %g", p.Hotspot)
+	}
+	if p.ControlThreads < 0 {
+		return fmt.Errorf("parcelsys: ControlThreads = %d", p.ControlThreads)
+	}
+	return p.Overhead.Validate()
+}
+
+// pickDest selects the destination of a remote access from src.
+func (p Params) pickDest(st *rng.Stream, src int) int {
+	if p.Hotspot > 0 && st.Bernoulli(p.Hotspot) {
+		if src != 0 {
+			return 0
+		}
+		// The hotspot node's own remote traffic falls back to uniform.
+	}
+	return otherNode(st, src, p.Nodes)
+}
+
+// latency returns the one-way latency from src to dst: the flat Latency by
+// default, or the topology's value when Net is set.
+func (p Params) latency(src, dst int) float64 {
+	if p.Net != nil {
+		return p.Net.Latency(src, dst)
+	}
+	return p.Latency
+}
+
+// SystemResult reports one system's run.
+type SystemResult struct {
+	// Ops is the total work completed: useful operations plus memory
+	// accesses, summed over nodes.
+	Ops int64
+	// RemoteAccesses counts completed remote transactions.
+	RemoteAccesses int64
+	// IdleFrac is the mean fraction of processor time spent idle
+	// (waiting for replies in the control, empty parcel queue in the
+	// test).
+	IdleFrac float64
+	// PerNodeIdle is the idle fraction of each node.
+	PerNodeIdle []float64
+	// QueueMean is the time-averaged parcel-queue length per node (test
+	// system only; zero for the control).
+	QueueMean float64
+}
+
+// Result pairs the two systems.
+type Result struct {
+	Control SystemResult
+	Test    SystemResult
+	// Ratio is Test.Ops / Control.Ops — Fig. 11's vertical axis.
+	Ratio float64
+}
+
+// Run executes the paired experiment.
+func Run(p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	ctrl, err := runControl(p)
+	if err != nil {
+		return Result{}, err
+	}
+	test, err := runTest(p)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Control: ctrl, Test: test}
+	if ctrl.Ops > 0 {
+		r.Ratio = float64(test.Ops) / float64(ctrl.Ops)
+	}
+	return r, nil
+}
+
+// nodeStats accumulates per-node busy time and op counts.
+type nodeStats struct {
+	busy stats.TimeWeighted
+	ops  int64
+	rem  int64
+}
+
+// segment draws one execution segment: the number of useful ops before the
+// next memory access (geometric in MixMem). Returns (usefulOps, isRemote).
+func segment(st *rng.Stream, p Params) (int, bool) {
+	n := st.Geometric(p.MixMem)
+	remote := p.Nodes > 1 && st.Bernoulli(p.RemoteFrac)
+	return n, remote
+}
+
+// busyWait marks the node busy for d cycles.
+func busyWait(c *sim.Context, ns *nodeStats, d float64) {
+	ns.busy.Add(c.Now(), 1)
+	c.Wait(d)
+	ns.busy.Add(c.Now(), -1)
+}
+
+// runControl simulates the blocking message-passing system.
+func runControl(p Params) (SystemResult, error) {
+	k := sim.NewKernel()
+	mems := make([]*sim.Resource, p.Nodes)
+	nodes := make([]*nodeStats, p.Nodes)
+	cpus := make([]*sim.Resource, p.Nodes)
+	for i := range mems {
+		mems[i] = sim.NewResource(k, fmt.Sprintf("mem%d", i), 1, sim.FIFO)
+		cpus[i] = sim.NewResource(k, fmt.Sprintf("cpu%d", i), 1, sim.FIFO)
+		nodes[i] = &nodeStats{}
+		nodes[i].busy.Set(0, 0)
+	}
+	threads := p.ControlThreads
+	if threads <= 0 {
+		threads = 1
+	}
+	for i := 0; i < p.Nodes; i++ {
+		for j := 0; j < threads; j++ {
+			i := i
+			st := rng.NewWithStream(p.Seed, 1000+uint64(i)+uint64(j)*uint64(p.Nodes))
+			k.Spawn(fmt.Sprintf("ctrl-%d.%d", i, j), func(c *sim.Context) {
+				ns := nodes[i]
+				for {
+					nops, remote := segment(st, p)
+					cpus[i].Acquire(c)
+					if nops > 0 {
+						busyWait(c, ns, float64(nops))
+						ns.ops += int64(nops)
+					}
+					if remote {
+						// Blocking remote transaction: request out, service
+						// at the destination memory, reply back. The thread
+						// releases the processor and waits idle the whole
+						// round trip; with ControlThreads > 1 a sibling
+						// thread may run meanwhile.
+						cpus[i].Release(1)
+						dst := p.pickDest(st, i)
+						c.Wait(p.latency(i, dst))
+						mems[dst].Acquire(c)
+						c.Wait(p.MemCycles)
+						mems[dst].Release(1)
+						c.Wait(p.latency(dst, i))
+						ns.rem++
+					} else {
+						// Local access busies processor and its memory bank.
+						mems[i].Acquire(c)
+						busyWait(c, ns, p.MemCycles)
+						mems[i].Release(1)
+						cpus[i].Release(1)
+					}
+					ns.ops++ // the access itself is a completed operation
+				}
+			})
+		}
+	}
+	if err := k.Run(p.Horizon); err != nil {
+		return SystemResult{}, err
+	}
+	return gather(nodes, nil, p.Horizon), nil
+}
+
+// workParcel is a migrating computation continuation in the test system.
+type workParcel struct {
+	st *rng.Stream
+	// pendingAccess marks that the parcel migrated because of a remote
+	// memory access: the destination performs that access (now local)
+	// right after assimilation.
+	pendingAccess bool
+}
+
+// runTest simulates the split-transaction parcel system.
+func runTest(p Params) (SystemResult, error) {
+	k := sim.NewKernel()
+	queues := make([]*sim.Store[*workParcel], p.Nodes)
+	nodes := make([]*nodeStats, p.Nodes)
+	for i := range queues {
+		queues[i] = sim.NewStore[*workParcel](k, fmt.Sprintf("pq%d", i))
+		nodes[i] = &nodeStats{}
+		nodes[i].busy.Set(0, 0)
+	}
+	route := rng.NewWithStream(p.Seed, 500)
+
+	// Seed Parallelism parcels at every node: the paper's "average number
+	// of parcels per processor".
+	for i := 0; i < p.Nodes; i++ {
+		for j := 0; j < p.Parallelism; j++ {
+			wp := &workParcel{st: rng.NewWithStream(p.Seed, 2000+uint64(i)*64+uint64(j))}
+			queues[i].TryPut(wp)
+		}
+	}
+
+	for i := 0; i < p.Nodes; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("test-%d", i), func(c *sim.Context) {
+			ns := nodes[i]
+			for {
+				// Idle while the queue is empty (the Get blocks).
+				wp := queues[i].Get(c)
+				// Assimilation overhead to instantiate the parcel's action.
+				if p.Overhead.AssimilateCycles > 0 {
+					busyWait(c, ns, p.Overhead.AssimilateCycles)
+				}
+				// The access that caused the migration executes here, where
+				// the data lives (computation moved to the data).
+				if wp.pendingAccess {
+					wp.pendingAccess = false
+					busyWait(c, ns, p.MemCycles)
+					ns.ops++
+				}
+				// Execute the thread locally until it needs remote data.
+				for {
+					nops, remote := segment(wp.st, p)
+					if nops > 0 {
+						busyWait(c, ns, float64(nops))
+						ns.ops += int64(nops)
+					}
+					if !remote {
+						busyWait(c, ns, p.MemCycles)
+						ns.ops++
+						continue
+					}
+					// Remote access: move the computation to the data.
+					if p.Overhead.CreateCycles > 0 {
+						busyWait(c, ns, p.Overhead.CreateCycles)
+					}
+					ns.rem++
+					wp.pendingAccess = true
+					dst := p.pickDest(route, i)
+					c.Kernel().Schedule(p.latency(i, dst), func() {
+						queues[dst].TryPut(wp)
+					})
+					break // service the next pending parcel
+				}
+			}
+		})
+	}
+	if err := k.Run(p.Horizon); err != nil {
+		return SystemResult{}, err
+	}
+	return gather(nodes, queues, p.Horizon), nil
+}
+
+// otherNode picks a uniform destination distinct from self when possible.
+func otherNode(st *rng.Stream, self, n int) int {
+	if n == 1 {
+		return 0
+	}
+	d := st.Intn(n - 1)
+	if d >= self {
+		d++
+	}
+	return d
+}
+
+// gather folds per-node statistics into a SystemResult.
+func gather(nodes []*nodeStats, queues []*sim.Store[*workParcel], horizon float64) SystemResult {
+	var r SystemResult
+	r.PerNodeIdle = make([]float64, len(nodes))
+	var idleSum, queueSum float64
+	for i, ns := range nodes {
+		r.Ops += ns.ops
+		r.RemoteAccesses += ns.rem
+		busyFrac := ns.busy.Mean(horizon)
+		idle := 1 - busyFrac
+		if idle < 0 {
+			idle = 0
+		}
+		r.PerNodeIdle[i] = idle
+		idleSum += idle
+	}
+	r.IdleFrac = idleSum / float64(len(nodes))
+	if queues != nil {
+		for _, q := range queues {
+			queueSum += q.Len.Mean(horizon)
+		}
+		r.QueueMean = queueSum / float64(len(queues))
+	}
+	return r
+}
+
+// Replicated reports a metric's mean and 95% confidence half-width over
+// independent replications.
+type Replicated struct {
+	Mean float64
+	CI95 float64
+	N    int
+}
+
+// ReplicatedResult aggregates independent replications of Run.
+type ReplicatedResult struct {
+	Ratio    Replicated
+	CtrlIdle Replicated
+	TestIdle Replicated
+}
+
+// Replicate runs the paired experiment `reps` times with independent
+// seeds derived from p.Seed and returns confidence intervals — the
+// standard independent-replications method for steady-state DES output.
+func Replicate(p Params, reps int) (ReplicatedResult, error) {
+	if reps < 2 {
+		return ReplicatedResult{}, fmt.Errorf("parcelsys: Replicate needs at least 2 replications")
+	}
+	var ratio, ctrl, test stats.Sample
+	seeds := rng.New(p.Seed)
+	for i := 0; i < reps; i++ {
+		q := p
+		q.Seed = seeds.Uint64()
+		r, err := Run(q)
+		if err != nil {
+			return ReplicatedResult{}, err
+		}
+		ratio.Add(r.Ratio)
+		ctrl.Add(r.Control.IdleFrac)
+		test.Add(r.Test.IdleFrac)
+	}
+	mk := func(s *stats.Sample) Replicated {
+		return Replicated{Mean: s.Mean(), CI95: s.CI(0.95), N: int(s.N())}
+	}
+	return ReplicatedResult{Ratio: mk(&ratio), CtrlIdle: mk(&ctrl), TestIdle: mk(&test)}, nil
+}
+
+// ControlIdleFracAnalytic returns the closed-form idle fraction of one
+// control processor ignoring destination-memory queueing: per remote
+// transaction the processor idles 2L while a cycle of work costs
+// E[segment busy] = E[ops] + MemCycles.
+func ControlIdleFracAnalytic(p Params) float64 {
+	if p.Nodes == 1 || p.RemoteFrac == 0 {
+		return 0
+	}
+	eOps := (1 - p.MixMem) / p.MixMem // mean useful ops per access
+	busyPerAccess := eOps + p.MemCycles
+	idlePerAccess := p.RemoteFrac * 2 * p.Latency
+	return idlePerAccess / (busyPerAccess + idlePerAccess)
+}
+
+// TestSaturationRatioAnalytic returns the first-order prediction of
+// Fig. 11's ratio: the test system saturates at full utilization once
+// enough parallelism covers the in-flight time, so the ratio approaches
+// 1/(1 − controlIdle), degraded by the parcel overhead share.
+func TestSaturationRatioAnalytic(p Params) float64 {
+	eOps := (1 - p.MixMem) / p.MixMem
+	busyPerAccess := eOps + p.MemCycles
+	ctrlCycle := busyPerAccess + p.RemoteFrac*2*p.Latency
+	// Test busy per access includes overhead on the remote fraction; a
+	// remote access costs create+assimilate but saves the memory visit at
+	// the source (it happens at the destination, which is also counted as
+	// busy there — system-wide the work moves, not disappears).
+	testBusy := busyPerAccess + p.RemoteFrac*(p.Overhead.CreateCycles+p.Overhead.AssimilateCycles)
+	// In-flight (not runnable) time per access in the test system.
+	flight := p.RemoteFrac * p.Latency
+	util := float64(p.Parallelism) * testBusy / (testBusy + flight)
+	if util > 1 {
+		util = 1
+	}
+	// Ops per cycle per node: control completes one access-cycle per
+	// ctrlCycle; test completes util/testBusy access-cycles per cycle.
+	ratio := (util / testBusy) * ctrlCycle
+	return ratio
+}

@@ -1,0 +1,47 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"repro/internal/queueing"
+)
+
+// The M/M/1 closed forms used to validate the DES kernel.
+func ExampleMM1() {
+	r, err := queueing.MM1(0.8, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rho=%.1f L=%.1f W=%.1f\n", r.Rho, r.L, r.W)
+	// Output: rho=0.8 L=4.0 W=5.0
+}
+
+// Exact MVA of a closed interactive system: 10 customers, 1-second CPU
+// demand, 9-second think time.
+func ExampleMVA() {
+	stations := []queueing.Station{
+		{Name: "cpu", Kind: queueing.QueueingStation, Demand: 1},
+		{Name: "think", Kind: queueing.DelayStation, Demand: 9},
+	}
+	r, err := queueing.MVA(stations, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("X=%.3f jobs/s, CPU util=%.3f\n", r.Throughput, r.Utilizations[0])
+	// Output: X=0.832 jobs/s, CPU util=0.832
+}
+
+// The saturation point of a closed network — identical to the
+// Saavedra-Barrera multithreading bound the paper's §5.2 cites.
+func ExampleBottleneckAnalysis() {
+	stations := []queueing.Station{
+		{Name: "cpu", Kind: queueing.QueueingStation, Demand: 10},
+		{Name: "latency", Kind: queueing.DelayStation, Demand: 90},
+	}
+	nStar, xMax, bottleneck, err := queueing.BottleneckAnalysis(stations)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("saturates at N*=%.0f threads, Xmax=%.1f, bottleneck=%s\n", nStar, xMax, bottleneck)
+	// Output: saturates at N*=10 threads, Xmax=0.1, bottleneck=cpu
+}

@@ -1,0 +1,146 @@
+package queueing
+
+import (
+	"fmt"
+)
+
+// This file implements exact Mean Value Analysis (MVA) for closed,
+// single-class product-form queueing networks. The paper's control system
+// (study 2) is such a network: each processor's thread cycles between CPU
+// service, memory service, and a pure network delay, so MVA provides an
+// independent analytic cross-check on the parcelsys simulation, and the
+// multithreaded test system corresponds to raising the customer
+// population.
+
+// StationKind distinguishes queueing from delay (infinite-server) centres.
+type StationKind int
+
+// Station kinds.
+const (
+	// QueueingStation is a single-server FCFS centre.
+	QueueingStation StationKind = iota
+	// DelayStation is an infinite-server (pure latency) centre.
+	DelayStation
+)
+
+// Station describes one service centre of a closed network.
+type Station struct {
+	Name string
+	Kind StationKind
+	// Demand is the service demand per visit-cycle: visit ratio × mean
+	// service time.
+	Demand float64
+}
+
+// MVAResult holds the exact MVA solution for population n.
+type MVAResult struct {
+	N int
+	// Throughput is the system throughput X(n) in cycles per time unit.
+	Throughput float64
+	// ResidenceTimes per station (waiting + service, per cycle).
+	ResidenceTimes []float64
+	// QueueLengths per station (mean customers present).
+	QueueLengths []float64
+	// CycleTime is the mean time for one full cycle.
+	CycleTime float64
+	// Utilizations per station (demand × throughput; for delay stations
+	// this is the mean number in service).
+	Utilizations []float64
+}
+
+// MVA solves the closed network exactly for population n by the standard
+// recursion over populations 1..n.
+func MVA(stations []Station, n int) (MVAResult, error) {
+	if len(stations) == 0 {
+		return MVAResult{}, fmt.Errorf("queueing: MVA with no stations")
+	}
+	if n <= 0 {
+		return MVAResult{}, fmt.Errorf("queueing: MVA with population %d", n)
+	}
+	for _, s := range stations {
+		if s.Demand < 0 {
+			return MVAResult{}, fmt.Errorf("queueing: station %q has negative demand", s.Name)
+		}
+	}
+	k := len(stations)
+	q := make([]float64, k) // queue lengths at population m-1
+	var res MVAResult
+	for m := 1; m <= n; m++ {
+		r := make([]float64, k)
+		var cycle float64
+		for i, s := range stations {
+			switch s.Kind {
+			case QueueingStation:
+				r[i] = s.Demand * (1 + q[i])
+			case DelayStation:
+				r[i] = s.Demand
+			default:
+				return MVAResult{}, fmt.Errorf("queueing: unknown station kind %d", s.Kind)
+			}
+			cycle += r[i]
+		}
+		x := float64(m) / cycle
+		for i := range stations {
+			q[i] = x * r[i]
+		}
+		if m == n {
+			res = MVAResult{
+				N:              n,
+				Throughput:     x,
+				ResidenceTimes: r,
+				QueueLengths:   q,
+				CycleTime:      cycle,
+			}
+		}
+	}
+	res.Utilizations = make([]float64, k)
+	for i, s := range stations {
+		res.Utilizations[i] = res.Throughput * s.Demand
+	}
+	return res, nil
+}
+
+// MVASweep solves the network for every population 1..nMax and returns the
+// per-population throughputs — the saturation curve that underlies the
+// paper's Fig. 11 parallelism series.
+func MVASweep(stations []Station, nMax int) ([]float64, error) {
+	if nMax <= 0 {
+		return nil, fmt.Errorf("queueing: MVASweep with nMax %d", nMax)
+	}
+	out := make([]float64, nMax)
+	for n := 1; n <= nMax; n++ {
+		r, err := MVA(stations, n)
+		if err != nil {
+			return nil, err
+		}
+		out[n-1] = r.Throughput
+	}
+	return out, nil
+}
+
+// BottleneckAnalysis returns the asymptotic bounds of the closed network:
+// the saturation population N* = (sum of demands + max demand delay)/Dmax
+// and the asymptotic throughput 1/Dmax, where Dmax is the largest
+// queueing-station demand (operational-analysis bounds).
+func BottleneckAnalysis(stations []Station) (nStar, xMax float64, bottleneck string, err error) {
+	if len(stations) == 0 {
+		return 0, 0, "", fmt.Errorf("queueing: BottleneckAnalysis with no stations")
+	}
+	var totalD, z, dMax float64
+	for _, s := range stations {
+		switch s.Kind {
+		case QueueingStation:
+			totalD += s.Demand
+			if s.Demand > dMax {
+				dMax = s.Demand
+				bottleneck = s.Name
+			}
+		case DelayStation:
+			z += s.Demand
+		}
+	}
+	if dMax == 0 {
+		return 0, 0, "", fmt.Errorf("queueing: no queueing demand")
+	}
+	return (totalD + z) / dMax, 1 / dMax, bottleneck, nil
+}

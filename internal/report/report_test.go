@@ -1,0 +1,213 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 400000000.0)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "name", "value", "alpha", "1.5", "4.000e+08"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "col")
+	tb.AddRow("short")
+	tb.AddRow("a-much-longer-cell")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	width := len(lines[2])
+	for _, ln := range lines[2:] {
+		if len(ln) != width {
+			t.Errorf("misaligned row %q (want width %d)", ln, width)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddStringRow("1", `has "quote", and comma`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"has ""quote"", and comma"`) {
+		t.Errorf("CSV quoting wrong: %q", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("T", "h1", "h2")
+	tb.AddRow(1, 2)
+	var sb strings.Builder
+	if err := tb.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| h1 | h2 |") || !strings.Contains(out, "| 1 | 2 |") {
+		t.Errorf("markdown wrong:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{1.5, "1.5"},
+		{400000000, "4.000e+08"},
+		{0.0001, "1.000e-04"},
+		{3.14159265, "3.1416"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	var sb strings.Builder
+	labels := []string{"a", "bb", "ccc"}
+	counts := []int64{10, 0, 5}
+	if err := RenderHistogram(&sb, "title", labels, counts, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Peak bar is 20 wide; zero count draws no bar; nonzero small counts
+	// draw at least one glyph.
+	if strings.Count(lines[1], "#") != 20 {
+		t.Errorf("peak bar wrong: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 0 {
+		t.Errorf("zero bar wrong: %q", lines[2])
+	}
+	if strings.Count(lines[3], "#") != 10 {
+		t.Errorf("half bar wrong: %q", lines[3])
+	}
+}
+
+func TestRenderHistogramErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderHistogram(&sb, "", []string{"a"}, []int64{1, 2}, 10); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := RenderHistogram(&sb, "", nil, nil, 10); err == nil {
+		t.Error("empty histogram accepted")
+	}
+}
+
+func TestHistogramLabels(t *testing.T) {
+	labels := HistogramLabels(0, 10, 2)
+	if labels[0] != "[0, 5)" || labels[1] != "[5, 10)" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	ch := NewChart("Gain", "N", "gain")
+	err := ch.Add(Series{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Gain", "gain", "N: 1 .. 3", "* = a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data glyphs plotted")
+	}
+}
+
+func TestChartLogScales(t *testing.T) {
+	ch := NewChart("L", "x", "y")
+	ch.LogX, ch.LogY = true, true
+	if err := ch.Add(Series{Name: "s", X: []float64{1, 10, 100}, Y: []float64{1, 100, 10000}}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "10^") {
+		t.Errorf("log chart missing 10^ annotation:\n%s", sb.String())
+	}
+}
+
+func TestChartMismatchedSeries(t *testing.T) {
+	ch := NewChart("bad", "x", "y")
+	if err := ch.Add(Series{Name: "s", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := NewChart("empty", "x", "y")
+	var sb strings.Builder
+	if err := ch.Render(&sb); err == nil {
+		t.Error("empty chart rendered without error")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	ch := NewChart("const", "x", "y")
+	if err := ch.Add(Series{Name: "s", X: []float64{1, 2}, Y: []float64{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartMultiSeriesDistinctMarks(t *testing.T) {
+	ch := NewChart("multi", "x", "y")
+	_ = ch.Add(Series{Name: "one", X: []float64{1, 2}, Y: []float64{1, 2}})
+	_ = ch.Add(Series{Name: "two", X: []float64{1, 2}, Y: []float64{2, 1}})
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "* = one") || !strings.Contains(out, "o = two") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,268 @@
+// Package sim is a deterministic process-interaction discrete-event
+// simulation kernel. It is the replacement for the commercial HyPerformix
+// SES/Workbench tool the paper used: transactions are modeled as lightweight
+// processes (goroutines) that advance simulated time by waiting, acquiring
+// resources, and exchanging messages, while a single-threaded event loop
+// guarantees reproducible execution order.
+//
+// Concurrency model: any number of process goroutines may exist, but exactly
+// one of them (or the kernel event loop itself) runs at any instant. Control
+// passes between the kernel and a process through a channel handoff, so the
+// simulation is deterministic: the same seed and model always produce the
+// same trajectory. Ties in event time are broken by schedule order.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is simulated time. The models in this repository measure time in HWP
+// clock cycles (the paper normalizes all times to heavyweight-processor
+// cycles), but the kernel itself is unit-agnostic.
+type Time = float64
+
+// ErrDeadlock is returned by RunUntilIdle when no events remain but live
+// processes are still blocked.
+var ErrDeadlock = errors.New("sim: deadlock: no scheduled events but processes remain blocked")
+
+// event is a scheduled callback.
+type event struct {
+	t     Time
+	seq   uint64 // tie-breaker: schedule order
+	fn    func()
+	dead  bool // canceled
+	index int  // heap index, maintained by heap.Interface
+}
+
+// eventHeap is a min-heap on (t, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation instance. Create one with NewKernel;
+// the zero value is not usable.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	procs  map[*Proc]struct{} // live (started, not finished) processes
+	yield  chan struct{}      // process -> kernel handoff
+	err    error              // first process panic, if any
+	nextID int64
+
+	// Tracer, if non-nil, observes process state transitions. Used by the
+	// trace package to build per-processor timelines.
+	Tracer Tracer
+
+	stopped bool // Stop() requested
+}
+
+// Tracer receives process lifecycle callbacks. All callbacks run on the
+// simulation's single logical thread.
+type Tracer interface {
+	// ProcState is called when process name enters the given informal state
+	// ("start", "wait", "run", "done", ...) at simulated time t.
+	ProcState(t Time, name string, state string)
+}
+
+// NewKernel returns an empty simulation at time 0.
+func NewKernel() *Kernel {
+	return &Kernel{
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Timer is a handle to a scheduled callback; Cancel prevents a pending
+// callback from firing.
+type Timer struct{ ev *event }
+
+// Cancel marks the timer dead. Canceling an already-fired or already-
+// canceled timer is a no-op. It reports whether the cancel took effect.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.index < 0 {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// ScheduleAt registers fn to run at absolute simulated time t. Scheduling
+// in the past panics (events must be causal).
+func (k *Kernel) ScheduleAt(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%g) before now (%g)", t, k.now))
+	}
+	ev := &event{t: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Schedule registers fn to run after the given delay (>= 0).
+func (k *Kernel) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %g", delay))
+	}
+	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// Stop requests that the current Run call return after the event that is
+// executing finishes. Remaining processes are killed as on normal
+// completion.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step executes the next event. It reports false when no live events remain.
+func (k *Kernel) step(until Time, bounded bool) bool {
+	for len(k.events) > 0 {
+		ev := k.events[0]
+		if ev.dead {
+			heap.Pop(&k.events)
+			continue
+		}
+		if bounded && ev.t > until {
+			return false
+		}
+		heap.Pop(&k.events)
+		k.now = ev.t
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run advances the simulation until simulated time `until`, then kills any
+// remaining processes and returns the first process error (model panic), if
+// any. After Run returns, Now() == until (unless Stop was called earlier).
+func (k *Kernel) Run(until Time) error {
+	if until < k.now {
+		return fmt.Errorf("sim: Run(%g) before now (%g)", until, k.now)
+	}
+	for !k.stopped && k.step(until, true) {
+	}
+	if !k.stopped {
+		k.now = until
+	}
+	k.shutdown()
+	return k.err
+}
+
+// RunUntilIdle advances the simulation until no events remain. It returns
+// the final simulated time and ErrDeadlock if blocked processes remain, or
+// the first process error.
+func (k *Kernel) RunUntilIdle() (Time, error) {
+	for !k.stopped && k.step(0, false) {
+	}
+	if k.err != nil {
+		k.shutdown()
+		return k.now, k.err
+	}
+	if len(k.procs) > 0 {
+		blocked := len(k.procs)
+		k.shutdown()
+		if k.err != nil {
+			return k.now, k.err
+		}
+		return k.now, fmt.Errorf("%w (%d blocked)", ErrDeadlock, blocked)
+	}
+	k.shutdown()
+	return k.now, k.err
+}
+
+// shutdown kills every remaining process so no goroutines leak. Processes
+// are unblocked in an arbitrary but inconsequential order: each one panics
+// internally with a kill sentinel that its wrapper recovers.
+func (k *Kernel) shutdown() {
+	for len(k.procs) > 0 {
+		var p *Proc
+		for q := range k.procs {
+			if p == nil || q.id < p.id {
+				p = q // deterministic order: lowest id first
+			}
+		}
+		k.kill(p)
+	}
+}
+
+// kill terminates one live process.
+func (k *Kernel) kill(p *Proc) {
+	if p.done {
+		delete(k.procs, p)
+		return
+	}
+	p.killed = true
+	if p.cancel != nil {
+		p.cancel()
+		p.cancel = nil
+	}
+	k.resume(p)
+}
+
+// resume hands control to process p and blocks until it parks again or
+// finishes. Must only be called from the kernel's logical thread (inside an
+// event callback or the shutdown loop).
+func (k *Kernel) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	if !p.started {
+		p.started = true
+		go p.main()
+	} else {
+		p.wake <- struct{}{}
+	}
+	<-k.yield
+}
+
+// scheduleResume schedules process p to be resumed after delay. This is the
+// only correct way to wake a process from inside another process (direct
+// resume would re-enter the handoff protocol).
+func (k *Kernel) scheduleResume(p *Proc, delay Time) *Timer {
+	return k.Schedule(delay, func() { k.resume(p) })
+}
+
+// Idle reports whether no events are pending and no processes are live.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 && len(k.procs) == 0 }
+
+// PendingEvents returns the number of scheduled (possibly canceled) events;
+// exposed for tests and diagnostics.
+func (k *Kernel) PendingEvents() int { return len(k.events) }
+
+// LiveProcs returns the number of live processes.
+func (k *Kernel) LiveProcs() int { return len(k.procs) }
+
+func (k *Kernel) trace(t Time, name, state string) {
+	if k.Tracer != nil {
+		k.Tracer.ProcState(t, name, state)
+	}
+}

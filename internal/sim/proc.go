@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInterrupted is returned from interruptible waits (Sleep) when another
+// process calls Interrupt on the sleeping process.
+var ErrInterrupted = errors.New("sim: interrupted")
+
+// killSentinel unwinds a process goroutine when the kernel kills it at the
+// end of a run. It never escapes the process wrapper.
+type killSentinel struct{}
+
+// Proc is one simulated process (a "transaction" in SES/Workbench terms).
+type Proc struct {
+	k       *Kernel
+	id      int64
+	name    string
+	fn      func(*Context)
+	wake    chan struct{}
+	started bool
+	done    bool
+	killed  bool
+	// cancel deregisters the process from whatever wait structure it is
+	// blocked on (resource queue, store, signal); non-nil only while parked
+	// in a cancellable wait.
+	cancel func()
+	// interrupted is set by Interrupt and consumed by Sleep.
+	interrupted bool
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// Context is the handle a process body uses to interact with the kernel.
+// A Context is only valid inside its own process goroutine.
+type Context struct {
+	k *Kernel
+	p *Proc
+}
+
+// Spawn creates a process that starts at the current simulated time.
+// The returned Proc may be used with Interrupt.
+func (k *Kernel) Spawn(name string, fn func(*Context)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process that starts at absolute simulated time t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(*Context)) *Proc {
+	p := &Proc{
+		k:    k,
+		id:   k.nextID,
+		name: name,
+		fn:   fn,
+		wake: make(chan struct{}),
+	}
+	k.nextID++
+	k.procs[p] = struct{}{}
+	k.ScheduleAt(t, func() { k.resume(p) })
+	return p
+}
+
+// main is the process goroutine body: runs fn, recovers the kill sentinel,
+// records model panics, and always hands control back to the kernel.
+func (p *Proc) main() {
+	defer func() {
+		r := recover()
+		p.done = true
+		delete(p.k.procs, p)
+		if r != nil {
+			if _, isKill := r.(killSentinel); !isKill {
+				if p.k.err == nil {
+					p.k.err = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+				// Stop the run so the error surfaces promptly.
+				p.k.stopped = true
+			}
+		}
+		p.k.trace(p.k.now, p.name, "done")
+		p.k.yield <- struct{}{}
+	}()
+	p.k.trace(p.k.now, p.name, "start")
+	p.fn(&Context{k: p.k, p: p})
+}
+
+// park blocks the calling process until the kernel resumes it. Must be
+// called with any necessary wait registration (p.cancel) already in place.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.wake
+	if p.killed {
+		panic(killSentinel{})
+	}
+}
+
+// Now returns the current simulated time.
+func (c *Context) Now() Time { return c.k.now }
+
+// Kernel returns the kernel this context belongs to, for spawning or
+// scheduling from inside a process.
+func (c *Context) Kernel() *Kernel { return c.k }
+
+// Proc returns the process handle for this context.
+func (c *Context) Proc() *Proc { return c.p }
+
+// Name returns the process name.
+func (c *Context) Name() string { return c.p.name }
+
+// Wait advances this process's local time by d (>= 0). It is
+// uninterruptible: only end-of-run kill unwinds it.
+func (c *Context) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Wait with negative duration %g", d))
+	}
+	c.k.trace(c.k.now, c.p.name, "wait")
+	c.k.scheduleResume(c.p, d)
+	c.p.park()
+	c.k.trace(c.k.now, c.p.name, "run")
+}
+
+// WaitUntil blocks until absolute simulated time t (>= now).
+func (c *Context) WaitUntil(t Time) {
+	c.Wait(t - c.k.now)
+}
+
+// Sleep is an interruptible wait: it returns nil after d simulated time, or
+// ErrInterrupted (early) if another process calls Interrupt on this one.
+func (c *Context) Sleep(d Time) error {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Sleep with negative duration %g", d))
+	}
+	timer := c.k.scheduleResume(c.p, d)
+	c.p.cancel = func() { timer.Cancel() }
+	c.p.park()
+	c.p.cancel = nil
+	if c.p.interrupted {
+		c.p.interrupted = false
+		return ErrInterrupted
+	}
+	return nil
+}
+
+// Interrupt wakes target early if it is blocked in an interruptible wait
+// (Sleep). It reports whether an interrupt was delivered. Interrupting a
+// process that is not interruptibly blocked is a no-op returning false.
+func (k *Kernel) Interrupt(target *Proc) bool {
+	if target.done || target.cancel == nil {
+		return false
+	}
+	target.cancel()
+	target.cancel = nil
+	target.interrupted = true
+	k.Schedule(0, func() { k.resume(target) })
+	return true
+}
+
+// Yield lets every other event scheduled at the current instant run before
+// this process continues (equivalent to Wait(0), named for intent).
+func (c *Context) Yield() { c.Wait(0) }
+
+// Spawn starts a child process at the current time. Purely a convenience
+// for c.Kernel().Spawn.
+func (c *Context) Spawn(name string, fn func(*Context)) *Proc {
+	return c.k.Spawn(name, fn)
+}

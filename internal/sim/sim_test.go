@@ -1,0 +1,651 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(5, func() { order = append(order, 2) })
+	k.Schedule(1, func() { order = append(order, 1) })
+	k.Schedule(5, func() { order = append(order, 3) }) // same time: schedule order
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 10 {
+		t.Errorf("Now() = %g, want 10", k.Now())
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(5, func() {})
+	if err := k.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	k.ScheduleAt(1, func() {})
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.Schedule(5, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("first Cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestProcessWait(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.Spawn("p", func(c *Context) {
+		times = append(times, c.Now())
+		c.Wait(3)
+		times = append(times, c.Now())
+		c.Wait(4)
+		times = append(times, c.Now())
+	})
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 3, 7}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	k := NewKernel()
+	var start Time = -1
+	k.SpawnAt(42, "late", func(c *Context) { start = c.Now() })
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if start != 42 {
+		t.Errorf("process started at %g, want 42", start)
+	}
+}
+
+func TestRunKillsBlockedProcesses(t *testing.T) {
+	k := NewKernel()
+	reached := false
+	k.Spawn("sleeper", func(c *Context) {
+		c.Wait(1000)
+		reached = true // must never run: killed at t=10
+	})
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Fatal("killed process continued past end of run")
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after Run", k.LiveProcs())
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bad", func(c *Context) {
+		c.Wait(1)
+		panic("model bug")
+	})
+	err := k.Run(10)
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	k.Spawn("p", func(c *Context) {
+		c.Wait(7)
+		end = c.Now()
+	})
+	final, err := k.RunUntilIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 7 || final != 7 {
+		t.Errorf("end=%g final=%g, want 7", end, final)
+	}
+}
+
+func TestRunUntilIdleDeadlock(t *testing.T) {
+	k := NewKernel()
+	sig := NewSignal(k, "never")
+	k.Spawn("stuck", func(c *Context) { sig.Wait(c) })
+	_, err := k.RunUntilIdle()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 1, FIFO)
+	var maxConc, conc int
+	for i := 0; i < 5; i++ {
+		k.Spawn("worker", func(c *Context) {
+			r.Acquire(c)
+			conc++
+			if conc > maxConc {
+				maxConc = conc
+			}
+			c.Wait(2)
+			conc--
+			r.Release(1)
+		})
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if maxConc != 1 {
+		t.Errorf("max concurrency %d on capacity-1 resource", maxConc)
+	}
+	if r.Grants() != 5 {
+		t.Errorf("grants = %d, want 5", r.Grants())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 1, FIFO)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.SpawnAt(Time(i), "w", func(c *Context) {
+			r.Acquire(c)
+			order = append(order, i)
+			c.Wait(10)
+			r.Release(1)
+		})
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO order violated: %v", order)
+		}
+	}
+}
+
+func TestResourceLIFOOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 1, LIFO)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.SpawnAt(Time(i), "w", func(c *Context) {
+			r.Acquire(c)
+			order = append(order, i)
+			c.Wait(10)
+			r.Release(1)
+		})
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// First arrival (t=0) grabs the idle server; the rest queue and are
+	// served newest-first: 0, 3, 2, 1.
+	want := []int{0, 3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("LIFO order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourcePriorityOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 1, Priority)
+	var order []int
+	prios := []float64{3, 1, 2}
+	for i := 0; i < 3; i++ {
+		i := i
+		k.SpawnAt(Time(i)+1, "w", func(c *Context) {
+			r.AcquireN(c, 1, prios[i])
+			order = append(order, i)
+			c.Wait(10)
+			r.Release(1)
+		})
+	}
+	// A holder occupies the resource while the three contenders arrive.
+	k.Spawn("holder", func(c *Context) {
+		r.Acquire(c)
+		c.Wait(5)
+		r.Release(1)
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0} // priorities 1, 2, 3
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceNUnitGrants(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "mem", 4, FIFO)
+	var events []string
+	k.Spawn("big", func(c *Context) {
+		r.AcquireN(c, 3, 0)
+		events = append(events, "big+")
+		c.Wait(10)
+		r.Release(3)
+		events = append(events, "big-")
+	})
+	k.SpawnAt(1, "bigger", func(c *Context) {
+		r.AcquireN(c, 4, 0) // must wait for all 4
+		events = append(events, "bigger+")
+		r.Release(4)
+	})
+	k.SpawnAt(2, "small", func(c *Context) {
+		r.Acquire(c) // 1 unit free, but must not bypass FIFO head
+		events = append(events, "small+")
+		r.Release(1)
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"big+", "big-", "bigger+", "small+"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 1, FIFO)
+	var got []bool
+	k.Spawn("p", func(c *Context) {
+		got = append(got, r.TryAcquire(c, 1)) // true
+		got = append(got, r.TryAcquire(c, 1)) // false: busy
+		r.Release(1)
+		got = append(got, r.TryAcquire(c, 1)) // true again
+		r.Release(1)
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] || got[1] || !got[2] {
+		t.Errorf("TryAcquire sequence = %v, want [true false true]", got)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 1, FIFO)
+	k.Spawn("p", func(c *Context) {
+		r.Acquire(c)
+		c.Wait(30)
+		r.Release(1)
+	})
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if u := r.Utilization(k.Now()); math.Abs(u-0.3) > 1e-12 {
+		t.Errorf("utilization = %g, want 0.3", u)
+	}
+}
+
+func TestStoreFIFO(t *testing.T) {
+	k := NewKernel()
+	s := NewStore[int](k, "box")
+	var got []int
+	k.Spawn("consumer", func(c *Context) {
+		for i := 0; i < 3; i++ {
+			got = append(got, s.Get(c))
+		}
+	})
+	k.Spawn("producer", func(c *Context) {
+		for i := 1; i <= 3; i++ {
+			c.Wait(1)
+			s.Put(c, i)
+		}
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestStoreGetBlocksUntilPut(t *testing.T) {
+	k := NewKernel()
+	s := NewStore[string](k, "box")
+	var when Time
+	k.Spawn("consumer", func(c *Context) {
+		_ = s.Get(c)
+		when = c.Now()
+	})
+	k.SpawnAt(9, "producer", func(c *Context) { s.Put(c, "x") })
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if when != 9 {
+		t.Errorf("Get unblocked at %g, want 9", when)
+	}
+}
+
+func TestBoundedStorePutBlocks(t *testing.T) {
+	k := NewKernel()
+	s := NewBoundedStore[int](k, "box", 2)
+	var putDone Time = -1
+	k.Spawn("producer", func(c *Context) {
+		s.Put(c, 1)
+		s.Put(c, 2)
+		s.Put(c, 3) // blocks until a Get
+		putDone = c.Now()
+	})
+	k.SpawnAt(5, "consumer", func(c *Context) { _ = s.Get(c) })
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if putDone != 5 {
+		t.Errorf("third Put completed at %g, want 5", putDone)
+	}
+	if s.Size() != 2 {
+		t.Errorf("store size = %d, want 2", s.Size())
+	}
+}
+
+func TestTryPutTryGet(t *testing.T) {
+	k := NewKernel()
+	s := NewBoundedStore[int](k, "box", 1)
+	k.Spawn("p", func(c *Context) {
+		if !s.TryPut(7) {
+			t.Error("TryPut into empty bounded store failed")
+		}
+		if s.TryPut(8) {
+			t.Error("TryPut into full store succeeded")
+		}
+		v, ok := s.TryGet(c)
+		if !ok || v != 7 {
+			t.Errorf("TryGet = (%d, %v), want (7, true)", v, ok)
+		}
+		if _, ok := s.TryGet(c); ok {
+			t.Error("TryGet from empty store succeeded")
+		}
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := NewKernel()
+	sig := NewSignal(k, "go")
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", func(c *Context) {
+			sig.Wait(c)
+			woke = append(woke, c.Now())
+		})
+	}
+	k.SpawnAt(4, "trigger", func(c *Context) { sig.Trigger() })
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != 4 {
+			t.Errorf("waiter woke at %g, want 4", w)
+		}
+	}
+	// Wait after trigger returns immediately.
+	k2 := NewKernel()
+	sig2 := NewSignal(k2, "done")
+	sig2.Trigger()
+	var at Time = -1
+	k2.Spawn("late", func(c *Context) {
+		sig2.Wait(c)
+		at = c.Now()
+	})
+	if _, err := k2.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Errorf("late waiter returned at %g, want 0", at)
+	}
+}
+
+func TestWaitGroupJoin(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k, "join", 3)
+	var joined Time = -1
+	for i := 1; i <= 3; i++ {
+		d := Time(i * 10)
+		k.Spawn("w", func(c *Context) {
+			c.Wait(d)
+			wg.Done()
+		})
+	}
+	k.Spawn("joiner", func(c *Context) {
+		wg.Wait(c)
+		joined = c.Now()
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if joined != 30 {
+		t.Errorf("join completed at %g, want 30", joined)
+	}
+}
+
+func TestSleepInterrupt(t *testing.T) {
+	k := NewKernel()
+	var result error
+	var when Time
+	p := k.Spawn("sleeper", func(c *Context) {
+		result = c.Sleep(100)
+		when = c.Now()
+	})
+	k.SpawnAt(5, "waker", func(c *Context) {
+		if !c.Kernel().Interrupt(p) {
+			t.Error("Interrupt reported no delivery")
+		}
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if result != ErrInterrupted {
+		t.Errorf("Sleep returned %v, want ErrInterrupted", result)
+	}
+	if when != 5 {
+		t.Errorf("interrupted at %g, want 5", when)
+	}
+}
+
+func TestSleepUninterrupted(t *testing.T) {
+	k := NewKernel()
+	var result error = ErrInterrupted
+	k.Spawn("sleeper", func(c *Context) { result = c.Sleep(4) })
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if result != nil {
+		t.Errorf("Sleep returned %v, want nil", result)
+	}
+}
+
+func TestInterruptNonBlockedIsNoop(t *testing.T) {
+	k := NewKernel()
+	p := k.Spawn("runner", func(c *Context) { c.Wait(10) })
+	delivered := true
+	k.SpawnAt(1, "waker", func(c *Context) {
+		delivered = c.Kernel().Interrupt(p) // p is in Wait, not Sleep
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Error("Interrupt on uninterruptible Wait reported delivery")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		k := NewKernel()
+		r := NewResource(k, "cpu", 2, FIFO)
+		st := rng.New(seed)
+		var finish []float64
+		for i := 0; i < 50; i++ {
+			k.Spawn("job", func(c *Context) {
+				c.Wait(st.Exp(3))
+				r.Acquire(c)
+				c.Wait(st.Exp(5))
+				r.Release(1)
+				finish = append(finish, c.Now())
+			})
+		}
+		if _, err := k.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return finish
+	}
+	a, b := run(12345), run(12345)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectory diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	c := run(54321)
+	same := true
+	for i := range a {
+		if i >= len(c) || a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(a) == len(c) {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+func TestYieldRunsSameTimeEvents(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(c *Context) {
+		order = append(order, "a1")
+		c.Yield()
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(c *Context) {
+		order = append(order, "b1")
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 5 {
+			k.Stop()
+			return
+		}
+		k.Schedule(1, tick)
+	}
+	k.Schedule(1, tick)
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if k.Now() != 5 {
+		t.Errorf("Now = %g, want 5", k.Now())
+	}
+}
+
+func TestNegativeWaitPanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bad", func(c *Context) { c.Wait(-1) })
+	if err := k.Run(1); err == nil {
+		t.Fatal("expected error from negative Wait")
+	}
+}
+
+func TestResourceQueueStats(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 1, FIFO)
+	// Two jobs: first holds [0,10], second arrives at 0 and waits 10.
+	k.Spawn("first", func(c *Context) {
+		r.Acquire(c)
+		c.Wait(10)
+		r.Release(1)
+	})
+	k.Spawn("second", func(c *Context) {
+		r.Acquire(c)
+		c.Wait(10)
+		r.Release(1)
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if w := r.WaitTime.Max(); math.Abs(w-10) > 1e-9 {
+		t.Errorf("max wait = %g, want 10", w)
+	}
+	// Average queue length over [0,20]: one waiter during [0,10] = 0.5.
+	if ql := r.QueueLen.Mean(k.Now()); math.Abs(ql-0.5) > 1e-9 {
+		t.Errorf("mean queue length = %g, want 0.5", ql)
+	}
+}

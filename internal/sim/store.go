@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Store is a FIFO buffer of items of type T with optional capacity bound.
+// Get blocks while the store is empty; Put blocks while it is full (if
+// bounded). It is the kernel's message-queue primitive: mailboxes, parcel
+// queues, and work pools are all Stores.
+type Store[T any] struct {
+	k        *Kernel
+	name     string
+	capacity int // 0 = unbounded
+	items    []T
+	getters  []*storeWaiter[T]
+	putters  []*putWaiter[T]
+
+	// Len is the time-weighted number of buffered items.
+	Len stats.TimeWeighted
+	// GetWait samples how long each Get blocked.
+	GetWait stats.Sample
+
+	puts, gets int64
+}
+
+type storeWaiter[T any] struct {
+	p       *Proc
+	item    T
+	granted bool
+	since   Time
+}
+
+type putWaiter[T any] struct {
+	p       *Proc
+	item    T
+	granted bool
+}
+
+// NewStore creates an unbounded store.
+func NewStore[T any](k *Kernel, name string) *Store[T] {
+	return NewBoundedStore[T](k, name, 0)
+}
+
+// NewBoundedStore creates a store holding at most capacity items
+// (capacity 0 means unbounded).
+func NewBoundedStore[T any](k *Kernel, name string, capacity int) *Store[T] {
+	if capacity < 0 {
+		panic(fmt.Sprintf("sim: NewBoundedStore %q with negative capacity", name))
+	}
+	s := &Store[T]{k: k, name: name, capacity: capacity}
+	s.Len.Set(k.now, 0)
+	return s
+}
+
+// Name returns the store name.
+func (s *Store[T]) Name() string { return s.name }
+
+// Size returns the current number of buffered items.
+func (s *Store[T]) Size() int { return len(s.items) }
+
+// Puts returns the total number of completed Put operations.
+func (s *Store[T]) Puts() int64 { return s.puts }
+
+// Gets returns the total number of completed Get operations.
+func (s *Store[T]) Gets() int64 { return s.gets }
+
+// Put adds an item, blocking while a bounded store is full.
+func (s *Store[T]) Put(c *Context, item T) {
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		w := &putWaiter[T]{p: c.p, item: item}
+		s.putters = append(s.putters, w)
+		c.p.cancel = func() { s.removePutter(w) }
+		c.p.park()
+		c.p.cancel = nil
+		if !w.granted {
+			panic(fmt.Sprintf("sim: process %q resumed in store %q put queue without grant", c.p.name, s.name))
+		}
+		return
+	}
+	s.deposit(item)
+}
+
+// TryPut adds an item without blocking; it reports success. For unbounded
+// stores it always succeeds.
+func (s *Store[T]) TryPut(item T) bool {
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		return false
+	}
+	s.deposit(item)
+	return true
+}
+
+// deposit inserts the item, serving a blocked getter directly if any.
+func (s *Store[T]) deposit(item T) {
+	s.puts++
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		g.item = item
+		g.granted = true
+		s.gets++
+		p := g.p
+		s.k.Schedule(0, func() { s.k.resume(p) })
+		return
+	}
+	s.items = append(s.items, item)
+	s.Len.Set(s.k.now, float64(len(s.items)))
+}
+
+// Get removes and returns the oldest item, blocking while the store is
+// empty.
+func (s *Store[T]) Get(c *Context) T {
+	if len(s.items) > 0 {
+		return s.takeHead(c)
+	}
+	w := &storeWaiter[T]{p: c.p, since: c.k.now}
+	s.getters = append(s.getters, w)
+	c.p.cancel = func() { s.removeGetter(w) }
+	c.p.park()
+	c.p.cancel = nil
+	if !w.granted {
+		panic(fmt.Sprintf("sim: process %q resumed in store %q get queue without item", c.p.name, s.name))
+	}
+	s.GetWait.Add(c.k.now - w.since)
+	return w.item
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (s *Store[T]) TryGet(c *Context) (T, bool) {
+	if len(s.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return s.takeHead(c), true
+}
+
+func (s *Store[T]) takeHead(c *Context) T {
+	item := s.items[0]
+	s.items = s.items[1:]
+	s.gets++
+	s.GetWait.Add(0)
+	s.Len.Set(c.k.now, float64(len(s.items)))
+	s.admitPutter()
+	return item
+}
+
+// admitPutter unblocks one waiting putter after space opens up.
+func (s *Store[T]) admitPutter() {
+	if len(s.putters) == 0 {
+		return
+	}
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		return
+	}
+	w := s.putters[0]
+	s.putters = s.putters[1:]
+	w.granted = true
+	s.items = append(s.items, w.item)
+	s.Len.Set(s.k.now, float64(len(s.items)))
+	p := w.p
+	s.k.Schedule(0, func() { s.k.resume(p) })
+}
+
+func (s *Store[T]) removeGetter(w *storeWaiter[T]) {
+	for i, g := range s.getters {
+		if g == w {
+			s.getters = append(s.getters[:i], s.getters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Store[T]) removePutter(w *putWaiter[T]) {
+	for i, g := range s.putters {
+		if g == w {
+			s.putters = append(s.putters[:i], s.putters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal is a one-shot broadcast event: processes that Wait before Trigger
+// block; Trigger releases all of them and subsequent Waits return
+// immediately.
+type Signal struct {
+	k         *Kernel
+	name      string
+	triggered bool
+	waiters   []*Proc
+}
+
+// NewSignal creates an untriggered signal.
+func NewSignal(k *Kernel, name string) *Signal {
+	return &Signal{k: k, name: name}
+}
+
+// Triggered reports whether the signal has fired.
+func (s *Signal) Triggered() bool { return s.triggered }
+
+// Wait blocks until the signal fires (returns immediately if it already
+// has).
+func (s *Signal) Wait(c *Context) {
+	if s.triggered {
+		return
+	}
+	s.waiters = append(s.waiters, c.p)
+	p := c.p
+	c.p.cancel = func() {
+		for i, q := range s.waiters {
+			if q == p {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				return
+			}
+		}
+	}
+	c.p.park()
+	c.p.cancel = nil
+}
+
+// Trigger fires the signal, waking all waiters at the current time.
+// Triggering twice is a no-op.
+func (s *Signal) Trigger() {
+	if s.triggered {
+		return
+	}
+	s.triggered = true
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		p := p
+		s.k.Schedule(0, func() { s.k.resume(p) })
+	}
+}
+
+// WaitGroup counts down from an initial count; Wait blocks until the count
+// reaches zero. It is the join primitive used for fork/join workloads such
+// as the paper's Fig. 4 thread timeline.
+type WaitGroup struct {
+	sig   *Signal
+	count int
+}
+
+// NewWaitGroup creates a WaitGroup with the given initial count (>= 0).
+// A zero count is already done.
+func NewWaitGroup(k *Kernel, name string, count int) *WaitGroup {
+	if count < 0 {
+		panic("sim: NewWaitGroup with negative count")
+	}
+	wg := &WaitGroup{sig: NewSignal(k, name), count: count}
+	if count == 0 {
+		wg.sig.Trigger()
+	}
+	return wg
+}
+
+// Done decrements the count, triggering completion at zero.
+func (wg *WaitGroup) Done() {
+	if wg.count <= 0 {
+		panic("sim: WaitGroup.Done below zero")
+	}
+	wg.count--
+	if wg.count == 0 {
+		wg.sig.Trigger()
+	}
+}
+
+// Wait blocks until the count reaches zero.
+func (wg *WaitGroup) Wait(c *Context) { wg.sig.Wait(c) }
+
+// Count returns the remaining count.
+func (wg *WaitGroup) Count() int { return wg.count }

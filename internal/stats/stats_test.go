@@ -1,0 +1,448 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if !almost(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %g", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if !almost(s.Sum(), 40, 1e-12) {
+		t.Errorf("sum = %g", s.Sum())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestSampleMergeMatchesSequential(t *testing.T) {
+	st := rng.New(5)
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n1, n2 := 1+st.Intn(50), 1+st.Intn(50)
+		var a, b, all Sample
+		for i := 0; i < n1; i++ {
+			x := r.Normal(3, 2)
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := r.Normal(-1, 5)
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			almost(a.Mean(), all.Mean(), 1e-9) &&
+			almost(a.Variance(), all.Variance(), 1e-6) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleAddN(t *testing.T) {
+	var a, b Sample
+	a.AddN(3, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Error("AddN mismatch with repeated Add")
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	r := rng.New(17)
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(r.Normal(0, 1))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(r.Normal(0, 1))
+	}
+	if small.CI(0.95) <= large.CI(0.95) {
+		t.Errorf("CI did not shrink: small=%g large=%g", small.CI(0.95), large.CI(0.95))
+	}
+}
+
+func TestCICoverage(t *testing.T) {
+	// 95% CI should cover the true mean in roughly 95% of replications.
+	r := rng.New(23)
+	const reps = 400
+	covered := 0
+	for rep := 0; rep < reps; rep++ {
+		var s Sample
+		for i := 0; i < 30; i++ {
+			s.Add(r.Normal(10, 4))
+		}
+		if math.Abs(s.Mean()-10) <= s.CI(0.95) {
+			covered++
+		}
+	}
+	frac := float64(covered) / reps
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("95%% CI coverage = %g", frac)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 0)
+	tw.Set(10, 2) // 0 over [0,10)
+	tw.Set(30, 1) // 2 over [10,30)
+	// 1 over [30,40): mean = (0*10 + 2*20 + 1*10)/40 = 50/40 = 1.25
+	if m := tw.Mean(40); !almost(m, 1.25, 1e-12) {
+		t.Errorf("mean = %g, want 1.25", m)
+	}
+	if tw.Min() != 0 || tw.Max() != 2 {
+		t.Errorf("min/max = %g/%g", tw.Min(), tw.Max())
+	}
+	if v := tw.Value(); v != 1 {
+		t.Errorf("value = %g", v)
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 1)
+	tw.Add(5, 2)   // 3 from t=5
+	tw.Add(10, -3) // 0 from t=10
+	if tw.Value() != 0 {
+		t.Errorf("value = %g", tw.Value())
+	}
+	if m := tw.Mean(10); !almost(m, (1*5+3*5)/10.0, 1e-12) {
+		t.Errorf("mean = %g", m)
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 5)
+	tw.Set(10, 1)
+	tw.Reset(10)
+	if m := tw.Mean(20); !almost(m, 1, 1e-12) {
+		t.Errorf("mean after reset = %g, want 1", m)
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var tw TimeWeighted
+	tw.Set(10, 1)
+	tw.Set(5, 2)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Errorf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.N() != 12 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Errorf("median = %g, want ~50", q)
+	}
+	if q := h.Quantile(0.9); math.Abs(q-90) > 2 {
+		t.Errorf("p90 = %g, want ~90", q)
+	}
+}
+
+func TestP2QuantileAgainstExact(t *testing.T) {
+	r := rng.New(37)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		est := NewP2Quantile(p)
+		xs := make([]float64, 0, 50000)
+		for i := 0; i < 50000; i++ {
+			x := r.Exp(2)
+			est.Add(x)
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		exact := xs[int(p*float64(len(xs)))]
+		if RelErr(est.Value(), exact) > 0.05 {
+			t.Errorf("P2 %g-quantile = %g, exact = %g", p, est.Value(), exact)
+		}
+	}
+}
+
+func TestP2QuantileSmallN(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	for _, x := range []float64{3, 1, 2} {
+		est.Add(x)
+	}
+	if v := est.Value(); v < 1 || v > 3 {
+		t.Errorf("small-n quantile = %g out of data range", v)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	r := rng.New(41)
+	bm := NewBatchMeans(100)
+	for i := 0; i < 10000; i++ {
+		bm.Add(r.Normal(7, 2))
+	}
+	if bm.NumBatches() != 100 {
+		t.Errorf("batches = %d", bm.NumBatches())
+	}
+	if math.Abs(bm.Mean()-7) > 0.1 {
+		t.Errorf("batch mean = %g", bm.Mean())
+	}
+	if ci := bm.CI(0.95); ci <= 0 || ci > 0.2 {
+		t.Errorf("batch CI = %g", ci)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.975, 1, 12.706},
+		{0.975, 5, 2.571},
+		{0.975, 10, 2.228},
+		{0.975, 30, 2.042},
+		{0.95, 10, 1.812},
+		{0.99, 20, 2.528},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.df)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("TQuantile(%g, %d) = %g, want %g", c.p, c.df, got, c.want)
+		}
+	}
+	if TQuantile(0.5, 7) != 0 {
+		t.Error("TQuantile(0.5) != 0")
+	}
+	if got := TQuantile(0.025, 10); math.Abs(got+2.228) > 0.03 {
+		t.Errorf("TQuantile(0.025, 10) = %g, want -2.228", got)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.841345, 1.0},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIncBetaSymmetry(t *testing.T) {
+	err := quick.Check(func(xr, ar, br uint16) bool {
+		x := float64(xr%1000)/1000.0 + 0.0005
+		a := float64(ar%50)/10.0 + 0.1
+		b := float64(br%50)/10.0 + 0.1
+		lhs := incBeta(x, a, b)
+		rhs := 1 - incBeta(1-x, b, a)
+		return math.Abs(lhs-rhs) < 1e-8
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelate(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if c := Correlate(x, y); !almost(c, 1, 1e-12) {
+		t.Errorf("perfect correlation = %g", c)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if c := Correlate(x, yneg); !almost(c, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %g", c)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if !almost(slope, 2, 1e-12) || !almost(intercept, 1, 1e-12) {
+		t.Errorf("fit = (%g, %g), want (2, 1)", slope, intercept)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(100, 110) < 0.09 || RelErr(100, 110) > 0.1 {
+		t.Errorf("RelErr(100,110) = %g", RelErr(100, 110))
+	}
+	if RelErr(0, 0) != 0 {
+		t.Errorf("RelErr(0,0) = %g", RelErr(0, 0))
+	}
+	if RelErr(5, 5) != 0 {
+		t.Errorf("RelErr(5,5) = %g", RelErr(5, 5))
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	r := rng.New(61)
+	x := make([]float64, 5000)
+	for i := range x {
+		x[i] = r.Normal(0, 1)
+	}
+	rho := Autocorrelation(x, 10)
+	if math.Abs(rho[0]-1) > 1e-12 {
+		t.Errorf("rho[0] = %g, want 1", rho[0])
+	}
+	for k := 1; k <= 10; k++ {
+		if math.Abs(rho[k]) > 0.05 {
+			t.Errorf("white noise rho[%d] = %g", k, rho[k])
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with phi=0.8: rho[k] ≈ 0.8^k.
+	r := rng.New(67)
+	const phi = 0.8
+	x := make([]float64, 20000)
+	prev := 0.0
+	for i := range x {
+		prev = phi*prev + r.Normal(0, 1)
+		x[i] = prev
+	}
+	rho := Autocorrelation(x, 5)
+	for k := 1; k <= 5; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(rho[k]-want) > 0.05 {
+			t.Errorf("AR(1) rho[%d] = %g, want ~%g", k, rho[k], want)
+		}
+	}
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	r := rng.New(71)
+	// White noise: ESS ~ n.
+	white := make([]float64, 4000)
+	for i := range white {
+		white[i] = r.Normal(0, 1)
+	}
+	if ess := EffectiveSampleSize(white); ess < 0.7*float64(len(white)) {
+		t.Errorf("white-noise ESS = %g of %d", ess, len(white))
+	}
+	// Strongly correlated AR(1): ESS << n, roughly n(1-phi)/(1+phi).
+	ar := make([]float64, 4000)
+	prev := 0.0
+	for i := range ar {
+		prev = 0.9*prev + r.Normal(0, 1)
+		ar[i] = prev
+	}
+	ess := EffectiveSampleSize(ar)
+	want := float64(len(ar)) * (1 - 0.9) / (1 + 0.9)
+	if ess > 2*want || ess < want/3 {
+		t.Errorf("AR(1) ESS = %g, theory ~%g", ess, want)
+	}
+	// Tiny series degrade gracefully.
+	if got := EffectiveSampleSize([]float64{1, 2}); got != 2 {
+		t.Errorf("tiny ESS = %g", got)
+	}
+}
+
+func TestAutocorrelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Autocorrelation([]float64{1, 2, 3}, 5)
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Large offset: naive sum-of-squares would lose precision.
+	var s Sample
+	const offset = 1e9
+	for _, x := range []float64{offset + 1, offset + 2, offset + 3} {
+		s.Add(x)
+	}
+	if !almost(s.Variance(), 1, 1e-6) {
+		t.Errorf("variance = %g, want 1", s.Variance())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	r := rng.New(53)
+	h := NewHistogram(0, 50, 64)
+	for i := 0; i < 20000; i++ {
+		h.Add(r.Exp(5))
+	}
+	prev := math.Inf(-1)
+	for q := 0.05; q < 1; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkSampleAdd(b *testing.B) {
+	var s Sample
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i))
+	}
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	e := NewP2Quantile(0.95)
+	for i := 0; i < b.N; i++ {
+		e.Add(float64(i % 1000))
+	}
+}

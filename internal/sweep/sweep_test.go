@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGridEnumeration(t *testing.T) {
+	g, err := NewGrid(1,
+		Axis{Name: "a", Values: []float64{1, 2}},
+		Axis{Name: "b", Values: []float64{10, 20, 30}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 6 {
+		t.Fatalf("size = %d, want 6", g.Size())
+	}
+	pts := g.Points()
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Last axis fastest.
+	wantA := []float64{1, 1, 1, 2, 2, 2}
+	wantB := []float64{10, 20, 30, 10, 20, 30}
+	for i, p := range pts {
+		if p.Get("a") != wantA[i] || p.Get("b") != wantB[i] {
+			t.Errorf("point %d = (%g, %g), want (%g, %g)",
+				i, p.Get("a"), p.Get("b"), wantA[i], wantB[i])
+		}
+		if p.Index != i {
+			t.Errorf("point %d has index %d", i, p.Index)
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(1); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := NewGrid(1, Axis{Name: "", Values: []float64{1}}); err == nil {
+		t.Error("empty axis name accepted")
+	}
+	if _, err := NewGrid(1, Axis{Name: "a"}); err == nil {
+		t.Error("empty axis values accepted")
+	}
+	if _, err := NewGrid(1, Axis{Name: "a", Values: []float64{1}}, Axis{Name: "a", Values: []float64{2}}); err == nil {
+		t.Error("duplicate axis accepted")
+	}
+}
+
+func TestPointSeedsDistinct(t *testing.T) {
+	g, _ := NewGrid(99, Axis{Name: "a", Values: Linspace(0, 1, 50)})
+	seen := map[uint64]bool{}
+	for _, p := range g.Points() {
+		if seen[p.Seed] {
+			t.Fatalf("duplicate seed %d", p.Seed)
+		}
+		seen[p.Seed] = true
+	}
+}
+
+func TestSeedsStableAcrossRuns(t *testing.T) {
+	g1, _ := NewGrid(5, Axis{Name: "a", Values: []float64{1, 2, 3}})
+	g2, _ := NewGrid(5, Axis{Name: "a", Values: []float64{1, 2, 3}})
+	p1, p2 := g1.Points(), g2.Points()
+	for i := range p1 {
+		if p1[i].Seed != p2[i].Seed {
+			t.Fatal("seeds not reproducible")
+		}
+	}
+}
+
+func TestGetUnknownAxisPanics(t *testing.T) {
+	g, _ := NewGrid(1, Axis{Name: "a", Values: []float64{1}})
+	p := g.Points()[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Get("nope")
+}
+
+func TestRunParallelAndOrdered(t *testing.T) {
+	g, _ := NewGrid(1, Axis{Name: "v", Values: Linspace(0, 99, 100)})
+	var calls int64
+	outs := g.Run(8, func(p Point) (map[string]float64, error) {
+		atomic.AddInt64(&calls, 1)
+		return map[string]float64{"double": 2 * p.Get("v")}, nil
+	})
+	if calls != 100 {
+		t.Errorf("calls = %d", calls)
+	}
+	for i, o := range outs {
+		if o.Point.Index != i {
+			t.Fatalf("outcome %d has point index %d", i, o.Point.Index)
+		}
+		if o.Metrics["double"] != 2*float64(i) {
+			t.Fatalf("outcome %d metric = %g", i, o.Metrics["double"])
+		}
+	}
+	if err := FirstError(outs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	g, _ := NewGrid(1, Axis{Name: "v", Values: []float64{1, 2, 3}})
+	boom := errors.New("boom")
+	outs := g.Run(2, func(p Point) (map[string]float64, error) {
+		if p.Get("v") == 2 {
+			return nil, boom
+		}
+		return map[string]float64{}, nil
+	})
+	err := FirstError(outs)
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("FirstError = %v", err)
+	}
+}
+
+func TestSeriesBy(t *testing.T) {
+	g, _ := NewGrid(1,
+		Axis{Name: "s", Values: []float64{1, 2}},
+		Axis{Name: "x", Values: []float64{10, 20}},
+	)
+	outs := g.Run(1, func(p Point) (map[string]float64, error) {
+		return map[string]float64{"y": p.Get("s")*100 + p.Get("x")}, nil
+	})
+	keys, xs, ys := SeriesBy(outs, "s", "x", "y")
+	if !reflect.DeepEqual(keys, []float64{1, 2}) {
+		t.Fatalf("keys = %v", keys)
+	}
+	if !reflect.DeepEqual(xs[0], []float64{10, 20}) {
+		t.Fatalf("xs[0] = %v", xs[0])
+	}
+	if !reflect.DeepEqual(ys[1], []float64{210, 220}) {
+		t.Fatalf("ys[1] = %v", ys[1])
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Linspace = %v", got)
+		}
+	}
+	if got := Linspace(3, 9, 1); got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(0, 4)
+	want := []float64{1, 2, 4, 8, 16}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PowersOfTwo = %v", got)
+	}
+}
+
+func TestInts(t *testing.T) {
+	if !reflect.DeepEqual(Ints(1, 2, 3), []float64{1, 2, 3}) {
+		t.Error("Ints conversion wrong")
+	}
+}
+
+func TestRunDeterministicUnderWorkerCounts(t *testing.T) {
+	// Results (which depend only on point seeds) must not change with the
+	// level of host parallelism.
+	mk := func(workers int) []float64 {
+		g, _ := NewGrid(7, Axis{Name: "x", Values: Linspace(0, 9, 10)})
+		outs := g.Run(workers, func(p Point) (map[string]float64, error) {
+			return map[string]float64{"seedval": float64(p.Seed % 1000)}, nil
+		})
+		var vals []float64
+		for _, o := range outs {
+			vals = append(vals, o.Metrics["seedval"])
+		}
+		return vals
+	}
+	if !reflect.DeepEqual(mk(1), mk(8)) {
+		t.Error("worker count changed results")
+	}
+}

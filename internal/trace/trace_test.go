@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRecorderCollectsKernelEvents(t *testing.T) {
+	k := sim.NewKernel()
+	rec := NewRecorder()
+	k.Tracer = rec
+	k.Spawn("worker", func(c *sim.Context) {
+		c.Wait(5)
+		c.Wait(5)
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	tracks := rec.Tracks()
+	if len(tracks) != 1 || tracks[0] != "worker" {
+		t.Errorf("tracks = %v", tracks)
+	}
+}
+
+func TestStateDurations(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(0, "p", "run")
+	rec.Record(10, "p", "wait")
+	rec.Record(30, "p", "run")
+	d := rec.StateDurations(40)
+	if math.Abs(d["p"]["run"]-20) > 1e-12 {
+		t.Errorf("run = %g, want 20", d["p"]["run"])
+	}
+	if math.Abs(d["p"]["wait"]-20) > 1e-12 {
+		t.Errorf("wait = %g, want 20", d["p"]["wait"])
+	}
+}
+
+func TestStateDurationsMultiTrack(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(0, "a", "busy")
+	rec.Record(0, "b", "idle")
+	rec.Record(50, "b", "busy")
+	d := rec.StateDurations(100)
+	if d["a"]["busy"] != 100 {
+		t.Errorf("a busy = %g", d["a"]["busy"])
+	}
+	if d["b"]["idle"] != 50 || d["b"]["busy"] != 50 {
+		t.Errorf("b = %v", d["b"])
+	}
+}
+
+func TestFilter(t *testing.T) {
+	rec := NewRecorder()
+	rec.Filter = func(track string) bool { return strings.HasPrefix(track, "keep") }
+	rec.Record(0, "keep-1", "run")
+	rec.Record(0, "drop-1", "run")
+	if rec.Len() != 1 {
+		t.Errorf("events = %d, want 1", rec.Len())
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(0, "hwp", "run")
+	rec.Record(50, "hwp", "wait")
+	rec.Record(0, "lwp0", "idle")
+	rec.Record(50, "lwp0", "run")
+	var sb strings.Builder
+	if err := rec.Gantt(&sb, 0, 100, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "hwp") || !strings.Contains(out, "lwp0") {
+		t.Errorf("missing tracks:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "-") {
+		t.Errorf("missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("missing legend")
+	}
+	// The hwp row should be roughly half # and half -.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "hwp") {
+			hashes := strings.Count(line, "#")
+			dashes := strings.Count(line, "-")
+			if hashes < 15 || dashes < 15 {
+				t.Errorf("hwp row unbalanced (%d #, %d -): %q", hashes, dashes, line)
+			}
+		}
+	}
+}
+
+func TestGanttBadWindow(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(0, "p", "run")
+	var sb strings.Builder
+	if err := rec.Gantt(&sb, 10, 10, 40); err == nil {
+		t.Error("degenerate window accepted")
+	}
+	if err := rec.Gantt(&sb, 0, 10, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	rec := NewRecorder()
+	var sb strings.Builder
+	if err := rec.Gantt(&sb, 0, 10, 40); err == nil {
+		t.Error("empty recorder rendered")
+	}
+}
+
+func TestUnknownStateGlyph(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(0, "p", "weird-state")
+	var sb strings.Builder
+	if err := rec.Gantt(&sb, 0, 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "?") {
+		t.Error("unknown state not rendered as ?")
+	}
+}

@@ -1,0 +1,24 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Profile a zero-locality kernel against a host cache and classify it.
+func ExampleMeasure() {
+	gups := workload.NewGUPS(rng.New(2), 1<<28, 0.3)
+	profile, err := workload.Measure(gups,
+		cache.Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: cache.LRU},
+		nil, 200000)
+	if err != nil {
+		panic(err)
+	}
+	placement := workload.Partition([]workload.Profile{profile})[0]
+	fmt.Printf("%s: miss rate %.2f -> PIM resident: %v\n",
+		profile.Kernel, profile.MissRate, placement.OnPIM)
+	// Output: gups: miss rate 0.50 -> PIM resident: true
+}

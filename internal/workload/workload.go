@@ -1,0 +1,364 @@
+// Package workload provides synthetic application kernels with
+// controllable and measurable temporal locality — the workload side of the
+// paper's study 1. The paper's model abstracts an application into a
+// high-locality fraction (runs on the host, hits in cache) and a
+// low-locality fraction %WL (runs in PIM); this package generates concrete
+// op streams for representative kernels (streaming, GUPS-style random
+// update, pointer chasing, stencil, histogram), measures their locality
+// against a concrete cache, and fits the paper's model parameters from the
+// measurements, closing the loop from "real" workload to predicted PIM
+// gain.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/hostpim"
+	"repro/internal/rng"
+)
+
+// OpKind classifies one operation of a kernel's dynamic stream.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// Compute is a non-memory operation.
+	Compute OpKind = iota
+	// Load reads Addr.
+	Load
+	// Store writes Addr.
+	Store
+)
+
+// Op is one dynamic operation.
+type Op struct {
+	Kind OpKind
+	Addr int64 // byte address; meaningful for Load/Store
+}
+
+// Generator produces an unbounded dynamic operation stream.
+type Generator interface {
+	// Next returns the next operation.
+	Next() Op
+	// Name identifies the kernel.
+	Name() string
+}
+
+// Streamer is a sequential sweep over a large array (STREAM-like): high
+// spatial locality, no temporal reuse beyond the cache line.
+type Streamer struct {
+	st        *rng.Stream
+	mix       float64
+	footprint int64
+	stride    int64
+	pos       int64
+	gap       int
+}
+
+// NewStreamer creates a streaming kernel over footprint bytes with the
+// given element stride and memory-op fraction mix.
+func NewStreamer(st *rng.Stream, footprint, stride int64, mix float64) *Streamer {
+	if footprint <= 0 || stride <= 0 || mix <= 0 || mix > 1 {
+		panic("workload: invalid Streamer parameters")
+	}
+	return &Streamer{st: st, mix: mix, footprint: footprint, stride: stride}
+}
+
+// Name implements Generator.
+func (s *Streamer) Name() string { return "stream" }
+
+// Next implements Generator.
+func (s *Streamer) Next() Op {
+	if s.gap > 0 {
+		s.gap--
+		return Op{Kind: Compute}
+	}
+	s.gap = s.st.Geometric(s.mix)
+	addr := s.pos
+	s.pos = (s.pos + s.stride) % s.footprint
+	kind := Load
+	if s.st.Bernoulli(0.4) {
+		kind = Store
+	}
+	return Op{Kind: kind, Addr: addr}
+}
+
+// GUPS is the RandomAccess (giant updates per second) kernel: read-modify-
+// write at uniformly random addresses over a huge table. The canonical
+// zero-temporal-locality workload that motivates PIM.
+type GUPS struct {
+	st        *rng.Stream
+	mix       float64
+	footprint int64
+	gap       int
+	pendingSt int64 // address of the store half of the RMW, -1 if none
+}
+
+// NewGUPS creates the random-update kernel.
+func NewGUPS(st *rng.Stream, footprint int64, mix float64) *GUPS {
+	if footprint <= 0 || mix <= 0 || mix > 1 {
+		panic("workload: invalid GUPS parameters")
+	}
+	return &GUPS{st: st, mix: mix, footprint: footprint, pendingSt: -1}
+}
+
+// Name implements Generator.
+func (g *GUPS) Name() string { return "gups" }
+
+// Next implements Generator.
+func (g *GUPS) Next() Op {
+	if g.pendingSt >= 0 {
+		addr := g.pendingSt
+		g.pendingSt = -1
+		return Op{Kind: Store, Addr: addr}
+	}
+	if g.gap > 0 {
+		g.gap--
+		return Op{Kind: Compute}
+	}
+	g.gap = g.st.Geometric(g.mix)
+	addr := int64(g.st.Uint64n(uint64(g.footprint/8))) * 8
+	g.pendingSt = addr // RMW: the store follows the load
+	return Op{Kind: Load, Addr: addr}
+}
+
+// PointerChase walks a random permutation cycle: every load depends on the
+// previous one and addresses are uncacheable past the working set.
+type PointerChase struct {
+	st    *rng.Stream
+	mix   float64
+	next  []int64
+	cur   int64
+	gap   int
+	elems int64
+}
+
+// NewPointerChase builds a random single-cycle permutation of n elements
+// (8-byte nodes).
+func NewPointerChase(st *rng.Stream, n int64, mix float64) *PointerChase {
+	if n <= 1 || mix <= 0 || mix > 1 {
+		panic("workload: invalid PointerChase parameters")
+	}
+	// Sattolo's algorithm: a uniform random cyclic permutation.
+	next := make([]int64, n)
+	for i := range next {
+		next[i] = int64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int64(st.Uint64n(uint64(i)))
+		next[i], next[j] = next[j], next[i]
+	}
+	return &PointerChase{st: st, mix: mix, next: next, elems: n}
+}
+
+// Name implements Generator.
+func (p *PointerChase) Name() string { return "pointer-chase" }
+
+// Next implements Generator.
+func (p *PointerChase) Next() Op {
+	if p.gap > 0 {
+		p.gap--
+		return Op{Kind: Compute}
+	}
+	p.gap = p.st.Geometric(p.mix)
+	addr := p.cur * 8
+	p.cur = p.next[p.cur]
+	return Op{Kind: Load, Addr: addr}
+}
+
+// Stencil sweeps a 2-D grid reading a 5-point neighbourhood per element:
+// substantial reuse between successive elements (three of five points were
+// touched on the previous row pass), the classic cache-friendly HPC loop.
+type Stencil struct {
+	st    *rng.Stream
+	mix   float64
+	w, h  int64
+	x, y  int64
+	phase int
+	gap   int
+}
+
+// NewStencil creates a w×h 5-point stencil sweep (8-byte elements).
+func NewStencil(st *rng.Stream, w, h int64, mix float64) *Stencil {
+	if w < 3 || h < 3 || mix <= 0 || mix > 1 {
+		panic("workload: invalid Stencil parameters")
+	}
+	return &Stencil{st: st, mix: mix, w: w, h: h, x: 1, y: 1}
+}
+
+// Name implements Generator.
+func (s *Stencil) Name() string { return "stencil" }
+
+// Next implements Generator.
+func (s *Stencil) Next() Op {
+	if s.gap > 0 {
+		s.gap--
+		return Op{Kind: Compute}
+	}
+	s.gap = s.st.Geometric(s.mix)
+	var dx, dy int64
+	kind := Load
+	switch s.phase {
+	case 0:
+		dx, dy = 0, 0
+	case 1:
+		dx, dy = -1, 0
+	case 2:
+		dx, dy = 1, 0
+	case 3:
+		dx, dy = 0, -1
+	case 4:
+		dx, dy = 0, 1
+		kind = Store // write the centre back on the last access
+	}
+	addr := ((s.y+dy)*s.w + (s.x + dx)) * 8
+	s.phase++
+	if s.phase == 5 {
+		s.phase = 0
+		s.x++
+		if s.x == s.w-1 {
+			s.x = 1
+			s.y++
+			if s.y == s.h-1 {
+				s.y = 1
+			}
+		}
+	}
+	return Op{Kind: kind, Addr: addr}
+}
+
+// Histogram scatters increments into a small bucket table with a Zipf
+// popularity skew: tiny footprint, high temporal locality.
+type Histogram struct {
+	st      *rng.Stream
+	mix     float64
+	zipf    *rng.Zipf
+	gap     int
+	pending int64
+}
+
+// NewHistogram creates a histogram kernel with the given bucket count and
+// Zipf skew theta.
+func NewHistogram(st *rng.Stream, buckets int, theta, mix float64) *Histogram {
+	if buckets <= 0 || mix <= 0 || mix > 1 {
+		panic("workload: invalid Histogram parameters")
+	}
+	return &Histogram{st: st, mix: mix, zipf: rng.NewZipf(buckets, theta), pending: -1}
+}
+
+// Name implements Generator.
+func (h *Histogram) Name() string { return "histogram" }
+
+// Next implements Generator.
+func (h *Histogram) Next() Op {
+	if h.pending >= 0 {
+		addr := h.pending
+		h.pending = -1
+		return Op{Kind: Store, Addr: addr}
+	}
+	if h.gap > 0 {
+		h.gap--
+		return Op{Kind: Compute}
+	}
+	h.gap = h.st.Geometric(h.mix)
+	addr := int64(h.zipf.Sample(h.st)-1) * 8
+	h.pending = addr
+	return Op{Kind: Load, Addr: addr}
+}
+
+// Profile is the measured behaviour of a kernel against a concrete cache.
+type Profile struct {
+	Kernel   string
+	Ops      int64
+	MemOps   int64
+	MissRate float64
+	// MixLS is the measured memory-op fraction.
+	MixLS float64
+}
+
+// Measure drives n operations of gen through a concrete cache and returns
+// the profile.
+func Measure(gen Generator, cfg cache.Config, st *rng.Stream, n int64) (Profile, error) {
+	c, err := cache.New(cfg, st)
+	if err != nil {
+		return Profile{}, err
+	}
+	p := Profile{Kernel: gen.Name(), Ops: n}
+	for i := int64(0); i < n; i++ {
+		op := gen.Next()
+		if op.Kind == Compute {
+			continue
+		}
+		p.MemOps++
+		c.Access(op.Addr)
+	}
+	p.MissRate = c.MissRate()
+	if p.Ops > 0 {
+		p.MixLS = float64(p.MemOps) / float64(p.Ops)
+	}
+	return p, nil
+}
+
+// Placement is a partitioning decision for one kernel.
+type Placement struct {
+	Profile Profile
+	// OnPIM reports whether the kernel belongs on the LWP array.
+	OnPIM bool
+}
+
+// MissThreshold is the default miss rate above which a kernel is
+// classified low-locality (PIM-resident). The paper's dichotomy is binary:
+// "when data accesses exhibit no reuse, the operation is assumed to be
+// performed by the PIM devices". Note that a read-modify-write kernel with
+// zero reuse still measures ~0.5 (the store hits the just-loaded line), so
+// the threshold sits below that.
+const MissThreshold = 0.4
+
+// Partition classifies kernels by their measured miss rate.
+func Partition(profiles []Profile) []Placement {
+	out := make([]Placement, len(profiles))
+	for i, p := range profiles {
+		out[i] = Placement{Profile: p, OnPIM: p.MissRate >= MissThreshold}
+	}
+	return out
+}
+
+// FitParams folds an application — a weighted mixture of kernels — into
+// the paper's model: %WL is the op-weight of PIM-resident kernels, Pmiss
+// is the op-weighted miss rate of the host-resident remainder, MixLS the
+// op-weighted memory fraction. Weights are relative op counts.
+func FitParams(base hostpim.Params, placements []Placement, weights []float64) (hostpim.Params, error) {
+	if len(placements) == 0 || len(placements) != len(weights) {
+		return hostpim.Params{}, fmt.Errorf("workload: %d placements, %d weights", len(placements), len(weights))
+	}
+	var total, pimW float64
+	var hostMiss, hostW, mixAcc float64
+	for i, pl := range placements {
+		w := weights[i]
+		if w < 0 {
+			return hostpim.Params{}, fmt.Errorf("workload: negative weight %g", w)
+		}
+		total += w
+		mixAcc += w * pl.Profile.MixLS
+		if pl.OnPIM {
+			pimW += w
+		} else {
+			hostW += w
+			hostMiss += w * pl.Profile.MissRate
+		}
+	}
+	if total == 0 {
+		return hostpim.Params{}, fmt.Errorf("workload: zero total weight")
+	}
+	p := base
+	p.PctWL = pimW / total
+	p.MixLS = mixAcc / total
+	if hostW > 0 {
+		p.Pmiss = hostMiss / hostW
+	}
+	if err := p.Validate(); err != nil {
+		return hostpim.Params{}, err
+	}
+	return p, nil
+}

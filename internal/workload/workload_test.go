@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/hostpim"
+	"repro/internal/rng"
+)
+
+func testCache() cache.Config {
+	return cache.Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: cache.LRU}
+}
+
+func measure(t *testing.T, gen Generator) Profile {
+	t.Helper()
+	p, err := Measure(gen, testCache(), nil, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMixFractionMeasured(t *testing.T) {
+	// Each kernel should exhibit roughly its configured memory-op mix.
+	const mix = 0.3
+	gens := []Generator{
+		NewStreamer(rng.New(1), 1<<26, 8, mix),
+		NewGUPS(rng.New(2), 1<<28, mix),
+		NewPointerChase(rng.New(3), 1<<20, mix),
+		NewStencil(rng.New(4), 2048, 2048, mix),
+		NewHistogram(rng.New(5), 512, 1.1, mix),
+	}
+	for _, g := range gens {
+		p := measure(t, g)
+		// RMW kernels emit two memory ops per access event, so allow a
+		// band rather than an exact match.
+		if p.MixLS < 0.2 || p.MixLS > 0.55 {
+			t.Errorf("%s: measured mix = %g, configured %g", g.Name(), p.MixLS, mix)
+		}
+	}
+}
+
+func TestLocalityOrdering(t *testing.T) {
+	// Miss rates must order: histogram < stencil < {gups, pointer-chase};
+	// streaming sits between (spatial but no temporal locality).
+	hist := measure(t, NewHistogram(rng.New(5), 512, 1.1, 0.3))
+	sten := measure(t, NewStencil(rng.New(4), 2048, 2048, 0.3))
+	strm := measure(t, NewStreamer(rng.New(1), 1<<26, 8, 0.3))
+	gups := measure(t, NewGUPS(rng.New(2), 1<<28, 0.3))
+	chase := measure(t, NewPointerChase(rng.New(3), 1<<20, 0.3))
+
+	if !(hist.MissRate < 0.05) {
+		t.Errorf("histogram miss rate = %g, want tiny", hist.MissRate)
+	}
+	if !(sten.MissRate < 0.3) {
+		t.Errorf("stencil miss rate = %g, want cache-friendly", sten.MissRate)
+	}
+	// GUPS is read-modify-write: the store hits the just-loaded line, so
+	// zero reuse measures ~0.5, not 1.
+	if math.Abs(gups.MissRate-0.5) > 0.05 {
+		t.Errorf("gups miss rate = %g, want ~0.5 (RMW pairing)", gups.MissRate)
+	}
+	if !(chase.MissRate > 0.8) {
+		t.Errorf("pointer chase miss rate = %g, want ~1", chase.MissRate)
+	}
+	if !(hist.MissRate < sten.MissRate && sten.MissRate < gups.MissRate) {
+		t.Errorf("locality ordering violated: hist=%g sten=%g gups=%g",
+			hist.MissRate, sten.MissRate, gups.MissRate)
+	}
+	// Streaming with an 8-byte stride enjoys line reuse: ~1 miss per 8
+	// accesses.
+	if strm.MissRate < 0.08 || strm.MissRate > 0.35 {
+		t.Errorf("stream miss rate = %g, want ~0.125 (line-grain)", strm.MissRate)
+	}
+}
+
+func TestPointerChaseIsSingleCycle(t *testing.T) {
+	// Sattolo's construction yields one cycle covering all n elements:
+	// following next from 0 must return to 0 after exactly n steps.
+	pc := NewPointerChase(rng.New(9), 1000, 0.5)
+	cur := int64(0)
+	for i := 0; i < 999; i++ {
+		cur = pc.next[cur]
+		if cur == 0 {
+			t.Fatalf("cycle closed after %d steps, want 1000", i+1)
+		}
+	}
+	if pc.next[cur] != 0 {
+		t.Error("walk did not return to origin after n steps")
+	}
+}
+
+func TestGUPSReadModifyWrite(t *testing.T) {
+	g := NewGUPS(rng.New(11), 1<<20, 1) // mix 1: every op is memory
+	var loads, stores int
+	var lastLoad int64 = -1
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case Load:
+			loads++
+			lastLoad = op.Addr
+		case Store:
+			stores++
+			if op.Addr != lastLoad {
+				t.Fatal("store does not target the loaded address (not RMW)")
+			}
+		}
+	}
+	if loads != stores {
+		t.Errorf("loads=%d stores=%d, want paired", loads, stores)
+	}
+}
+
+func TestStencilAddressesInBounds(t *testing.T) {
+	s := NewStencil(rng.New(13), 64, 64, 1)
+	limit := int64(64 * 64 * 8)
+	for i := 0; i < 100000; i++ {
+		op := s.Next()
+		if op.Kind == Compute {
+			continue
+		}
+		if op.Addr < 0 || op.Addr >= limit {
+			t.Fatalf("stencil address %d out of grid", op.Addr)
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	profiles := []Profile{
+		{Kernel: "hot", MissRate: 0.02},
+		{Kernel: "rmw", MissRate: 0.5},
+		{Kernel: "cold", MissRate: 0.97},
+	}
+	placements := Partition(profiles)
+	if placements[0].OnPIM || !placements[1].OnPIM || !placements[2].OnPIM {
+		t.Errorf("partition wrong: %+v", placements)
+	}
+}
+
+func TestFitParams(t *testing.T) {
+	base := hostpim.DefaultParams()
+	placements := []Placement{
+		{Profile: Profile{Kernel: "host", MissRate: 0.08, MixLS: 0.25}, OnPIM: false},
+		{Profile: Profile{Kernel: "pim", MissRate: 0.99, MixLS: 0.35}, OnPIM: true},
+	}
+	weights := []float64{3, 1}
+	p, err := FitParams(base, placements, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.PctWL-0.25) > 1e-12 {
+		t.Errorf("PctWL = %g, want 0.25", p.PctWL)
+	}
+	if math.Abs(p.Pmiss-0.08) > 1e-12 {
+		t.Errorf("Pmiss = %g, want 0.08 (host-resident only)", p.Pmiss)
+	}
+	wantMix := (3*0.25 + 1*0.35) / 4
+	if math.Abs(p.MixLS-wantMix) > 1e-12 {
+		t.Errorf("MixLS = %g, want %g", p.MixLS, wantMix)
+	}
+}
+
+func TestFitParamsErrors(t *testing.T) {
+	base := hostpim.DefaultParams()
+	if _, err := FitParams(base, nil, nil); err == nil {
+		t.Error("empty placements accepted")
+	}
+	pl := []Placement{{Profile: Profile{MixLS: 0.3}}}
+	if _, err := FitParams(base, pl, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := FitParams(base, pl, []float64{0}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestEndToEndPrediction(t *testing.T) {
+	// The full loop: measure kernels, partition, fit, predict. A GUPS-
+	// heavy application on 32 PIM nodes should predict a solid gain.
+	profiles := []Profile{
+		measure(t, NewHistogram(rng.New(5), 512, 1.1, 0.3)),
+		measure(t, NewGUPS(rng.New(2), 1<<28, 0.3)),
+	}
+	placements := Partition(profiles)
+	p, err := FitParams(hostpim.DefaultParams(), placements, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.N = 32
+	r, err := hostpim.Analytic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Gain < 3 {
+		t.Errorf("predicted gain = %g for a GUPS-dominated app on 32 nodes", r.Gain)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	mk := func() []Op {
+		g := NewGUPS(rng.New(21), 1<<20, 0.4)
+		ops := make([]Op, 100)
+		for i := range ops {
+			ops[i] = g.Next()
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewStreamer(rng.New(1), 0, 8, 0.3) },
+		func() { NewGUPS(rng.New(1), 1024, 0) },
+		func() { NewPointerChase(rng.New(1), 1, 0.3) },
+		func() { NewStencil(rng.New(1), 2, 2, 0.3) },
+		func() { NewHistogram(rng.New(1), 0, 1, 0.3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid params accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
