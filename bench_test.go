@@ -10,12 +10,72 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hostpim"
 	"repro/internal/parcelsys"
 	"repro/internal/queueing"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
+
+// --- Suite-level execution: serial baseline vs concurrent engine ---
+//
+// Run both with `go test -bench='RunAll' -benchtime=1x` to compare. The
+// experiments are independent, so with GOMAXPROCS >= 4 the engine's
+// wall-clock time should beat the serial baseline by >= 2x (cfg.Workers
+// is pinned to 1 in both so inner sweeps don't contend for the same
+// cores the engine is fanning experiments out onto).
+
+// BenchmarkRunAllSerial is the serial baseline: core.RunAll in Quick mode.
+func BenchmarkRunAllSerial(b *testing.B) {
+	cfg := core.Config{Seed: 2004, Quick: true, Workers: 1}
+	for i := 0; i < b.N; i++ {
+		outs, err := core.RunAll(cfg, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id, o := range outs {
+			if failed := o.Failed(); len(failed) > 0 {
+				b.Fatalf("%s: check failed: %+v", id, failed[0])
+			}
+		}
+	}
+}
+
+// BenchmarkEngineRunAll regenerates the same suite through the concurrent
+// engine.
+func BenchmarkEngineRunAll(b *testing.B) {
+	cfg := core.Config{Seed: 2004, Quick: true, Workers: 1}
+	eng := engine.New(engine.Options{})
+	for i := 0; i < b.N; i++ {
+		results, err := eng.RunAll(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if failed := r.Outcome.Failed(); len(failed) > 0 {
+				b.Fatalf("%s: check failed: %+v", r.ID, failed[0])
+			}
+		}
+	}
+}
+
+// BenchmarkEngineReplicated measures a 4-replication aggregated pass over
+// a representative experiment.
+func BenchmarkEngineReplicated(b *testing.B) {
+	e, err := core.Find("fig12")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Seed: 2004, Quick: true, Workers: 1}
+	eng := engine.New(engine.Options{Replications: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(cfg, []*core.Experiment{e}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // benchExperiment regenerates one registered experiment per iteration.
 func benchExperiment(b *testing.B, id string) {

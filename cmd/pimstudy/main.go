@@ -1,6 +1,9 @@
 // Command pimstudy regenerates every table and figure of "Analysis and
 // Modeling of Advanced PIM Architecture Design Tradeoffs" (SC 2004) from
-// the models in this repository.
+// the models in this repository. Experiments execute through the
+// concurrent engine (internal/engine): independent artifacts run in
+// parallel on a bounded worker pool with per-run buffered output, so the
+// rendered stream is byte-identical to a serial pass.
 //
 // Usage:
 //
@@ -12,10 +15,15 @@
 //
 // Flags:
 //
-//	-seed N     random seed (default 2004)
-//	-quick      reduced grids (seconds instead of minutes)
-//	-workers N  sweep parallelism (default GOMAXPROCS)
-//	-csv DIR    also write each table as CSV into DIR
+//	-seed N          random seed (default 2004)
+//	-quick           reduced grids (seconds instead of minutes)
+//	-workers N       per-experiment sweep parallelism (default GOMAXPROCS)
+//	-parallel N      experiments run concurrently (default GOMAXPROCS)
+//	-replications N  runs per experiment with derived seeds; metrics are
+//	                 aggregated as mean / min / max / 95% CI (default 1)
+//	-json            emit structured JSON instead of rendered artifacts
+//	-progress        log per-replicate progress events to stderr
+//	-csv DIR         also write each table as CSV into DIR
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -37,7 +46,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("pimstudy", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 2004, "random seed")
 	quick := fs.Bool("quick", false, "reduced grids for a fast pass")
-	workers := fs.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "per-experiment sweep parallelism (0 = GOMAXPROCS, or 1 when several runs execute concurrently)")
+	parallel := fs.Int("parallel", 0, "experiments run concurrently (0 = GOMAXPROCS)")
+	replications := fs.Int("replications", 1, "runs per experiment with derived seeds")
+	jsonOut := fs.Bool("json", false, "emit structured JSON")
+	progress := fs.Bool("progress", false, "log progress events to stderr")
 	csvDir := fs.String("csv", "", "write tables as CSV into this directory")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: pimstudy [flags] <experiment>|all|list\n\nexperiments:\n")
@@ -55,6 +68,13 @@ func run(args []string) error {
 		return fmt.Errorf("expected exactly one experiment id")
 	}
 	cfg := core.Config{Seed: *seed, Quick: *quick, Workers: *workers, CSVDir: *csvDir}
+	opts := engine.Options{Workers: *parallel, Replications: *replications}
+	if *progress {
+		opts.Events = func(ev engine.Event) {
+			fmt.Fprintf(os.Stderr, "pimstudy: %s %s replicate %d/%d\n",
+				ev.Kind, ev.ID, ev.Replicate+1, ev.Replications)
+		}
+	}
 
 	switch id := fs.Arg(0); id {
 	case "list":
@@ -64,42 +84,58 @@ func run(args []string) error {
 		}
 		return nil
 	case "all":
-		outs, err := core.RunAll(cfg, os.Stdout)
-		if err != nil {
-			return err
-		}
-		failures := 0
-		for id, o := range outs {
-			for _, c := range o.Failed() {
-				fmt.Printf("FAILED CHECK %s: %s (%s)\n", id, c.Name, c.Detail)
-				failures++
-			}
-		}
-		if failures > 0 {
-			return fmt.Errorf("%d checks failed", failures)
-		}
-		fmt.Println("\nall experiments reproduced; all checks passed")
-		return nil
+		return runExperiments(cfg, opts, core.Registry(), *jsonOut, true)
 	default:
 		e, err := core.Find(id)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s — %s\npaper claim: %s\n\n", e.ID, e.Title, e.PaperClaim)
-		o, err := e.Run(cfg, os.Stdout)
-		if err != nil {
+		if !*jsonOut {
+			fmt.Printf("%s — %s\npaper claim: %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return runExperiments(cfg, opts, []*core.Experiment{e}, *jsonOut, false)
+	}
+}
+
+// runExperiments executes experiments through the engine, renders them,
+// and reports failed checks; summary controls whether the all-passed
+// footer is printed.
+func runExperiments(cfg core.Config, opts engine.Options, exps []*core.Experiment, jsonOut, summary bool) error {
+	eng := engine.New(opts)
+	// When the engine fans several runs out at once, pin the inner sweep
+	// pools to one worker each (unless -workers was set explicitly) so
+	// total goroutines stay ~GOMAXPROCS instead of its square.
+	if cfg.Workers == 0 && eng.Options().Workers > 1 && len(exps)*eng.Options().Replications > 1 {
+		cfg.Workers = 1
+	}
+	results, runErr := eng.Run(cfg, exps)
+	// Render everything we have before reporting failures: successful
+	// results stay valid even when a sibling experiment errored, and both
+	// writers render per-result errors in place.
+	if jsonOut {
+		if err := engine.WriteJSON(os.Stdout, results); err != nil {
 			return err
 		}
-		for _, c := range o.Checks {
-			status := "PASS"
-			if !c.Pass {
-				status = "FAIL"
-			}
-			fmt.Printf("check %-44s %s  %s\n", c.Name, status, c.Detail)
-		}
-		if failed := o.Failed(); len(failed) > 0 {
-			return fmt.Errorf("%d checks failed", len(failed))
-		}
-		return nil
+	} else if err := engine.WriteResults(os.Stdout, results, eng.Options().Level); err != nil {
+		return err
 	}
+	if runErr != nil {
+		return runErr
+	}
+	failures := 0
+	for _, r := range results {
+		for _, c := range r.Outcome.Failed() {
+			if !jsonOut {
+				fmt.Printf("FAILED CHECK %s: %s (%s)\n", r.ID, c.Name, c.Detail)
+			}
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d checks failed", failures)
+	}
+	if summary && !jsonOut {
+		fmt.Println("\nall experiments reproduced; all checks passed")
+	}
+	return nil
 }

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 func TestRunList(t *testing.T) {
@@ -42,6 +46,63 @@ func TestRunWithCSV(t *testing.T) {
 
 func TestRunSeedFlag(t *testing.T) {
 	if err := run([]string{"-quick", "-seed", "7", "sensitivity"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReplications(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-quick", "-replications", "3", "replication"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "replications: 3 (95% CI)") {
+		t.Errorf("missing replication summary:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-quick", "-json", "table1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(decoded) != 1 || decoded[0]["id"] != "table1" {
+		t.Fatalf("unexpected JSON: %v", decoded)
+	}
+}
+
+func TestRunParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment regeneration in -short mode")
+	}
+	// The engine path must render "all" byte-identically at any -parallel.
+	run1, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-quick", "-parallel", "1", "all"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run8, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-quick", "-parallel", "8", "all"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1 != run8 {
+		t.Error("-parallel changed the rendered output of `pimstudy all`")
+	}
+}
+
+func TestRunProgressEvents(t *testing.T) {
+	// -progress writes to stderr; just exercise the path.
+	if err := run([]string{"-quick", "-progress", "-replications", "2", "table1"}); err != nil {
 		t.Fatal(err)
 	}
 }

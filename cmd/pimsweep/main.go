@@ -1,6 +1,10 @@
 // Command pimsweep runs custom parameter sweeps of the two models and
 // emits a table (and optionally CSV) — the tool for design-space questions
-// the canned pimstudy experiments don't answer.
+// the canned pimstudy experiments don't answer. Sweeps execute through the
+// concurrent engine (internal/engine): each sweep is wrapped as an ad-hoc
+// experiment, so it gets replication with derived seeds, statistical
+// aggregation (mean / min / max / 95% CI per grid point), and structured
+// JSON output for free.
 //
 // Usage:
 //
@@ -12,9 +16,13 @@
 //
 // Common flags:
 //
-//	-seed N     base seed (default 1)
-//	-csv FILE   also write the table as CSV
-//	-workers N  parallel runs (default GOMAXPROCS)
+//	-seed N          base seed (default 1)
+//	-csv FILE        also write the table as CSV
+//	-workers N       parallel runs within one sweep (default GOMAXPROCS)
+//	-parallel N      replicated sweeps run concurrently (default GOMAXPROCS)
+//	-replications N  sweep repetitions with derived seeds; a mean/CI table
+//	                 follows the base table (default 1)
+//	-json            emit structured JSON instead of tables
 //
 // hostpim flags: -pmiss, -mix, -w, -overlap, -fixedmiss, -sim
 // parcelsys flags: -nodes, -remote, -mem, -horizon, -software
@@ -23,10 +31,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hostpim"
 	"repro/internal/parcel"
 	"repro/internal/parcelsys"
@@ -84,20 +96,183 @@ func parseAxis(s string) ([]float64, error) {
 	return out, nil
 }
 
-// emit renders the table and writes optional CSV.
-func emit(t *report.Table, csvPath string) error {
-	if err := t.Render(os.Stdout); err != nil {
+// engineFlags are the execution flags shared by both sweep subcommands.
+type engineFlags struct {
+	seed         *uint64
+	csvPath      *string
+	workers      *int
+	parallel     *int
+	replications *int
+	jsonOut      *bool
+}
+
+func addEngineFlags(fs *flag.FlagSet) *engineFlags {
+	return &engineFlags{
+		seed:         fs.Uint64("seed", 1, "base seed"),
+		csvPath:      fs.String("csv", "", "write CSV to this file"),
+		workers:      fs.Int("workers", 0, "parallel runs within one sweep (0 = GOMAXPROCS)"),
+		parallel:     fs.Int("parallel", 0, "replicated sweeps run concurrently (0 = GOMAXPROCS)"),
+		replications: fs.Int("replications", 1, "sweep repetitions with derived seeds"),
+		jsonOut:      fs.Bool("json", false, "emit structured JSON"),
+	}
+}
+
+// sweepSpec describes one sweep as the engine sees it: the grid, how to
+// evaluate a point, and how to lay the results out as a table.
+type sweepSpec struct {
+	id, title   string
+	tableTitle  string
+	axes        []sweep.Axis
+	axisHeaders []string
+	// axisCols formats a point's axis values for a table row.
+	axisCols func(p sweep.Point) []any
+	// metrics lists the metric keys in column order.
+	metrics []string
+	// metricHeaders are the table headers for metrics, same order.
+	metricHeaders []string
+	run           sweep.RunFunc
+}
+
+// pointKey flattens a grid point into a stable metric-name prefix, e.g.
+// "pct=0.5,n=8".
+func (s *sweepSpec) pointKey(p sweep.Point) string {
+	var sb strings.Builder
+	for i, a := range s.axes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%g", a.Name, p.Get(a.Name))
+	}
+	return sb.String()
+}
+
+// table renders one sweep's outcomes in point order.
+func (s *sweepSpec) table(outs []sweep.Outcome) *report.Table {
+	t := report.NewTable(s.tableTitle, append(append([]string{}, s.axisHeaders...), s.metricHeaders...)...)
+	for _, o := range outs {
+		row := s.axisCols(o.Point)
+		for _, m := range s.metrics {
+			row = append(row, o.Metrics[m])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// aggregateTable lays the engine's per-point aggregates out as a table:
+// one row per grid point, a mean and CI column per metric.
+func (s *sweepSpec) aggregateTable(baseSeed uint64, aggs map[string]engine.Aggregate, reps int, level float64) (*report.Table, error) {
+	g, err := sweep.NewGrid(baseSeed, s.axes...)
+	if err != nil {
+		return nil, err
+	}
+	headers := append([]string{}, s.axisHeaders...)
+	for _, h := range s.metricHeaders {
+		headers = append(headers, h+" mean", h+" ±ci")
+	}
+	t := report.NewTable(fmt.Sprintf("%s — %d replications (%.0f%% CI)", s.tableTitle, reps, level*100), headers...)
+	for _, p := range g.Points() {
+		row := s.axisCols(p)
+		key := s.pointKey(p)
+		for _, m := range s.metrics {
+			a := aggs[key+"/"+m]
+			row = append(row, a.Mean, a.CI)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// experiment wraps the sweep as an ad-hoc core.Experiment. Each replicate
+// rebuilds the grid from its own (engine-derived) seed; the replicate that
+// runs the base seed captures its table for CSV emission.
+func (s *sweepSpec) experiment(baseSeed uint64, capture func(*report.Table)) *core.Experiment {
+	return &core.Experiment{
+		ID:         s.id,
+		Title:      s.title,
+		PaperClaim: "custom sweep (not a paper artifact)",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			g, err := sweep.NewGrid(cfg.Seed, s.axes...)
+			if err != nil {
+				return nil, err
+			}
+			outs := g.Run(cfg.Workers, s.run)
+			if err := sweep.FirstError(outs); err != nil {
+				return nil, err
+			}
+			t := s.table(outs)
+			if err := t.Render(w); err != nil {
+				return nil, err
+			}
+			o := &core.Outcome{Metrics: make(map[string]float64, len(outs)*len(s.metrics))}
+			for _, out := range outs {
+				key := s.pointKey(out.Point)
+				for _, m := range s.metrics {
+					o.Metrics[key+"/"+m] = out.Metrics[m]
+				}
+			}
+			if cfg.Seed == baseSeed {
+				capture(t)
+			}
+			return o, nil
+		},
+	}
+}
+
+// executeSweep runs the sweep through the engine and emits table, CSV, and
+// aggregate output per the shared flags.
+func executeSweep(ef *engineFlags, spec *sweepSpec) error {
+	cfg := core.Config{Seed: *ef.seed, Workers: *ef.workers}
+	var mu sync.Mutex
+	var baseTable *report.Table
+	exp := spec.experiment(*ef.seed, func(t *report.Table) {
+		mu.Lock()
+		defer mu.Unlock()
+		baseTable = t
+	})
+	eng := engine.New(engine.Options{Workers: *ef.parallel, Replications: *ef.replications})
+	// When replicated sweeps run concurrently, pin each sweep's inner pool
+	// to one worker (unless -workers was set explicitly) so total
+	// goroutines stay ~GOMAXPROCS instead of its square.
+	if cfg.Workers == 0 && eng.Options().Workers > 1 && eng.Options().Replications > 1 {
+		cfg.Workers = 1
+	}
+	results, err := eng.Run(cfg, []*core.Experiment{exp})
+	if err != nil {
 		return err
 	}
-	if csvPath == "" {
+	// Render to stdout before touching the CSV path: a bad -csv target
+	// must not swallow a completed sweep's results.
+	if *ef.jsonOut {
+		if err := engine.WriteJSON(os.Stdout, results); err != nil {
+			return err
+		}
+	} else {
+		r := results[0]
+		if _, err := os.Stdout.Write(r.Output); err != nil {
+			return err
+		}
+		reps := eng.Options().Replications
+		if reps > 1 {
+			at, err := spec.aggregateTable(*ef.seed, r.Aggregates, reps, eng.Options().Level)
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			if err := at.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	if *ef.csvPath == "" {
 		return nil
 	}
-	f, err := os.Create(csvPath)
+	f, err := os.Create(*ef.csvPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return t.RenderCSV(f)
+	return baseTable.RenderCSV(f)
 }
 
 func runHostPIM(args []string) error {
@@ -110,9 +285,7 @@ func runHostPIM(args []string) error {
 	overlap := fs.Bool("overlap", false, "overlap HWP and LWP phases")
 	fixedMiss := fs.Bool("fixedmiss", false, "fixed-miss control policy (default locality-aware)")
 	useSim := fs.Bool("sim", false, "run the DES simulation instead of the closed form")
-	seed := fs.Uint64("seed", 1, "base seed")
-	csvPath := fs.String("csv", "", "write CSV to this file")
-	workers := fs.Int("workers", 0, "parallel runs")
+	ef := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,49 +297,48 @@ func runHostPIM(args []string) error {
 	if err != nil {
 		return err
 	}
-	grid, err := sweep.NewGrid(*seed,
-		sweep.Axis{Name: "pct", Values: pcts},
-		sweep.Axis{Name: "n", Values: nodes},
-	)
-	if err != nil {
-		return err
+	spec := &sweepSpec{
+		id:    "hostpim-sweep",
+		title: "custom hostpim sweep",
+		tableTitle: fmt.Sprintf("hostpim sweep (pmiss=%g mix=%g overlap=%v sim=%v)",
+			*pmiss, *mix, *overlap, *useSim),
+		axes: []sweep.Axis{
+			{Name: "pct", Values: pcts},
+			{Name: "n", Values: nodes},
+		},
+		axisHeaders: []string{"%WL", "N"},
+		axisCols: func(p sweep.Point) []any {
+			return []any{p.Get("pct"), p.GetInt("n")}
+		},
+		metrics:       []string{"total", "gain", "relative"},
+		metricHeaders: []string{"total cycles", "gain", "relative"},
+		run: func(pt sweep.Point) (map[string]float64, error) {
+			p := hostpim.DefaultParams()
+			p.PctWL = pt.Get("pct")
+			p.N = pt.GetInt("n")
+			p.Pmiss = *pmiss
+			p.MixLS = *mix
+			p.W = *w
+			p.Overlap = *overlap
+			if *fixedMiss {
+				p.Control = hostpim.ControlFixedMiss
+			}
+			var r hostpim.Result
+			var err error
+			if *useSim {
+				r, err = hostpim.Simulate(p, hostpim.SimOptions{Seed: pt.Seed})
+			} else {
+				r, err = hostpim.Analytic(p)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"total": r.Total, "gain": r.Gain, "relative": r.Relative,
+			}, nil
+		},
 	}
-	outs := grid.Run(*workers, func(pt sweep.Point) (map[string]float64, error) {
-		p := hostpim.DefaultParams()
-		p.PctWL = pt.Get("pct")
-		p.N = pt.GetInt("n")
-		p.Pmiss = *pmiss
-		p.MixLS = *mix
-		p.W = *w
-		p.Overlap = *overlap
-		if *fixedMiss {
-			p.Control = hostpim.ControlFixedMiss
-		}
-		var r hostpim.Result
-		var err error
-		if *useSim {
-			r, err = hostpim.Simulate(p, hostpim.SimOptions{Seed: pt.Seed})
-		} else {
-			r, err = hostpim.Analytic(p)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return map[string]float64{
-			"total": r.Total, "gain": r.Gain, "relative": r.Relative,
-		}, nil
-	})
-	if err := sweep.FirstError(outs); err != nil {
-		return err
-	}
-	t := report.NewTable(fmt.Sprintf("hostpim sweep (pmiss=%g mix=%g overlap=%v sim=%v)",
-		*pmiss, *mix, *overlap, *useSim),
-		"%WL", "N", "total cycles", "gain", "relative")
-	for _, o := range outs {
-		t.AddRow(o.Point.Get("pct"), o.Point.GetInt("n"),
-			o.Metrics["total"], o.Metrics["gain"], o.Metrics["relative"])
-	}
-	return emit(t, *csvPath)
+	return executeSweep(ef, spec)
 }
 
 func runParcelSys(args []string) error {
@@ -178,9 +350,7 @@ func runParcelSys(args []string) error {
 	mem := fs.Float64("mem", 10, "local memory cycles")
 	horizon := fs.Float64("horizon", 100000, "simulated cycles")
 	software := fs.Bool("software", false, "software-only parcel overheads")
-	seed := fs.Uint64("seed", 1, "base seed")
-	csvPath := fs.String("csv", "", "write CSV to this file")
-	workers := fs.Int("workers", 0, "parallel runs")
+	ef := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -192,42 +362,41 @@ func runParcelSys(args []string) error {
 	if err != nil {
 		return err
 	}
-	grid, err := sweep.NewGrid(*seed,
-		sweep.Axis{Name: "p", Values: pars},
-		sweep.Axis{Name: "l", Values: lats},
-	)
-	if err != nil {
-		return err
+	spec := &sweepSpec{
+		id:    "parcelsys-sweep",
+		title: "custom parcelsys sweep",
+		tableTitle: fmt.Sprintf("parcelsys sweep (%d nodes, remote=%g, software=%v)",
+			*nodes, *remote, *software),
+		axes: []sweep.Axis{
+			{Name: "p", Values: pars},
+			{Name: "l", Values: lats},
+		},
+		axisHeaders: []string{"parallelism", "latency"},
+		axisCols: func(p sweep.Point) []any {
+			return []any{p.GetInt("p"), p.Get("l")}
+		},
+		metrics:       []string{"ratio", "ctrlIdle", "testIdle"},
+		metricHeaders: []string{"ratio", "control idle", "test idle"},
+		run: func(pt sweep.Point) (map[string]float64, error) {
+			p := parcelsys.DefaultParams()
+			p.Nodes = *nodes
+			p.Parallelism = pt.GetInt("p")
+			p.Latency = pt.Get("l")
+			p.RemoteFrac = *remote
+			p.MemCycles = *mem
+			p.Horizon = *horizon
+			p.Seed = pt.Seed
+			if *software {
+				p.Overhead = parcel.SoftwareOnly()
+			}
+			r, err := parcelsys.Run(p)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]float64{
+				"ratio": r.Ratio, "ctrlIdle": r.Control.IdleFrac, "testIdle": r.Test.IdleFrac,
+			}, nil
+		},
 	}
-	outs := grid.Run(*workers, func(pt sweep.Point) (map[string]float64, error) {
-		p := parcelsys.DefaultParams()
-		p.Nodes = *nodes
-		p.Parallelism = pt.GetInt("p")
-		p.Latency = pt.Get("l")
-		p.RemoteFrac = *remote
-		p.MemCycles = *mem
-		p.Horizon = *horizon
-		p.Seed = pt.Seed
-		if *software {
-			p.Overhead = parcel.SoftwareOnly()
-		}
-		r, err := parcelsys.Run(p)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]float64{
-			"ratio": r.Ratio, "ctrlIdle": r.Control.IdleFrac, "testIdle": r.Test.IdleFrac,
-		}, nil
-	})
-	if err := sweep.FirstError(outs); err != nil {
-		return err
-	}
-	t := report.NewTable(fmt.Sprintf("parcelsys sweep (%d nodes, remote=%g, software=%v)",
-		*nodes, *remote, *software),
-		"parallelism", "latency", "ratio", "control idle", "test idle")
-	for _, o := range outs {
-		t.AddRow(o.Point.GetInt("p"), o.Point.Get("l"),
-			o.Metrics["ratio"], o.Metrics["ctrlIdle"], o.Metrics["testIdle"])
-	}
-	return emit(t, *csvPath)
+	return executeSweep(ef, spec)
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 func TestParseAxisList(t *testing.T) {
@@ -75,5 +79,84 @@ func TestBadModel(t *testing.T) {
 	}
 	if err := run(nil); err == nil {
 		t.Fatal("missing model accepted")
+	}
+}
+
+// captureStdout runs fn, failing the test on error, and returns stdout.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	out, err := testutil.CaptureStdout(t, fn)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out)
+	}
+	return out
+}
+
+func TestReplicationsEmitAggregateTable(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"parcelsys", "-parallelism", "1,4", "-latency", "100",
+			"-nodes", "4", "-horizon", "5000", "-replications", "3"})
+	})
+	for _, want := range []string{"3 replications (95% CI)", "ratio mean", "ratio ±ci"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregate table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"hostpim", "-pct", "0.5", "-nodes", "4,8",
+			"-replications", "2", "-json"})
+	})
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(decoded) != 1 || decoded[0]["id"] != "hostpim-sweep" {
+		t.Fatalf("unexpected JSON: %v", decoded)
+	}
+	metrics, ok := decoded[0]["metrics"].(map[string]any)
+	if !ok || metrics["pct=0.5,n=4/gain"] == nil {
+		t.Errorf("per-point metrics missing: %v", decoded[0]["metrics"])
+	}
+	aggs, ok := decoded[0]["aggregates"].(map[string]any)
+	if !ok || aggs["pct=0.5,n=8/gain"] == nil {
+		t.Errorf("per-point aggregates missing")
+	}
+}
+
+func TestParallelFlagDeterministic(t *testing.T) {
+	// Replicate-level parallelism must not change any emitted byte.
+	args := []string{"parcelsys", "-parallelism", "1,4", "-latency", "50",
+		"-nodes", "4", "-horizon", "4000", "-replications", "4"}
+	serial := captureStdout(t, func() error { return run(append([]string{args[0], "-parallel", "1"}, args[1:]...)) })
+	par := captureStdout(t, func() error { return run(append([]string{args[0], "-parallel", "8"}, args[1:]...)) })
+	if serial != par {
+		t.Errorf("-parallel changed output:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+	}
+}
+
+func TestCSVWithReplications(t *testing.T) {
+	// CSV must come from the base-seed replicate regardless of scheduling.
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{"hostpim", "-pct", "0.5", "-nodes", "4", "-csv", path,
+		"-replications", "3", "-parallel", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	single := filepath.Join(t.TempDir(), "single.csv")
+	if err := run([]string{"hostpim", "-pct", "0.5", "-nodes", "4", "-csv", single}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("replicated CSV differs from single-run CSV:\n%s\nvs\n%s", a, b)
 	}
 }

@@ -1,0 +1,149 @@
+package repro
+
+// Determinism regression tests: every registered experiment must be a
+// pure function of its Config — same seed, same bytes — and the engine's
+// concurrent execution path must reproduce the serial path exactly.
+// Under -short only a cheap experiment subset runs; the full suite runs
+// in the regular (tier-1) pass.
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// determinismSubjects returns the experiments under test: all of them, or
+// a cheap subset in -short mode.
+func determinismSubjects(t *testing.T) []*core.Experiment {
+	t.Helper()
+	if !testing.Short() {
+		return core.Registry()
+	}
+	var out []*core.Experiment
+	for _, id := range []string{"table1", "fig7", "bandwidth"} {
+		e, err := core.Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Two runs with the same seed in Quick mode: byte-identical rendered
+	// output and identical Outcome.Metrics, for every experiment.
+	cfg := core.Config{Seed: 2004, Quick: true}
+	for _, e := range determinismSubjects(t) {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			run := func() (*core.Outcome, []byte) {
+				var buf bytes.Buffer
+				o, err := e.Run(cfg, &buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return o, buf.Bytes()
+			}
+			o1, out1 := run()
+			o2, out2 := run()
+			if !bytes.Equal(out1, out2) {
+				t.Errorf("%s: rendered output differs between identical runs", e.ID)
+			}
+			if !reflect.DeepEqual(o1.Metrics, o2.Metrics) {
+				t.Errorf("%s: metrics differ between identical runs:\n%v\nvs\n%v",
+					e.ID, o1.Metrics, o2.Metrics)
+			}
+			if !reflect.DeepEqual(o1.Checks, o2.Checks) {
+				t.Errorf("%s: checks differ between identical runs", e.ID)
+			}
+		})
+	}
+}
+
+func TestEngineParallelMatchesSerialPath(t *testing.T) {
+	// The engine with many workers must produce the same Outcomes and the
+	// same rendered byte stream as a serial pass over the same
+	// experiments.
+	cfg := core.Config{Seed: 2004, Quick: true}
+	exps := determinismSubjects(t)
+
+	var serialOut bytes.Buffer
+	serial := make(map[string]*core.Outcome, len(exps))
+	for _, e := range exps {
+		serialOut.WriteString(core.Banner(e.ID, e.Title))
+		o, err := e.Run(cfg, &serialOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[e.ID] = o
+		core.RenderChecks(o, &serialOut)
+	}
+
+	results, err := engine.New(engine.Options{Workers: 8}).Run(cfg, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engineOut bytes.Buffer
+	if err := engine.WriteResults(&engineOut, results, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOut.Bytes(), engineOut.Bytes()) {
+		t.Error("engine rendered stream differs from serial pass")
+	}
+	for _, r := range results {
+		want := serial[r.ID]
+		if !reflect.DeepEqual(r.Outcome.Metrics, want.Metrics) {
+			t.Errorf("%s: engine metrics differ from serial run", r.ID)
+		}
+		if !reflect.DeepEqual(r.Outcome.Checks, want.Checks) {
+			t.Errorf("%s: engine checks differ from serial run", r.ID)
+		}
+	}
+}
+
+func TestEngineFullSuiteMatchesCoreRunAll(t *testing.T) {
+	// End to end against the real serial entry point: core.RunAll's
+	// outcomes and bytes, reproduced by the concurrent engine over the
+	// whole registry.
+	if testing.Short() {
+		t.Skip("full-suite comparison in -short mode")
+	}
+	cfg := core.Config{Seed: 2004, Quick: true}
+	var serialOut bytes.Buffer
+	serial, err := core.RunAll(cfg, &serialOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := engine.New(engine.Options{Workers: 4}).RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engineOut bytes.Buffer
+	if err := engine.WriteResults(&engineOut, results, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOut.Bytes(), engineOut.Bytes()) {
+		// Find the first differing line for a readable failure.
+		a := strings.Split(serialOut.String(), "\n")
+		b := strings.Split(engineOut.String(), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("line %d differs:\nserial: %q\nengine: %q", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("outputs differ in length: serial %d lines, engine %d lines", len(a), len(b))
+	}
+	if len(results) != len(serial) {
+		t.Fatalf("engine returned %d results, serial %d", len(results), len(serial))
+	}
+	for _, r := range results {
+		if !reflect.DeepEqual(r.Outcome, serial[r.ID]) {
+			t.Errorf("%s: engine outcome differs from core.RunAll", r.ID)
+		}
+	}
+}

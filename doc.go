@@ -7,9 +7,14 @@
 // (internal/queueing) stands in for the paper's SES/Workbench substrate;
 // internal/hostpim and internal/parcelsys implement the paper's two
 // studies; internal/analytic holds the closed forms; internal/core
-// registers one runnable experiment per table and figure. The pimstudy
-// command (cmd/pimstudy) regenerates every artifact; bench_test.go at this
-// root carries one benchmark per artifact.
+// registers one runnable experiment per table and figure; internal/engine
+// executes any set of registered experiments concurrently on a bounded
+// worker pool, with N-replication runs (derived seeds, mean/min/max/CI
+// aggregation of metrics), structured progress events, and a result cache
+// keyed by (experiment ID, Config). The pimstudy command (cmd/pimstudy)
+// regenerates every artifact through the engine (-parallel,
+// -replications, -json); bench_test.go at this root carries one benchmark
+// per artifact plus serial-vs-engine suite benchmarks.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.

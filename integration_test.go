@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/analytic"
 	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hostpim"
 	"repro/internal/isa"
 	"repro/internal/parcel"
@@ -21,6 +23,40 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+func TestEngineRegeneratesArtifactSuite(t *testing.T) {
+	// The whole registered-experiment suite regenerates concurrently
+	// through the engine: every artifact present, every check passing.
+	if testing.Short() {
+		t.Skip("full artifact regeneration in -short mode")
+	}
+	cfg := core.Config{Seed: 2004, Quick: true}
+	var events int
+	eng := engine.New(engine.Options{Workers: 4, Events: func(engine.Event) { events++ }})
+	results, err := eng.RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(core.Registry()) {
+		t.Fatalf("engine returned %d results for %d registered experiments",
+			len(results), len(core.Registry()))
+	}
+	for i, e := range core.Registry() {
+		r := results[i]
+		if r.ID != e.ID {
+			t.Errorf("result %d is %s, want %s (input order lost)", i, r.ID, e.ID)
+		}
+		if len(r.Output) == 0 {
+			t.Errorf("%s regenerated no artifact output", r.ID)
+		}
+		for _, c := range r.Outcome.Failed() {
+			t.Errorf("%s: check %q failed: %s", r.ID, c.Name, c.Detail)
+		}
+	}
+	if want := 2 * len(results); events != want {
+		t.Errorf("engine emitted %d progress events, want %d", events, want)
+	}
+}
 
 func TestWorkloadToModelPipeline(t *testing.T) {
 	// Profile kernels -> partition -> fit -> both evaluation paths agree.

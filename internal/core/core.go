@@ -110,19 +110,26 @@ func Find(id string) (*Experiment, error) {
 func RunAll(cfg Config, w io.Writer) (map[string]*Outcome, error) {
 	out := make(map[string]*Outcome, len(registry))
 	for _, e := range registry {
-		fmt.Fprintf(w, "\n================ %s — %s ================\n", e.ID, e.Title)
+		fmt.Fprint(w, Banner(e.ID, e.Title))
 		o, err := e.Run(cfg, w)
 		if err != nil {
 			return out, fmt.Errorf("core: %s: %w", e.ID, err)
 		}
 		out[e.ID] = o
-		renderChecks(o, w)
+		RenderChecks(o, w)
 	}
 	return out, nil
 }
 
-// renderChecks prints an outcome's checks and headline metrics.
-func renderChecks(o *Outcome, w io.Writer) {
+// Banner returns the separator RunAll prints before each artifact. The
+// engine uses it to keep concurrent output byte-identical to the serial
+// path.
+func Banner(id, title string) string {
+	return fmt.Sprintf("\n================ %s — %s ================\n", id, title)
+}
+
+// RenderChecks prints an outcome's checks and headline metrics.
+func RenderChecks(o *Outcome, w io.Writer) {
 	if len(o.Metrics) > 0 {
 		keys := make([]string, 0, len(o.Metrics))
 		for k := range o.Metrics {

@@ -12,6 +12,16 @@ func quickCfg() Config {
 	return Config{Seed: 2004, Quick: true}
 }
 
+// skipInShort guards the multi-second experiment regenerations so
+// `go test -short` (the CI race pass) keeps this package fast; the cheap
+// experiments still run either way.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy experiment regeneration skipped in -short mode")
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	// Every artifact in DESIGN.md's per-experiment index must be present.
 	want := []string{
@@ -87,6 +97,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig5Quick(t *testing.T) {
+	skipInShort(t)
 	o, out := runExperiment(t, "fig5")
 	if o.Metrics["gain_full_lwp"] < 50 {
 		t.Errorf("extreme gain = %g", o.Metrics["gain_full_lwp"])
@@ -97,6 +108,7 @@ func TestFig5Quick(t *testing.T) {
 }
 
 func TestFig6Quick(t *testing.T) {
+	skipInShort(t)
 	o, _ := runExperiment(t, "fig6")
 	if o.Metrics["t_100pct_n1"] <= 0 {
 		t.Error("missing response time metric")
@@ -111,6 +123,7 @@ func TestFig7Quick(t *testing.T) {
 }
 
 func TestAccuracyQuick(t *testing.T) {
+	skipInShort(t)
 	o, _ := runExperiment(t, "accuracy")
 	if o.Metrics["err_max"] > 0.18 {
 		t.Errorf("accuracy band %g exceeds the paper's", o.Metrics["err_max"])
@@ -118,6 +131,7 @@ func TestAccuracyQuick(t *testing.T) {
 }
 
 func TestFig11Quick(t *testing.T) {
+	skipInShort(t)
 	o, out := runExperiment(t, "fig11")
 	if o.Metrics["best_ratio"] < 10 {
 		t.Errorf("best ratio = %g", o.Metrics["best_ratio"])
@@ -142,6 +156,7 @@ func TestBandwidthQuick(t *testing.T) {
 }
 
 func TestAblationsQuick(t *testing.T) {
+	skipInShort(t)
 	for _, id := range []string{
 		"ablation-control", "ablation-overhead", "ablation-topology",
 		"ablation-cache", "ablation-overlap", "ablation-dram", "ablation-hotspot",
@@ -160,6 +175,7 @@ func TestExtrasQuick(t *testing.T) {
 }
 
 func TestRunAllQuick(t *testing.T) {
+	skipInShort(t)
 	outs, err := RunAll(quickCfg(), io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +211,7 @@ func TestCSVEmission(t *testing.T) {
 }
 
 func TestDeterministicOutcomes(t *testing.T) {
+	skipInShort(t)
 	// Same seed, same quick config: identical metric values.
 	run := func() map[string]float64 {
 		e, _ := Find("fig11")

@@ -1,0 +1,144 @@
+package core
+
+// Table-driven edge-case tests for the experiment plumbing itself:
+// Outcome check bookkeeping, CSV emission side effects, and Config
+// defaults. The experiment *content* is covered by core_test.go.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestOutcomeFailed(t *testing.T) {
+	cases := []struct {
+		name   string
+		checks []Check
+		want   []string // names of failed checks, in order
+	}{
+		{"nil checks", nil, nil},
+		{"empty checks", []Check{}, nil},
+		{"all passing", []Check{{Name: "a", Pass: true}, {Name: "b", Pass: true}}, nil},
+		{"all failing", []Check{{Name: "a"}, {Name: "b"}}, []string{"a", "b"}},
+		{
+			"mixed preserves order",
+			[]Check{{Name: "a"}, {Name: "b", Pass: true}, {Name: "c"}, {Name: "d", Pass: true}, {Name: "e"}},
+			[]string{"a", "c", "e"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o := &Outcome{Checks: tc.checks}
+			failed := o.Failed()
+			if len(failed) != len(tc.want) {
+				t.Fatalf("Failed() returned %d checks, want %d", len(failed), len(tc.want))
+			}
+			for i, c := range failed {
+				if c.Name != tc.want[i] {
+					t.Errorf("failed[%d] = %q, want %q", i, c.Name, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestOutcomeCheckHelper(t *testing.T) {
+	var o Outcome
+	o.check("first", true, "value=%g", 1.5)
+	o.check("second", false, "got %d want %d", 3, 4)
+	if len(o.Checks) != 2 {
+		t.Fatalf("%d checks recorded", len(o.Checks))
+	}
+	if o.Checks[0].Detail != "value=1.5" || !o.Checks[0].Pass {
+		t.Errorf("first check = %+v", o.Checks[0])
+	}
+	if o.Checks[1].Detail != "got 3 want 4" || o.Checks[1].Pass {
+		t.Errorf("second check = %+v", o.Checks[1])
+	}
+}
+
+func TestRenderChecksEmptyOutcome(t *testing.T) {
+	// No metrics, no checks: nothing rendered at all.
+	var sb strings.Builder
+	RenderChecks(&Outcome{}, &sb)
+	if sb.Len() != 0 {
+		t.Errorf("empty outcome rendered %q", sb.String())
+	}
+}
+
+func TestBanner(t *testing.T) {
+	b := Banner("fig5", "Gain curves")
+	for _, want := range []string{"fig5", "Gain curves", "================"} {
+		if !strings.Contains(b, want) {
+			t.Errorf("banner %q missing %q", b, want)
+		}
+	}
+	if !strings.HasPrefix(b, "\n") || !strings.HasSuffix(b, "\n") {
+		t.Errorf("banner %q not newline-delimited", b)
+	}
+}
+
+func TestEmitTableCSVDir(t *testing.T) {
+	table := func() *report.Table {
+		tab := report.NewTable("t", "x", "y")
+		tab.AddRow(1, 2)
+		return tab
+	}
+	cases := []struct {
+		name    string
+		dir     func(t *testing.T) string // "" = unset
+		wantCSV bool
+	}{
+		{"no CSVDir writes nothing", func(*testing.T) string { return "" }, false},
+		{"existing dir", func(t *testing.T) string { return t.TempDir() }, true},
+		{
+			// emitTable must create missing directories, nested ones
+			// included.
+			"nested dir created",
+			func(t *testing.T) string { return filepath.Join(t.TempDir(), "a", "b") },
+			true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := tc.dir(t)
+			cfg := Config{CSVDir: dir}
+			if err := emitTable(cfg, io.Discard, "edge", table()); err != nil {
+				t.Fatal(err)
+			}
+			if !tc.wantCSV {
+				return
+			}
+			data, err := os.ReadFile(filepath.Join(dir, "edge.csv"))
+			if err != nil {
+				t.Fatalf("CSV not written: %v", err)
+			}
+			if !strings.Contains(string(data), "x,y") {
+				t.Errorf("CSV content %q missing header", data)
+			}
+		})
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Seed != 2004 || cfg.Quick || cfg.Workers != 0 || cfg.CSVDir != "" {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestFindErrorListsKnownIDs(t *testing.T) {
+	_, err := Find("definitely-not-registered")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if !strings.Contains(err.Error(), "table1") {
+		t.Errorf("error %q does not list known ids", err)
+	}
+}

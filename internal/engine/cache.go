@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Cache memoizes experiment Results keyed by a hash of the experiment ID
+// and the full run configuration (seed, quick flag, CSV directory,
+// replication count, CI level). It is safe for concurrent use and may be
+// shared across engines. Entries never expire: every experiment is
+// deterministic given its configuration, so a cached result stays valid
+// for the life of the process.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[uint64]Result
+	hits   int
+	misses int
+}
+
+// NewCache creates an empty result cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[uint64]Result)}
+}
+
+func (c *Cache) get(key uint64) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+func (c *Cache) put(key uint64, r Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the lookup hit and miss counts so far.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// cacheKey hashes everything that can influence a Result: the experiment
+// identity, the run configuration (Workers excluded — it changes only
+// scheduling, never results), the replication count, and the CI level.
+func cacheKey(id string, cfg core.Config, reps int, level float64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%d\x00%t\x00%s\x00%d\x00%g", id, cfg.Seed, cfg.Quick, cfg.CSVDir, reps, level)
+	return h.Sum64()
+}

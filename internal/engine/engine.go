@@ -1,0 +1,311 @@
+// Package engine is the concurrent experiment-execution subsystem: it
+// fans any set of registered core experiments out across a bounded worker
+// pool, runs each replicate against a per-run buffered writer (so output
+// stays deterministic and un-interleaved regardless of scheduling),
+// supports N-replication runs with derived seeds and statistical
+// aggregation of the outcome metrics (mean / min / max / Student-t CI),
+// streams structured progress events, and caches results keyed by a hash
+// of (experiment ID, Config).
+//
+// Replicate 0 always runs with the caller's seed verbatim, so a
+// single-replication engine run reproduces the serial core.RunAll path
+// exactly — same Outcome, same rendered bytes. Additional replicates use
+// SplitMix64-derived seeds, mirroring how internal/sweep seeds its grid
+// points.
+//
+// The engine parallelizes across experiments; each experiment's own
+// sweeps still honor core.Config.Workers. When running many experiments
+// concurrently on a loaded machine, set cfg.Workers = 1 to avoid
+// oversubscribing the host.
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds how many replicate runs execute concurrently
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Replications is the number of runs per experiment (0 or 1 = one
+	// run). Replicate 0 uses the caller's seed; replicate i > 0 derives
+	// its seed from (base seed, i).
+	Replications int
+	// Level is the confidence level for aggregate CIs (0 = 0.95).
+	Level float64
+	// Events, when non-nil, receives progress events. The engine
+	// serializes callbacks, so the handler needs no locking of its own.
+	Events func(Event)
+	// Cache, when non-nil, is consulted before running an experiment and
+	// updated after a successful run. A cache may be shared by several
+	// engines, including concurrently.
+	Cache *Cache
+}
+
+// EventKind classifies a progress event.
+type EventKind int
+
+const (
+	// EventStart fires when a replicate begins executing.
+	EventStart EventKind = iota
+	// EventDone fires when a replicate finishes successfully.
+	EventDone
+	// EventError fires when a replicate fails.
+	EventError
+	// EventCacheHit fires when an experiment is served from the cache
+	// without running.
+	EventCacheHit
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventDone:
+		return "done"
+	case EventError:
+		return "error"
+	case EventCacheHit:
+		return "cache-hit"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one structured progress notification.
+type Event struct {
+	Kind EventKind
+	// ID is the experiment id.
+	ID string
+	// Replicate is the replicate index (0-based); meaningless for
+	// EventCacheHit.
+	Replicate int
+	// Replications is the total replicate count for the run.
+	Replications int
+	// Err carries the failure for EventError.
+	Err error
+}
+
+// Aggregate summarizes one metric across replicates.
+type Aggregate struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// CI is the half-width of the two-sided Student-t confidence interval
+	// on the mean at Options.Level (+Inf when N < 2).
+	CI float64 `json:"ci"`
+	N  int     `json:"n"`
+}
+
+// Result is the engine's answer for one experiment.
+type Result struct {
+	// ID and Title identify the experiment.
+	ID    string
+	Title string
+	// Outcome is replicate 0's outcome (the caller's seed).
+	Outcome *core.Outcome
+	// Output is replicate 0's rendered artifact.
+	Output []byte
+	// Aggregates summarizes each metric across all replicates, keyed like
+	// Outcome.Metrics. With one replication the aggregate collapses to
+	// the single observation (N = 1, infinite CI).
+	Aggregates map[string]Aggregate
+	// Err is the first replicate failure, if any.
+	Err error
+	// FromCache reports whether the result was served from Options.Cache.
+	FromCache bool
+}
+
+// Engine executes experiments per its Options. It is safe for concurrent
+// use.
+type Engine struct {
+	opts Options
+	evmu sync.Mutex
+}
+
+// New creates an engine, applying option defaults.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Replications <= 0 {
+		opts.Replications = 1
+	}
+	if opts.Level == 0 {
+		opts.Level = 0.95
+	}
+	return &Engine{opts: opts}
+}
+
+// Options returns the engine's effective (default-filled) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// RunAll executes every registered experiment; see Run.
+func (e *Engine) RunAll(cfg core.Config) ([]Result, error) {
+	return e.Run(cfg, core.Registry())
+}
+
+// Run executes the given experiments concurrently and returns one Result
+// per experiment, in input order. Execution order never affects results:
+// every replicate's randomness comes only from its derived seed, and each
+// replicate writes to a private buffer. The returned error joins all
+// per-experiment failures (also recorded on the individual Results); the
+// successful Results are valid either way.
+func (e *Engine) Run(cfg core.Config, exps []*core.Experiment) ([]Result, error) {
+	reps := e.opts.Replications
+	results := make([]Result, len(exps))
+
+	// One slot per (experiment, replicate); replicate 0 keeps its output.
+	type runOut struct {
+		outcome *core.Outcome
+		output  []byte
+		err     error
+	}
+	runs := make([][]runOut, len(exps))
+
+	type task struct{ exp, rep int }
+	var tasks []task
+	for i, exp := range exps {
+		results[i].ID = exp.ID
+		results[i].Title = exp.Title
+		if e.opts.Cache != nil {
+			if r, ok := e.opts.Cache.get(cacheKey(exp.ID, cfg, reps, e.opts.Level)); ok {
+				r.FromCache = true
+				results[i] = r
+				e.emit(Event{Kind: EventCacheHit, ID: exp.ID, Replications: reps})
+				continue
+			}
+		}
+		runs[i] = make([]runOut, reps)
+		for r := 0; r < reps; r++ {
+			tasks = append(tasks, task{exp: i, rep: r})
+		}
+	}
+
+	work := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				exp := exps[t.exp]
+				e.emit(Event{Kind: EventStart, ID: exp.ID, Replicate: t.rep, Replications: reps})
+				rcfg := cfg
+				rcfg.Seed = ReplicateSeed(cfg.Seed, t.rep)
+				var buf bytes.Buffer
+				var w io.Writer = &buf
+				if t.rep > 0 {
+					// Only the base replicate keeps rendered output and
+					// CSV artifacts; the others contribute metrics.
+					rcfg.CSVDir = ""
+					w = io.Discard
+				}
+				o, err := exp.Run(rcfg, w)
+				runs[t.exp][t.rep] = runOut{outcome: o, output: buf.Bytes(), err: err}
+				if err != nil {
+					e.emit(Event{Kind: EventError, ID: exp.ID, Replicate: t.rep, Replications: reps, Err: err})
+				} else {
+					e.emit(Event{Kind: EventDone, ID: exp.ID, Replicate: t.rep, Replications: reps})
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+
+	var errs []error
+	for i, exp := range exps {
+		if runs[i] == nil { // cache hit
+			continue
+		}
+		r := &results[i]
+		for rep, ro := range runs[i] {
+			if ro.err != nil && r.Err == nil {
+				r.Err = fmt.Errorf("engine: %s (replicate %d): %w", exp.ID, rep, ro.err)
+			}
+		}
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+			continue
+		}
+		r.Outcome = runs[i][0].outcome
+		r.Output = runs[i][0].output
+		r.Aggregates = aggregate(runs[i], func(ro runOut) map[string]float64 {
+			return ro.outcome.Metrics
+		}, e.opts.Level)
+		if e.opts.Cache != nil {
+			e.opts.Cache.put(cacheKey(exp.ID, cfg, reps, e.opts.Level), *r)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// aggregate folds per-replicate metric maps into per-metric Aggregates,
+// accumulating in replicate order so the result is bit-identical across
+// runs and worker counts.
+func aggregate[T any](runs []T, metrics func(T) map[string]float64, level float64) map[string]Aggregate {
+	keys := map[string]bool{}
+	for _, ro := range runs {
+		for k := range metrics(ro) {
+			keys[k] = true
+		}
+	}
+	out := make(map[string]Aggregate, len(keys))
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		var s stats.Sample
+		for _, ro := range runs {
+			if v, ok := metrics(ro)[k]; ok {
+				s.Add(v)
+			}
+		}
+		out[k] = Aggregate{
+			Mean: s.Mean(), Min: s.Min(), Max: s.Max(),
+			CI: s.CI(level), N: int(s.N()),
+		}
+	}
+	return out
+}
+
+// emit delivers an event to the Options.Events handler, serialized.
+func (e *Engine) emit(ev Event) {
+	if e.opts.Events == nil {
+		return
+	}
+	e.evmu.Lock()
+	defer e.evmu.Unlock()
+	e.opts.Events(ev)
+}
+
+// ReplicateSeed derives the seed for replicate rep from the base seed.
+// Replicate 0 is the base seed itself; later replicates use the SplitMix64
+// finalizer (the same mixing internal/sweep applies to grid points) so
+// neighbouring replicates get statistically unrelated streams.
+func ReplicateSeed(base uint64, rep int) uint64 {
+	if rep == 0 {
+		return base
+	}
+	z := base + 0x9e3779b97f4a7c15*uint64(rep)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

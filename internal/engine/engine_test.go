@@ -1,0 +1,492 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// fakeExperiment builds a deterministic experiment whose metric and output
+// depend only on the seed, mimicking the contract real experiments keep.
+func fakeExperiment(id string) *core.Experiment {
+	return &core.Experiment{
+		ID:         id,
+		Title:      "fake " + id,
+		PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			fmt.Fprintf(w, "artifact %s seed=%d quick=%t\n", id, cfg.Seed, cfg.Quick)
+			o := &core.Outcome{Metrics: map[string]float64{
+				"seedval": float64(cfg.Seed % 1000),
+				"fixed":   42,
+			}}
+			o.Checks = append(o.Checks, core.Check{Name: "always", Pass: true, Detail: "ok"})
+			return o, nil
+		},
+	}
+}
+
+func failingExperiment(id string, err error) *core.Experiment {
+	return &core.Experiment{
+		ID: id, Title: "failing " + id, PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			return nil, err
+		},
+	}
+}
+
+func fakes(n int) []*core.Experiment {
+	out := make([]*core.Experiment, n)
+	for i := range out {
+		out[i] = fakeExperiment(fmt.Sprintf("fake%02d", i))
+	}
+	return out
+}
+
+func TestOptionDefaults(t *testing.T) {
+	e := New(Options{})
+	o := e.Options()
+	if o.Workers < 1 || o.Replications != 1 || o.Level != 0.95 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+}
+
+func TestResultsInInputOrder(t *testing.T) {
+	exps := fakes(20)
+	results, err := New(Options{Workers: 8}).Run(core.Config{Seed: 7}, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(exps) {
+		t.Fatalf("got %d results for %d experiments", len(results), len(exps))
+	}
+	for i, r := range results {
+		if r.ID != exps[i].ID {
+			t.Errorf("result %d is %s, want %s", i, r.ID, exps[i].ID)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// Identical Outcomes and rendered bytes regardless of worker count.
+	exps := fakes(12)
+	cfg := core.Config{Seed: 2004, Quick: true}
+	run := func(workers int) ([]Result, string) {
+		results, err := New(Options{Workers: workers}).Run(cfg, exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteResults(&buf, results, 0.95); err != nil {
+			t.Fatal(err)
+		}
+		return results, buf.String()
+	}
+	serialRes, serialOut := run(1)
+	parRes, parOut := run(8)
+	if serialOut != parOut {
+		t.Errorf("parallel output differs from serial")
+	}
+	for i := range serialRes {
+		if !reflect.DeepEqual(serialRes[i].Outcome, parRes[i].Outcome) {
+			t.Errorf("%s: outcome differs across worker counts", serialRes[i].ID)
+		}
+	}
+}
+
+func TestSingleReplicationMatchesDirectRun(t *testing.T) {
+	// Replicate 0 must see the caller's seed verbatim.
+	exp := fakeExperiment("base")
+	cfg := core.Config{Seed: 12345}
+	var direct bytes.Buffer
+	want, err := exp.Run(cfg, &direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := New(Options{Workers: 4}).Run(cfg, []*core.Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if !reflect.DeepEqual(r.Outcome, want) {
+		t.Errorf("engine outcome %+v != direct %+v", r.Outcome, want)
+	}
+	if !bytes.Equal(r.Output, direct.Bytes()) {
+		t.Errorf("engine output %q != direct %q", r.Output, direct.Bytes())
+	}
+}
+
+func TestReplicateSeed(t *testing.T) {
+	if got := ReplicateSeed(99, 0); got != 99 {
+		t.Fatalf("replicate 0 seed = %d, want base", got)
+	}
+	seen := map[uint64]bool{99: true}
+	for rep := 1; rep < 100; rep++ {
+		s := ReplicateSeed(99, rep)
+		if seen[s] {
+			t.Fatalf("duplicate replicate seed %d at rep %d", s, rep)
+		}
+		seen[s] = true
+	}
+	if ReplicateSeed(99, 1) != ReplicateSeed(99, 1) {
+		t.Fatal("replicate seeds not stable")
+	}
+}
+
+func TestReplicationAggregation(t *testing.T) {
+	// The aggregate must equal a stats.Sample fed the per-replicate values
+	// in replicate order.
+	const reps = 7
+	const level = 0.95
+	cfg := core.Config{Seed: 500}
+	exp := fakeExperiment("agg")
+	results, err := New(Options{Workers: 4, Replications: reps, Level: level}).
+		Run(cfg, []*core.Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want stats.Sample
+	for rep := 0; rep < reps; rep++ {
+		want.Add(float64(ReplicateSeed(cfg.Seed, rep) % 1000))
+	}
+	a, ok := results[0].Aggregates["seedval"]
+	if !ok {
+		t.Fatal("no aggregate for seedval")
+	}
+	if a.N != reps || a.Mean != want.Mean() || a.Min != want.Min() || a.Max != want.Max() || a.CI != want.CI(level) {
+		t.Errorf("aggregate %+v, want n=%d mean=%g min=%g max=%g ci=%g",
+			a, reps, want.Mean(), want.Min(), want.Max(), want.CI(level))
+	}
+	// A constant metric aggregates to itself with zero CI.
+	f := results[0].Aggregates["fixed"]
+	if f.Mean != 42 || f.Min != 42 || f.Max != 42 || f.CI != 0 {
+		t.Errorf("constant metric aggregate = %+v", f)
+	}
+	// Replicate 0 remains the reported Outcome.
+	if got := results[0].Outcome.Metrics["seedval"]; got != float64(cfg.Seed%1000) {
+		t.Errorf("outcome metric %g, want base-seed value %g", got, float64(cfg.Seed%1000))
+	}
+}
+
+func TestAggregationDeterministicAcrossWorkers(t *testing.T) {
+	cfg := core.Config{Seed: 11}
+	exps := fakes(6)
+	run := func(workers int) []Result {
+		results, err := New(Options{Workers: workers, Replications: 5}).Run(cfg, exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Aggregates, b[i].Aggregates) {
+			t.Errorf("%s: aggregates differ across worker counts", a[i].ID)
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []*core.Experiment{
+		fakeExperiment("ok1"),
+		failingExperiment("bad", boom),
+		fakeExperiment("ok2"),
+	}
+	results, err := New(Options{Workers: 4}).Run(core.Config{Seed: 1}, exps)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("combined error = %v, want wrapped boom", err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("healthy experiments contaminated by failure")
+	}
+	if results[0].Outcome == nil || results[2].Outcome == nil {
+		t.Error("healthy experiments missing outcomes")
+	}
+	if results[1].Err == nil || !errors.Is(results[1].Err, boom) {
+		t.Errorf("failing experiment error = %v", results[1].Err)
+	}
+	if !strings.Contains(results[1].Err.Error(), "bad") {
+		t.Errorf("error %q does not name the experiment", results[1].Err)
+	}
+}
+
+func TestCache(t *testing.T) {
+	cache := NewCache()
+	cfg := core.Config{Seed: 3}
+	calls := 0
+	exp := &core.Experiment{
+		ID: "counted", Title: "counted", PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			calls++
+			fmt.Fprintln(w, "ran")
+			return &core.Outcome{Metrics: map[string]float64{"m": 1}}, nil
+		},
+	}
+	var events []Event
+	eng := New(Options{Workers: 2, Cache: cache, Events: func(ev Event) { events = append(events, ev) }})
+	first, err := eng.Run(cfg, []*core.Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.Run(cfg, []*core.Experiment{exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("experiment ran %d times, want 1", calls)
+	}
+	if !second[0].FromCache || first[0].FromCache {
+		t.Errorf("FromCache flags wrong: first=%v second=%v", first[0].FromCache, second[0].FromCache)
+	}
+	if !reflect.DeepEqual(first[0].Outcome, second[0].Outcome) || !bytes.Equal(first[0].Output, second[0].Output) {
+		t.Error("cached result differs from original")
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 || cache.Len() != 1 {
+		t.Errorf("cache stats hits=%d misses=%d len=%d", hits, misses, cache.Len())
+	}
+	var sawHit bool
+	for _, ev := range events {
+		if ev.Kind == EventCacheHit && ev.ID == "counted" {
+			sawHit = true
+		}
+	}
+	if !sawHit {
+		t.Error("no EventCacheHit emitted")
+	}
+	// A different config misses.
+	cfg2 := cfg
+	cfg2.Seed++
+	if _, err := eng.Run(cfg2, []*core.Experiment{exp}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("different seed should re-run; calls = %d", calls)
+	}
+}
+
+func TestCacheKeyDistinguishesConfigs(t *testing.T) {
+	base := core.Config{Seed: 1, Quick: true}
+	key := func(id string, cfg core.Config, reps int, level float64) uint64 {
+		return cacheKey(id, cfg, reps, level)
+	}
+	k0 := key("e", base, 1, 0.95)
+	alts := []uint64{
+		key("other", base, 1, 0.95),
+		key("e", core.Config{Seed: 2, Quick: true}, 1, 0.95),
+		key("e", core.Config{Seed: 1, Quick: false}, 1, 0.95),
+		key("e", core.Config{Seed: 1, Quick: true, CSVDir: "x"}, 1, 0.95),
+		key("e", base, 2, 0.95),
+		key("e", base, 1, 0.99),
+	}
+	for i, k := range alts {
+		if k == k0 {
+			t.Errorf("alternative %d collides with base key", i)
+		}
+	}
+	// Workers must NOT affect the key: it only changes scheduling.
+	withWorkers := base
+	withWorkers.Workers = 8
+	if key("e", withWorkers, 1, 0.95) != k0 {
+		t.Error("Workers changed the cache key")
+	}
+}
+
+func TestEvents(t *testing.T) {
+	const reps = 3
+	exps := fakes(4)
+	var events []Event
+	eng := New(Options{Workers: 4, Replications: reps, Events: func(ev Event) { events = append(events, ev) }})
+	if _, err := eng.Run(core.Config{Seed: 1}, exps); err != nil {
+		t.Fatal(err)
+	}
+	starts, dones := map[string]int{}, map[string]int{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventStart:
+			starts[ev.ID]++
+		case EventDone:
+			dones[ev.ID]++
+		case EventError:
+			t.Errorf("unexpected error event: %+v", ev)
+		}
+		if ev.Replications != reps {
+			t.Errorf("event %+v has wrong replication total", ev)
+		}
+	}
+	for _, e := range exps {
+		if starts[e.ID] != reps || dones[e.ID] != reps {
+			t.Errorf("%s: %d starts, %d dones, want %d each", e.ID, starts[e.ID], dones[e.ID], reps)
+		}
+	}
+	if len(events) != 2*reps*len(exps) {
+		t.Errorf("%d events, want %d", len(events), 2*reps*len(exps))
+	}
+}
+
+func TestErrorEvent(t *testing.T) {
+	boom := errors.New("boom")
+	var errEvents int
+	eng := New(Options{Workers: 1, Events: func(ev Event) {
+		if ev.Kind == EventError && errors.Is(ev.Err, boom) {
+			errEvents++
+		}
+	}})
+	if _, err := eng.Run(core.Config{}, []*core.Experiment{failingExperiment("bad", boom)}); err == nil {
+		t.Fatal("expected error")
+	}
+	if errEvents != 1 {
+		t.Errorf("%d error events, want 1", errEvents)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EventStart: "start", EventDone: "done", EventError: "error",
+		EventCacheHit: "cache-hit", EventKind(99): "EventKind(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(kind), got, want)
+		}
+	}
+}
+
+func TestWriteResultsMatchesRunAllFormat(t *testing.T) {
+	// For a single replication, WriteResults must be byte-identical to a
+	// serial core.RunAll-style rendering of the same experiments.
+	exps := fakes(3)
+	cfg := core.Config{Seed: 9}
+	var serial bytes.Buffer
+	for _, e := range exps {
+		fmt.Fprint(&serial, core.Banner(e.ID, e.Title))
+		o, err := e.Run(cfg, &serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.RenderChecks(o, &serial)
+	}
+	results, err := New(Options{Workers: 3}).Run(cfg, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engineOut bytes.Buffer
+	if err := WriteResults(&engineOut, results, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != engineOut.String() {
+		t.Errorf("engine rendering differs from serial:\n--- serial ---\n%s--- engine ---\n%s",
+			serial.String(), engineOut.String())
+	}
+}
+
+func TestWriteResultsReplicationSummary(t *testing.T) {
+	results, err := New(Options{Replications: 5}).Run(core.Config{Seed: 4}, fakes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResults(&buf, results, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "replications: 5 (95% CI)") {
+		t.Errorf("missing replication header:\n%s", out)
+	}
+	if !strings.Contains(out, "seedval") || !strings.Contains(out, "mean=") {
+		t.Errorf("missing aggregate lines:\n%s", out)
+	}
+}
+
+func TestWriteResultsRendersErrors(t *testing.T) {
+	results, _ := New(Options{}).Run(core.Config{},
+		[]*core.Experiment{failingExperiment("bad", errors.New("boom"))})
+	var buf bytes.Buffer
+	if err := WriteResults(&buf, results, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ERROR:") || !strings.Contains(buf.String(), "boom") {
+		t.Errorf("error not rendered:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	results, err := New(Options{Replications: 3}).Run(core.Config{Seed: 8}, fakes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results = append(results, Result{ID: "broken", Title: "broken", Err: errors.New("boom")})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []JSONResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d results", len(decoded))
+	}
+	if decoded[0].ID != "fake00" || decoded[0].Metrics["fixed"] != 42 {
+		t.Errorf("first result wrong: %+v", decoded[0])
+	}
+	if a := decoded[0].Aggregates["fixed"]; a.N != 3 || a.Mean != 42 {
+		t.Errorf("aggregate wrong: %+v", a)
+	}
+	if decoded[2].Error != "boom" {
+		t.Errorf("error not serialized: %+v", decoded[2])
+	}
+}
+
+func TestWriteJSONSingleReplicationCIFinite(t *testing.T) {
+	// N=1 aggregates carry an infinite CI internally; JSON must stay valid.
+	results, err := New(Options{}).Run(core.Config{Seed: 8}, fakes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(results[0].Aggregates["fixed"].CI, 1) {
+		t.Fatal("precondition: single-rep CI should be +Inf")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []JSONResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded[0].Aggregates["fixed"].CI != 0 {
+		t.Errorf("CI = %g, want 0", decoded[0].Aggregates["fixed"].CI)
+	}
+}
+
+func TestRunAllUsesRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry pass in -short mode")
+	}
+	cfg := core.Config{Seed: 2004, Quick: true}
+	results, err := New(Options{Workers: 2}).RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(core.Registry()) {
+		t.Fatalf("RunAll returned %d results for %d registered experiments",
+			len(results), len(core.Registry()))
+	}
+	for i, e := range core.Registry() {
+		if results[i].ID != e.ID {
+			t.Errorf("result %d = %s, want %s", i, results[i].ID, e.ID)
+		}
+		for _, c := range results[i].Outcome.Failed() {
+			t.Errorf("%s: check %q failed: %s", e.ID, c.Name, c.Detail)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// WriteResults renders results in order in the same format core.RunAll
+// streams while running serially: banner, artifact output, checks and
+// headline metrics. With more than one replication, a replication summary
+// (mean / CI / min / max per metric) follows each artifact. Failed
+// experiments render their error in place of an artifact.
+func WriteResults(w io.Writer, results []Result, level float64) error {
+	if level == 0 {
+		level = 0.95
+	}
+	for _, r := range results {
+		if _, err := io.WriteString(w, core.Banner(r.ID, r.Title)); err != nil {
+			return err
+		}
+		if r.Err != nil {
+			if _, err := fmt.Fprintf(w, "ERROR: %v\n", r.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := w.Write(r.Output); err != nil {
+			return err
+		}
+		core.RenderChecks(r.Outcome, w)
+		if err := writeAggregates(w, r, level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeAggregates prints the replication summary when there is more than
+// one replicate behind the result.
+func writeAggregates(w io.Writer, r Result, level float64) error {
+	n := 0
+	for _, a := range r.Aggregates {
+		if a.N > n {
+			n = a.N
+		}
+	}
+	if n < 2 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "replications: %d (%.0f%% CI)\n", n, level*100); err != nil {
+		return err
+	}
+	for _, k := range sortedAggKeys(r.Aggregates) {
+		a := r.Aggregates[k]
+		_, err := fmt.Fprintf(w, "  %-40s mean=%s ci=%s min=%s max=%s\n", k,
+			report.FormatFloat(a.Mean), report.FormatFloat(a.CI),
+			report.FormatFloat(a.Min), report.FormatFloat(a.Max))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedAggKeys(m map[string]Aggregate) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// JSONResult is the wire form of a Result.
+type JSONResult struct {
+	ID         string               `json:"id"`
+	Title      string               `json:"title"`
+	Metrics    map[string]float64   `json:"metrics,omitempty"`
+	Aggregates map[string]Aggregate `json:"aggregates,omitempty"`
+	Checks     []core.Check         `json:"checks,omitempty"`
+	Error      string               `json:"error,omitempty"`
+	FromCache  bool                 `json:"from_cache,omitempty"`
+}
+
+// WriteJSON emits results as an indented JSON array. Infinite CI
+// half-widths (single replication) are omitted from aggregates by
+// flattening them to N=1 entries with CI set to 0, keeping the document
+// valid JSON.
+func WriteJSON(w io.Writer, results []Result) error {
+	out := make([]JSONResult, 0, len(results))
+	for _, r := range results {
+		jr := JSONResult{ID: r.ID, Title: r.Title, FromCache: r.FromCache}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		}
+		if r.Outcome != nil {
+			jr.Metrics = r.Outcome.Metrics
+			jr.Checks = r.Outcome.Checks
+		}
+		if len(r.Aggregates) > 0 {
+			jr.Aggregates = make(map[string]Aggregate, len(r.Aggregates))
+			for k, a := range r.Aggregates {
+				if a.N < 2 {
+					a.CI = 0 // JSON has no +Inf
+				}
+				jr.Aggregates[k] = a
+			}
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,119 @@
+package engine
+
+// Race-coverage tests: exercised under `go test -race` in CI, these hammer
+// the engine's shared structures (worker pool, event serialization, shared
+// cache) from many goroutines at once.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRaceManyWorkersManyExperiments(t *testing.T) {
+	// More workers than tasks, more tasks than cores; each replicate
+	// writes its own buffer so nothing may be shared.
+	exps := fakes(32)
+	for _, workers := range []int{0, 1, 64} {
+		results, err := New(Options{Workers: workers, Replications: 3}).
+			Run(core.Config{Seed: 5}, exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.ID != exps[i].ID || r.Outcome == nil {
+				t.Fatalf("workers=%d: result %d malformed: %+v", workers, i, r.ID)
+			}
+		}
+	}
+}
+
+func TestRaceEventHandlerNeedsNoLocking(t *testing.T) {
+	// The engine serializes Events callbacks, so an unsynchronized
+	// append-only slice must survive -race.
+	var events []Event
+	eng := New(Options{Workers: 16, Replications: 4, Events: func(ev Event) {
+		events = append(events, ev)
+	}})
+	if _, err := eng.Run(core.Config{Seed: 5}, fakes(16)); err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 4 * 16; len(events) != want {
+		t.Errorf("%d events, want %d", len(events), want)
+	}
+}
+
+func TestRaceSharedCacheAcrossEngines(t *testing.T) {
+	// Several engines sharing one cache, running the same experiments
+	// concurrently: no races, and every engine sees identical results.
+	cache := NewCache()
+	exps := fakes(8)
+	cfg := core.Config{Seed: 77}
+	const engines = 6
+	results := make([][]Result, engines)
+	var wg sync.WaitGroup
+	for i := 0; i < engines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := New(Options{Workers: 4, Cache: cache}).Run(cfg, exps)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < engines; i++ {
+		for j := range results[0] {
+			if !reflect.DeepEqual(results[0][j].Outcome, results[i][j].Outcome) {
+				t.Errorf("engine %d, experiment %s: outcome differs", i, results[i][j].ID)
+			}
+		}
+	}
+	if cache.Len() != len(exps) {
+		t.Errorf("cache holds %d entries, want %d", cache.Len(), len(exps))
+	}
+}
+
+func TestRaceConcurrentRunsOnOneEngine(t *testing.T) {
+	eng := New(Options{Workers: 4, Replications: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			if _, err := eng.Run(core.Config{Seed: seed}, fakes(6)); err != nil {
+				t.Error(err)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+}
+
+func TestRaceErrorsUnderConcurrency(t *testing.T) {
+	// A mix of failing and healthy experiments across many workers: the
+	// combined error must name every failure exactly once.
+	var exps []*core.Experiment
+	for i := 0; i < 12; i++ {
+		if i%3 == 0 {
+			exps = append(exps, failingExperiment(fmt.Sprintf("bad%02d", i), fmt.Errorf("err %d", i)))
+		} else {
+			exps = append(exps, fakeExperiment(fmt.Sprintf("ok%02d", i)))
+		}
+	}
+	results, err := New(Options{Workers: 8, Replications: 2}).Run(core.Config{Seed: 1}, exps)
+	if err == nil {
+		t.Fatal("expected combined error")
+	}
+	for i, r := range results {
+		wantErr := i%3 == 0
+		if (r.Err != nil) != wantErr {
+			t.Errorf("experiment %d: err = %v, want failure=%v", i, r.Err, wantErr)
+		}
+	}
+}

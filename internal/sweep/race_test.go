@@ -1,0 +1,152 @@
+package sweep
+
+// Race-coverage and edge-case tests for the worker pool: exercised under
+// `go test -race` in CI with worker counts below, at, and far above the
+// point count, plus the Point accessor contract experiments rely on.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunWorkerCounts(t *testing.T) {
+	// Workers=0 (GOMAXPROCS), 1 (serial), and far more workers than
+	// points must all evaluate every point exactly once and keep outcomes
+	// in point order.
+	for _, workers := range []int{0, 1, 3, 64} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			g, err := NewGrid(42,
+				Axis{Name: "a", Values: Linspace(0, 4, 5)},
+				Axis{Name: "b", Values: []float64{1, 2, 3}},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var calls int64
+			outs := g.Run(workers, func(p Point) (map[string]float64, error) {
+				atomic.AddInt64(&calls, 1)
+				return map[string]float64{"idx": float64(p.Index)}, nil
+			})
+			if calls != int64(g.Size()) {
+				t.Errorf("fn called %d times for %d points", calls, g.Size())
+			}
+			for i, o := range outs {
+				if o.Point.Index != i || o.Metrics["idx"] != float64(i) {
+					t.Fatalf("outcome %d out of order: %+v", i, o)
+				}
+			}
+		})
+	}
+}
+
+func TestRunPointOrderStableAcrossWorkerCounts(t *testing.T) {
+	// The full outcome slice — points, seeds, and metrics — must be
+	// independent of scheduling.
+	run := func(workers int) []Outcome {
+		g, _ := NewGrid(7,
+			Axis{Name: "x", Values: Linspace(0, 9, 10)},
+			Axis{Name: "y", Values: []float64{0.5, 1.5}},
+		)
+		return g.Run(workers, func(p Point) (map[string]float64, error) {
+			return map[string]float64{"v": p.Get("x")*10 + p.Get("y") + float64(p.Seed%97)}, nil
+		})
+	}
+	base := run(1)
+	for _, workers := range []int{0, 2, 32} {
+		if got := run(workers); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d changed outcomes", workers)
+		}
+	}
+}
+
+func TestRunErrorPropagationConcurrent(t *testing.T) {
+	// Multiple failing points across many workers: every error lands on
+	// its own outcome and FirstError reports the lowest-index failure.
+	g, _ := NewGrid(1, Axis{Name: "v", Values: Linspace(0, 19, 20)})
+	failAt := map[int]bool{3: true, 7: true, 15: true}
+	outs := g.Run(16, func(p Point) (map[string]float64, error) {
+		if failAt[p.Index] {
+			return nil, fmt.Errorf("point %d failed", p.Index)
+		}
+		return map[string]float64{"ok": 1}, nil
+	})
+	for i, o := range outs {
+		if failAt[i] != (o.Err != nil) {
+			t.Errorf("point %d: err = %v, want failure=%v", i, o.Err, failAt[i])
+		}
+	}
+	err := FirstError(outs)
+	if err == nil || !strings.Contains(err.Error(), "point 3") {
+		t.Errorf("FirstError = %v, want the lowest-index failure", err)
+	}
+}
+
+func TestRunAllPointsFailing(t *testing.T) {
+	g, _ := NewGrid(1, Axis{Name: "v", Values: []float64{1, 2}})
+	boom := errors.New("boom")
+	outs := g.Run(4, func(Point) (map[string]float64, error) { return nil, boom })
+	if err := FirstError(outs); err == nil || !errors.Is(err, boom) {
+		t.Errorf("FirstError = %v", err)
+	}
+}
+
+func TestRunSinglePointManyWorkers(t *testing.T) {
+	g, _ := NewGrid(1, Axis{Name: "v", Values: []float64{5}})
+	outs := g.Run(32, func(p Point) (map[string]float64, error) {
+		return map[string]float64{"v": p.Get("v")}, nil
+	})
+	if len(outs) != 1 || outs[0].Metrics["v"] != 5 {
+		t.Fatalf("outs = %+v", outs)
+	}
+}
+
+func TestPointGetContract(t *testing.T) {
+	g, _ := NewGrid(1,
+		Axis{Name: "frac", Values: []float64{0.75}},
+		Axis{Name: "n", Values: []float64{16}},
+	)
+	p := g.Points()[0]
+	cases := []struct {
+		name      string
+		fn        func() float64
+		want      float64
+		wantPanic string // substring of the panic message, "" = no panic
+	}{
+		{"known axis", func() float64 { return p.Get("frac") }, 0.75, ""},
+		{"second axis", func() float64 { return p.Get("n") }, 16, ""},
+		{"GetInt truncates", func() float64 { return float64(p.GetInt("frac")) }, 0, ""},
+		{"GetInt exact", func() float64 { return float64(p.GetInt("n")) }, 16, ""},
+		{"unknown axis", func() float64 { return p.Get("nope") }, 0, `no axis "nope"`},
+		{"empty name", func() float64 { return p.Get("") }, 0, `no axis ""`},
+		{"GetInt unknown", func() float64 { return float64(p.GetInt("missing")) }, 0, `no axis "missing"`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if tc.wantPanic == "" {
+					if r != nil {
+						t.Fatalf("unexpected panic: %v", r)
+					}
+					return
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("panic value %v (%T), want string", r, r)
+				}
+				if !strings.Contains(msg, tc.wantPanic) {
+					t.Fatalf("panic %q does not mention %q", msg, tc.wantPanic)
+				}
+			}()
+			if got := tc.fn(); tc.wantPanic == "" && got != tc.want {
+				t.Fatalf("got %g, want %g", got, tc.want)
+			}
+		})
+	}
+}

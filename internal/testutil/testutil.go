@@ -1,0 +1,30 @@
+// Package testutil holds small helpers shared by command tests.
+package testutil
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// CaptureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything fn wrote alongside fn's error. os.Stdout is restored before
+// returning.
+func CaptureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	return <-done, runErr
+}
