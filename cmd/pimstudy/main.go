@@ -8,10 +8,16 @@
 // Usage:
 //
 //	pimstudy [flags] <experiment>|all|list
+//	pimstudy -scenario <name>|all|list [-backend <name>|all] [flags]
 //
 // Experiments: table1, fig5, fig6, fig7, accuracy, fig11, fig12,
 // bandwidth, ablation-control, ablation-overhead, ablation-topology,
 // ablation-cache.
+//
+// Scenario mode runs a named machine+workload preset (internal/scenario)
+// on one model backend — or on every backend that supports it, with
+// cross-backend agreement checks. Scenario runs execute through the same
+// engine, so -replications, -parallel, -json, and -csv all apply.
 //
 // Flags:
 //
@@ -24,6 +30,8 @@
 //	-json            emit structured JSON instead of rendered artifacts
 //	-progress        log per-replicate progress events to stderr
 //	-csv DIR         also write each table as CSV into DIR
+//	-scenario NAME   run a scenario preset (all = every preset, list = show them)
+//	-backend NAME    model backend for -scenario (default all)
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -52,10 +61,17 @@ func run(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit structured JSON")
 	progress := fs.Bool("progress", false, "log progress events to stderr")
 	csvDir := fs.String("csv", "", "write tables as CSV into this directory")
+	scenarioName := fs.String("scenario", "", "run a scenario preset (all = every preset, list = show them)")
+	backend := fs.String("backend", "all", "model backend for -scenario: analytic|queueing|sim|hybrid|all")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: pimstudy [flags] <experiment>|all|list\n\nexperiments:\n")
+		fmt.Fprintf(fs.Output(), "usage: pimstudy [flags] <experiment>|all|list\n")
+		fmt.Fprintf(fs.Output(), "       pimstudy -scenario <name>|all|list [-backend <name>|all] [flags]\n\nexperiments:\n")
 		for _, e := range core.Registry() {
 			fmt.Fprintf(fs.Output(), "  %-20s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintf(fs.Output(), "\nscenario presets (backends: %v):\n", scenario.BackendNames())
+		for _, s := range scenario.Presets() {
+			fmt.Fprintf(fs.Output(), "  %-20s %s\n", s.Name, s.About)
 		}
 		fmt.Fprintf(fs.Output(), "\nflags:\n")
 		fs.PrintDefaults()
@@ -63,10 +79,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		fs.Usage()
-		return fmt.Errorf("expected exactly one experiment id")
-	}
+	// engine.Run validates cfg before any experiment executes; validating
+	// here too would probe CSVDir twice and as a side effect of pure
+	// listing commands.
 	cfg := core.Config{Seed: *seed, Quick: *quick, Workers: *workers, CSVDir: *csvDir}
 	opts := engine.Options{Workers: *parallel, Replications: *replications}
 	if *progress {
@@ -74,6 +89,17 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "pimstudy: %s %s replicate %d/%d\n",
 				ev.Kind, ev.ID, ev.Replicate+1, ev.Replications)
 		}
+	}
+	if *scenarioName != "" {
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return fmt.Errorf("-scenario takes no experiment argument")
+		}
+		return runScenarioMode(cfg, opts, *scenarioName, *backend, *jsonOut)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment id")
 	}
 
 	switch id := fs.Arg(0); id {
@@ -95,6 +121,37 @@ func run(args []string) error {
 		}
 		return runExperiments(cfg, opts, []*core.Experiment{e}, *jsonOut, false)
 	}
+}
+
+// runScenarioMode resolves -scenario/-backend into ad-hoc experiments and
+// runs them through the engine like any registered artifact.
+func runScenarioMode(cfg core.Config, opts engine.Options, name, backend string, jsonOut bool) error {
+	if name == "list" {
+		for _, s := range scenario.Presets() {
+			var names []string
+			for _, b := range scenario.SupportingBackends(s) {
+				names = append(names, b.Name())
+			}
+			fmt.Printf("%-20s %-7s %v\n", s.Name, s.Kind(), names)
+			fmt.Printf("%-20s %s\n", "", s.About)
+		}
+		return nil
+	}
+	var names []string
+	if name == "all" {
+		names = scenario.PresetNames()
+	} else {
+		names = []string{name}
+	}
+	exps := make([]*core.Experiment, 0, len(names))
+	for _, n := range names {
+		e, err := core.ScenarioExperiment(n, backend)
+		if err != nil {
+			return err
+		}
+		exps = append(exps, e)
+	}
+	return runExperiments(cfg, opts, exps, jsonOut, len(exps) > 1)
 }
 
 // runExperiments executes experiments through the engine, renders them,

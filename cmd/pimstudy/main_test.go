@@ -106,3 +106,79 @@ func TestRunProgressEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScenarioList(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-scenario", "list"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"paper-baseline", "fig11-point", "hybrid-baseline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario list missing %q", want)
+		}
+	}
+}
+
+func TestScenarioSingleBackend(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-quick", "-scenario", "paper-baseline", "-backend", "analytic"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "paper-baseline") || !strings.Contains(out, "gain") {
+		t.Errorf("scenario output missing content:\n%s", out)
+	}
+}
+
+func TestScenarioAllBackendsAgreement(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-quick", "-scenario", "fig11-point", "-backend", "all"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cross-backend agreement") {
+		t.Errorf("missing agreement table:\n%s", out)
+	}
+	if strings.Contains(out, "DISAGREE") {
+		t.Errorf("backends disagree:\n%s", out)
+	}
+}
+
+func TestScenarioUnknownNameOrBackend(t *testing.T) {
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run([]string{"-scenario", "paper-baseline", "-backend", "warp"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"-scenario", "paper-baseline", "table1"}); err == nil {
+		t.Fatal("-scenario with a positional experiment accepted")
+	}
+}
+
+func TestScenarioJSON(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-quick", "-json", "-scenario", "paper-baseline", "-backend", "analytic"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []map[string]any
+	if jerr := json.Unmarshal([]byte(out), &results); jerr != nil {
+		t.Fatalf("invalid JSON: %v\n%s", jerr, out)
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(results))
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	if err := run([]string{"-workers", "-2", "table1"}); err == nil ||
+		!strings.Contains(err.Error(), "Workers") {
+		t.Fatalf("negative workers: got %v", err)
+	}
+}

@@ -10,9 +10,15 @@
 //
 //	pimsweep hostpim   -pct 0:1:11 -nodes 1,2,4,8,16,32,64 [flags]
 //	pimsweep parcelsys -parallelism 1,2,4,8 -latency 10,100,1000 [flags]
+//	pimsweep scenario  -preset fig11-point -backend sim \
+//	                   -sweep parallelism=1,2,4,8 -sweep latency=10:1000:4 [flags]
 //
 // Axis syntax: either a comma list ("1,2,4,8") or "lo:hi:n" for n evenly
-// spaced values ("0:1:11"). Every combination of the two axes is run.
+// spaced values ("0:1:11"). Every combination of the axes is run.
+//
+// The scenario subcommand starts from a named preset (internal/scenario)
+// and sweeps any of its fields by name on any model backend; the metric
+// columns are whatever that backend reports for the scenario.
 //
 // Common flags:
 //
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,6 +50,7 @@ import (
 	"repro/internal/parcel"
 	"repro/internal/parcelsys"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
 
@@ -62,8 +70,10 @@ func run(args []string) error {
 		return runHostPIM(args[1:])
 	case "parcelsys":
 		return runParcelSys(args[1:])
+	case "scenario":
+		return runScenarioSweep(args[1:])
 	default:
-		return fmt.Errorf("unknown model %q (want hostpim or parcelsys)", args[0])
+		return fmt.Errorf("unknown model %q (want hostpim, parcelsys, or scenario)", args[0])
 	}
 }
 
@@ -136,14 +146,7 @@ type sweepSpec struct {
 // pointKey flattens a grid point into a stable metric-name prefix, e.g.
 // "pct=0.5,n=8".
 func (s *sweepSpec) pointKey(p sweep.Point) string {
-	var sb strings.Builder
-	for i, a := range s.axes {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		fmt.Fprintf(&sb, "%s=%g", a.Name, p.Get(a.Name))
-	}
-	return sb.String()
+	return pointKeyOf(s.axes, p)
 }
 
 // table renders one sweep's outcomes in point order.
@@ -222,7 +225,6 @@ func (s *sweepSpec) experiment(baseSeed uint64, capture func(*report.Table)) *co
 // executeSweep runs the sweep through the engine and emits table, CSV, and
 // aggregate output per the shared flags.
 func executeSweep(ef *engineFlags, spec *sweepSpec) error {
-	cfg := core.Config{Seed: *ef.seed, Workers: *ef.workers}
 	var mu sync.Mutex
 	var baseTable *report.Table
 	exp := spec.experiment(*ef.seed, func(t *report.Table) {
@@ -230,6 +232,23 @@ func executeSweep(ef *engineFlags, spec *sweepSpec) error {
 		defer mu.Unlock()
 		baseTable = t
 	})
+	return emitSweepResults(ef, exp,
+		func() *report.Table {
+			mu.Lock()
+			defer mu.Unlock()
+			return baseTable
+		},
+		func(aggs map[string]engine.Aggregate, reps int, level float64) (*report.Table, error) {
+			return spec.aggregateTable(*ef.seed, aggs, reps, level)
+		})
+}
+
+// emitSweepResults runs one sweep experiment through the engine and emits
+// the table (or JSON), the replication aggregate table, and CSV from the
+// base-seed replicate — the output tail shared by every sweep subcommand.
+func emitSweepResults(ef *engineFlags, exp *core.Experiment, baseTable func() *report.Table,
+	aggTable func(aggs map[string]engine.Aggregate, reps int, level float64) (*report.Table, error)) error {
+	cfg := core.Config{Seed: *ef.seed, Workers: *ef.workers}
 	eng := engine.New(engine.Options{Workers: *ef.parallel, Replications: *ef.replications})
 	// When replicated sweeps run concurrently, pin each sweep's inner pool
 	// to one worker (unless -workers was set explicitly) so total
@@ -254,7 +273,7 @@ func executeSweep(ef *engineFlags, spec *sweepSpec) error {
 		}
 		reps := eng.Options().Replications
 		if reps > 1 {
-			at, err := spec.aggregateTable(*ef.seed, r.Aggregates, reps, eng.Options().Level)
+			at, err := aggTable(r.Aggregates, reps, eng.Options().Level)
 			if err != nil {
 				return err
 			}
@@ -272,7 +291,7 @@ func executeSweep(ef *engineFlags, spec *sweepSpec) error {
 		return err
 	}
 	defer f.Close()
-	return baseTable.RenderCSV(f)
+	return baseTable().RenderCSV(f)
 }
 
 func runHostPIM(args []string) error {
@@ -399,4 +418,220 @@ func runParcelSys(args []string) error {
 		},
 	}
 	return executeSweep(ef, spec)
+}
+
+// sweepList collects repeatable -sweep field=axis flags.
+type sweepList []string
+
+func (l *sweepList) String() string { return strings.Join(*l, " ") }
+
+// Set appends one field=axis entry.
+func (l *sweepList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+// pointKeyOf flattens a grid point into a stable metric-name prefix.
+func pointKeyOf(axes []sweep.Axis, p sweep.Point) string {
+	var sb strings.Builder
+	for i, a := range axes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%g", a.Name, p.Get(a.Name))
+	}
+	return sb.String()
+}
+
+// metricUnion returns the sorted union of metric names over outcomes. The
+// set can vary across points when a sweep crosses a scenario-kind
+// boundary (e.g. remote 0 -> 0.3); missing cells render as NaN.
+func metricUnion(outs []sweep.Outcome) []string {
+	seen := map[string]bool{}
+	for _, o := range outs {
+		for m := range o.Metrics {
+			seen[m] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runScenarioSweep(args []string) error {
+	fs := flag.NewFlagSet("pimsweep scenario", flag.ContinueOnError)
+	preset := fs.String("preset", "paper-baseline", "scenario preset to start from")
+	backendName := fs.String("backend", "sim", "model backend to run")
+	quick := fs.Bool("quick", false, "clamp workload sizes and horizons (quick mode)")
+	var sweeps sweepList
+	fs.Var(&sweeps, "sweep", "field=axis to sweep, repeatable (see sweepable fields)")
+	ef := addEngineFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pimsweep scenario -preset <name> -backend <name> -sweep field=axis [-sweep ...]\n\npresets:\n")
+		for _, s := range scenario.Presets() {
+			fmt.Fprintf(fs.Output(), "  %-20s %s\n", s.Name, s.About)
+		}
+		fmt.Fprintf(fs.Output(), "\nbackends: %v\n\nsweepable fields:\n", scenario.BackendNames())
+		for _, f := range scenario.Fields() {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", f.Name, f.About)
+		}
+		fmt.Fprintf(fs.Output(), "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := scenario.Find(*preset)
+	if err != nil {
+		return err
+	}
+	if _, err := scenario.FindBackend(*backendName); err != nil {
+		return err
+	}
+	if len(sweeps) == 0 {
+		return fmt.Errorf("need at least one -sweep field=axis")
+	}
+	var axes []sweep.Axis
+	for _, spec := range sweeps {
+		name, axisSpec, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-sweep %q: want field=axis", spec)
+		}
+		probe := base // name check against the field registry
+		if err := scenario.SetField(&probe, name, 0); err != nil {
+			return err
+		}
+		vals, err := parseAxis(axisSpec)
+		if err != nil {
+			return err
+		}
+		axes = append(axes, sweep.Axis{Name: name, Values: vals})
+	}
+
+	title := fmt.Sprintf("scenario sweep: %s on %s", base.Name, *backendName)
+	var mu sync.Mutex
+	var baseTable *report.Table
+	exp := &core.Experiment{
+		ID:         "scenario-sweep",
+		Title:      title,
+		PaperClaim: "custom sweep (not a paper artifact)",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			g, err := sweep.NewGrid(cfg.Seed, axes...)
+			if err != nil {
+				return nil, err
+			}
+			outs := g.Run(cfg.Workers, func(pt sweep.Point) (map[string]float64, error) {
+				s := base
+				for _, a := range axes {
+					if err := scenario.SetField(&s, a.Name, pt.Get(a.Name)); err != nil {
+						return nil, err
+					}
+				}
+				r, err := scenario.Run(s, *backendName, scenario.Config{Seed: pt.Seed, Quick: *quick})
+				if err != nil {
+					return nil, err
+				}
+				return r.Metrics, nil
+			})
+			if err := sweep.FirstError(outs); err != nil {
+				return nil, err
+			}
+			metrics := metricUnion(outs)
+			headers := make([]string, 0, len(axes)+len(metrics))
+			for _, a := range axes {
+				headers = append(headers, a.Name)
+			}
+			headers = append(headers, metrics...)
+			t := report.NewTable(title, headers...)
+			o := &core.Outcome{Metrics: make(map[string]float64, len(outs)*len(metrics))}
+			for _, out := range outs {
+				row := make([]any, 0, len(headers))
+				for _, a := range axes {
+					row = append(row, out.Point.Get(a.Name))
+				}
+				key := pointKeyOf(axes, out.Point)
+				for _, m := range metrics {
+					v, ok := out.Metrics[m]
+					if !ok {
+						row = append(row, "-")
+						continue
+					}
+					row = append(row, v)
+					o.Metrics[key+"/"+m] = v
+				}
+				t.AddRow(row...)
+			}
+			if err := t.Render(w); err != nil {
+				return nil, err
+			}
+			if cfg.Seed == *ef.seed {
+				mu.Lock()
+				baseTable = t
+				mu.Unlock()
+			}
+			return o, nil
+		},
+	}
+
+	return emitSweepResults(ef, exp,
+		func() *report.Table {
+			mu.Lock()
+			defer mu.Unlock()
+			return baseTable
+		},
+		func(aggs map[string]engine.Aggregate, reps int, level float64) (*report.Table, error) {
+			return scenarioAggregateTable(title, axes, *ef.seed, aggs, reps, level)
+		})
+}
+
+// scenarioAggregateTable lays the engine's per-point aggregates out as a
+// table. Metric names are recovered from the aggregate keys (pointkey is
+// slash-free, so the first slash separates the two).
+func scenarioAggregateTable(title string, axes []sweep.Axis, baseSeed uint64, aggs map[string]engine.Aggregate, reps int, level float64) (*report.Table, error) {
+	seen := map[string]bool{}
+	for k := range aggs {
+		if _, metric, ok := strings.Cut(k, "/"); ok {
+			seen[metric] = true
+		}
+	}
+	metrics := make([]string, 0, len(seen))
+	for m := range seen {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	g, err := sweep.NewGrid(baseSeed, axes...)
+	if err != nil {
+		return nil, err
+	}
+	headers := make([]string, 0, len(axes)+2*len(metrics))
+	for _, a := range axes {
+		headers = append(headers, a.Name)
+	}
+	for _, m := range metrics {
+		headers = append(headers, m+" mean", m+" ±ci")
+	}
+	t := report.NewTable(fmt.Sprintf("%s — %d replications (%.0f%% CI)", title, reps, level*100), headers...)
+	for _, p := range g.Points() {
+		row := make([]any, 0, len(headers))
+		for _, a := range axes {
+			row = append(row, p.Get(a.Name))
+		}
+		key := pointKeyOf(axes, p)
+		for _, m := range metrics {
+			a, ok := aggs[key+"/"+m]
+			if !ok {
+				// The metric does not exist at this grid point (the sweep
+				// crossed a scenario-kind boundary) — mirror the base
+				// table's "-" rather than fabricating a zero.
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, a.Mean, a.CI)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
 }

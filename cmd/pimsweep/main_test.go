@@ -160,3 +160,56 @@ func TestCSVWithReplications(t *testing.T) {
 		t.Errorf("replicated CSV differs from single-run CSV:\n%s\nvs\n%s", a, b)
 	}
 }
+
+func TestScenarioSweep(t *testing.T) {
+	if err := run([]string{"scenario", "-quick", "-preset", "fig11-point", "-backend", "queueing",
+		"-sweep", "parallelism=1,4", "-sweep", "latency=100,1000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioSweepSim(t *testing.T) {
+	if err := run([]string{"scenario", "-quick", "-preset", "fig11-point", "-backend", "sim",
+		"-sweep", "parallelism=1,4", "-sweep", "horizon=5000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioSweepErrors(t *testing.T) {
+	if err := run([]string{"scenario", "-preset", "nope", "-sweep", "latency=1"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if err := run([]string{"scenario", "-backend", "warp", "-sweep", "latency=1"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"scenario", "-sweep", "warp-drive=1"}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := run([]string{"scenario"}); err == nil {
+		t.Fatal("missing -sweep accepted")
+	}
+	if err := run([]string{"scenario", "-sweep", "latency"}); err == nil {
+		t.Fatal("malformed -sweep accepted")
+	}
+}
+
+func TestScenarioSweepCSVAndReplications(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"scenario", "-quick", "-preset", "fig11-point", "-backend", "queueing",
+			"-sweep", "parallelism=1,4", "-replications", "3", "-csv", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 replications") {
+		t.Errorf("missing aggregate table:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ratio") {
+		t.Errorf("CSV missing metric column: %s", data)
+	}
+}

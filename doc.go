@@ -6,15 +6,22 @@
 // simulation kernel (internal/sim) with queueing components
 // (internal/queueing) stands in for the paper's SES/Workbench substrate;
 // internal/hostpim and internal/parcelsys implement the paper's two
-// studies; internal/analytic holds the closed forms; internal/core
-// registers one runnable experiment per table and figure; internal/engine
-// executes any set of registered experiments concurrently on a bounded
-// worker pool, with N-replication runs (derived seeds, mean/min/max/CI
-// aggregation of metrics), structured progress events, and a result cache
+// studies; internal/analytic holds the closed forms; internal/scenario is
+// the declarative layer above them all — one Scenario value (machine +
+// workload) runs on every model backend (analytic, queueing/MVA, the DES
+// simulation, the hybrid composition) through a common interface, with
+// named presets and a cross-backend agreement validator; internal/core
+// registers one runnable experiment per table and figure (including the
+// scenarios cross-validation); internal/engine executes any set of
+// registered experiments concurrently on a bounded worker pool, with
+// N-replication runs (derived seeds, mean/min/max/CI aggregation of
+// metrics), structured progress events, and a bounded LRU result cache
 // keyed by (experiment ID, Config). The pimstudy command (cmd/pimstudy)
 // regenerates every artifact through the engine (-parallel,
-// -replications, -json); bench_test.go at this root carries one benchmark
-// per artifact plus serial-vs-engine suite benchmarks.
+// -replications, -json) and runs scenario presets on any backend
+// (-scenario, -backend); pimsweep sweeps model parameters or scenario
+// fields by name; bench_test.go at this root carries one benchmark per
+// artifact plus serial-vs-engine suite benchmarks.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.

@@ -8,15 +8,27 @@ import (
 	"repro/internal/cache"
 	"repro/internal/hostpim"
 	"repro/internal/network"
-	"repro/internal/parcel"
 	"repro/internal/parcelsys"
 	"repro/internal/report"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
 // The ablations probe design choices the paper leaves implicit. Each is a
-// registered experiment so the CLI and benches can regenerate them.
+// registered experiment so the CLI and benches can regenerate them. Base
+// design points come from the scenario layer; knobs outside the scenario
+// space (topologies, traffic skew, control threading) are set on the
+// returned parameter structs.
+
+// fig11Base returns the study-2 reference point as a scenario.
+func fig11Base() scenario.Scenario { return scenario.MustFind("fig11-point") }
+
+// parcelParams resolves a communication scenario into the parcelsys
+// parameter struct with the given seed.
+func parcelParams(s scenario.Scenario, seed uint64) (parcelsys.Params, error) {
+	return s.ParcelParams(scenario.Config{Seed: seed})
+}
 
 func init() {
 	register(&Experiment{
@@ -80,23 +92,24 @@ func runAblationControl(cfg Config, w io.Writer) (*Outcome, error) {
 	var fixed1, aware1 float64
 	for _, pct := range pcts {
 		for _, n := range nodes {
-			pf := hostpim.DefaultParams()
-			pf.PctWL = pct
-			pf.N = n
-			pf.Control = hostpim.ControlFixedMiss
-			rf, err := hostpim.Analytic(pf)
+			s := table1Base()
+			s.Workload.PctWL = pct
+			s.Machine.N = n
+			s.Control = hostpim.ControlFixedMiss
+			rf, err := scenario.Run(s, "analytic", scenario.Config{Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
-			pa := pf
-			pa.Control = hostpim.ControlLocalityAware
-			ra, err := hostpim.Analytic(pa)
+			s.Control = hostpim.ControlLocalityAware
+			ra, err := scenario.Run(s, "analytic", scenario.Config{Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(pct, n, rf.Gain, ra.Gain)
+			gf := rf.Metrics[scenario.MetricGain]
+			ga := ra.Metrics[scenario.MetricGain]
+			t.AddRow(pct, n, gf, ga)
 			if pct == 1.0 && n == 64 {
-				fixed1, aware1 = rf.Gain, ra.Gain
+				fixed1, aware1 = gf, ga
 			}
 		}
 	}
@@ -124,24 +137,25 @@ func runAblationOverhead(cfg Config, w io.Writer) (*Outcome, error) {
 	var hwShort, swShort float64
 	for _, l := range []float64{10, 200, 2000} {
 		for _, par := range []int{1, 8} {
-			base := parcelsys.DefaultParams()
-			base.Latency = l
-			base.Parallelism = par
-			base.Horizon = horizon
-			base.Seed = cfg.Seed
-			base.Overhead = parcel.HardwareAssisted()
-			rh, err := parcelsys.Run(base)
+			s := fig11Base()
+			s.Machine.Latency = l
+			s.Workload.Parallelism = par
+			s.Workload.Horizon = horizon
+			s.Software = false
+			rh, err := scenario.Run(s, "sim", scenario.Config{Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
-			base.Overhead = parcel.SoftwareOnly()
-			rs, err := parcelsys.Run(base)
+			s.Software = true
+			rs, err := scenario.Run(s, "sim", scenario.Config{Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(l, par, rh.Ratio, rs.Ratio)
+			hw := rh.Metrics[scenario.MetricRatio]
+			sw := rs.Metrics[scenario.MetricRatio]
+			t.AddRow(l, par, hw, sw)
 			if l == 10 && par == 1 {
-				hwShort, swShort = rh.Ratio, rs.Ratio
+				hwShort, swShort = hw, sw
 			}
 		}
 	}
@@ -190,13 +204,16 @@ func runAblationTopology(cfg Config, w io.Writer) (*Outcome, error) {
 	t2 := report.NewTable("A3 — Fig. 11 ratio: flat latency vs real topologies (mean-calibrated)",
 		"network", "ops ratio", "test idle", "deviation from flat")
 	o := &Outcome{Metrics: map[string]float64{}}
-	base := parcelsys.DefaultParams()
-	base.Nodes = n
-	base.Parallelism = 16
-	base.RemoteFrac = 0.5
-	base.Horizon = horizon
-	base.Seed = cfg.Seed
-	base.Latency = flatL
+	sbase := fig11Base()
+	sbase.Machine.N = n
+	sbase.Workload.Parallelism = 16
+	sbase.Workload.RemoteFrac = 0.5
+	sbase.Workload.Horizon = horizon
+	sbase.Machine.Latency = flatL
+	base, err := parcelParams(sbase, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	flat, err := parcelsys.Run(base)
 	if err != nil {
 		return nil, err
@@ -228,9 +245,13 @@ func runAblationTopology(cfg Config, w io.Writer) (*Outcome, error) {
 }
 
 func runAblationDRAM(cfg Config, w io.Writer) (*Outcome, error) {
-	base := hostpim.DefaultParams()
-	base.PctWL = 0.8
-	base.N = 32
+	s := table1Base()
+	s.Workload.PctWL = 0.8
+	s.Machine.N = 32
+	base, err := hostParams(s)
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("A6 — DRAM-calibrated memory times vs Table 1 constants",
 		"LWP row hit rate", "TML (cycles)", "TMH (cycles)", "NB", "gain(%WL=0.8, N=32)")
 	// Reference row: Table 1 as published.
@@ -280,13 +301,16 @@ func runAblationHotspot(cfg Config, w io.Writer) (*Outcome, error) {
 	if cfg.Quick {
 		horizon = 15000
 	}
-	base := parcelsys.DefaultParams()
-	base.Nodes = 16
-	base.Parallelism = 16
-	base.RemoteFrac = 0.5
-	base.Latency = 500
-	base.Horizon = horizon
-	base.Seed = cfg.Seed
+	sbase := fig11Base()
+	sbase.Machine.N = 16
+	sbase.Workload.Parallelism = 16
+	sbase.Workload.RemoteFrac = 0.5
+	sbase.Machine.Latency = 500
+	sbase.Workload.Horizon = horizon
+	base, err := parcelParams(sbase, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("A7 — Parcel ratio and balance under hotspot traffic skew",
 		"hotspot fraction", "ops ratio", "test idle (mean)", "hotspot-node idle", "max/min node idle spread")
 	o := &Outcome{Metrics: map[string]float64{}}
@@ -331,12 +355,15 @@ func runAblationMTControl(cfg Config, w io.Writer) (*Outcome, error) {
 	if cfg.Quick {
 		horizon = 15000
 	}
-	base := parcelsys.DefaultParams()
-	base.Nodes = 16
-	base.RemoteFrac = 0.5
-	base.Latency = 500
-	base.Horizon = horizon
-	base.Seed = cfg.Seed
+	sbase := fig11Base()
+	sbase.Machine.N = 16
+	sbase.Workload.RemoteFrac = 0.5
+	sbase.Machine.Latency = 500
+	sbase.Workload.Horizon = horizon
+	base, err := parcelParams(sbase, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("A8 — Parcel advantage vs control-system threading (P = parcels and control threads)",
 		"threads", "ratio vs 1-thread control", "ratio vs P-thread control", "MT control idle")
 	o := &Outcome{Metrics: map[string]float64{}}
@@ -389,7 +416,10 @@ func runAblationCache(cfg Config, w io.Writer) (*Outcome, error) {
 	if cfg.Quick {
 		accesses = 50000
 	}
-	p := hostpim.DefaultParams()
+	p, err := hostParams(table1Base())
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("A4 — Statistical vs concrete cache mean access cost",
 		"reuse", "concrete miss rate", "mean cost(concrete)", "mean cost(stat sampled)", "rel err")
 	o := &Outcome{Metrics: map[string]float64{}}

@@ -34,6 +34,30 @@ type Config struct {
 // paper's year; any seed works).
 func DefaultConfig() Config { return Config{Seed: 2004} }
 
+// Validate checks the configuration in one place so a bad value fails
+// fast with a clear error instead of deep inside an experiment: Workers
+// must be non-negative, and CSVDir (when set) must be a creatable,
+// writable directory. Validate creates CSVDir if needed — the same thing
+// emitTable would do mid-run — and probes it with a temporary file.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers = %d (want >= 0; 0 means GOMAXPROCS)", c.Workers)
+	}
+	if c.CSVDir != "" {
+		if err := os.MkdirAll(c.CSVDir, 0o755); err != nil {
+			return fmt.Errorf("core: CSVDir %q is not creatable: %w", c.CSVDir, err)
+		}
+		probe, err := os.CreateTemp(c.CSVDir, ".csvdir-probe-*")
+		if err != nil {
+			return fmt.Errorf("core: CSVDir %q is not writable: %w", c.CSVDir, err)
+		}
+		name := probe.Name()
+		probe.Close()
+		os.Remove(name)
+	}
+	return nil
+}
+
 // Check is one verified claim about an experiment's outcome.
 type Check struct {
 	Name   string
@@ -108,6 +132,9 @@ func Find(id string) (*Experiment, error) {
 // RunAll executes every registered experiment in order, writing each
 // artifact to w, and returns outcomes keyed by id.
 func RunAll(cfg Config, w io.Writer) (map[string]*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	out := make(map[string]*Outcome, len(registry))
 	for _, e := range registry {
 		fmt.Fprint(w, Banner(e.ID, e.Title))

@@ -26,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every artifact in DESIGN.md's per-experiment index must be present.
 	want := []string{
 		"table1", "fig4", "fig5", "fig6", "fig7", "fig9", "accuracy", "fig11", "fig12",
-		"bandwidth", "sensitivity", "replication", "combined",
+		"bandwidth", "sensitivity", "replication", "combined", "scenarios",
 		"ablation-control", "ablation-overhead", "ablation-topology", "ablation-cache",
 		"ablation-overlap", "ablation-dram", "ablation-hotspot", "ablation-mtcontrol",
 	}
@@ -226,5 +226,38 @@ func TestDeterministicOutcomes(t *testing.T) {
 		if b[k] != v {
 			t.Errorf("metric %s differed: %g vs %g", k, v, b[k])
 		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Seed: 1}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if err := (Config{Workers: -1}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "Workers") {
+		t.Errorf("negative Workers: got %v", err)
+	}
+	// A CSV target under a regular file is not creatable.
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{CSVDir: filepath.Join(blocker, "sub")}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "CSVDir") {
+		t.Errorf("uncreatable CSVDir: got %v", err)
+	}
+	// A fresh nested directory is created and accepted.
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	if err := (Config{CSVDir: dir}).Validate(); err != nil {
+		t.Errorf("creatable CSVDir rejected: %v", err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Errorf("CSVDir not created: %v", err)
+	}
+}
+
+func TestRunAllRejectsBadConfig(t *testing.T) {
+	if _, err := RunAll(Config{Workers: -3}, io.Discard); err == nil {
+		t.Error("RunAll accepted a negative worker count")
 	}
 }

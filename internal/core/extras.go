@@ -11,6 +11,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/parcelsys"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -56,10 +57,14 @@ func init() {
 
 func runFig4(cfg Config, w io.Writer) (*Outcome, error) {
 	// A deliberately small run so the timeline is readable.
-	p := hostpim.DefaultParams()
-	p.W = 40000
-	p.PctWL = 0.5
-	p.N = 4
+	base := table1Base()
+	base.Workload.W = 40000
+	base.Workload.PctWL = 0.5
+	base.Machine.N = 4
+	p, err := hostParams(base)
+	if err != nil {
+		return nil, err
+	}
 	rec := trace.NewRecorder()
 	rec.Filter = func(track string) bool {
 		return track == "test-system" || strings.HasPrefix(track, "lwp-")
@@ -102,7 +107,10 @@ func runFig4(cfg Config, w io.Writer) (*Outcome, error) {
 }
 
 func runSensitivity(cfg Config, w io.Writer) (*Outcome, error) {
-	base := hostpim.DefaultParams()
+	base, err := hostParams(table1Base())
+	if err != nil {
+		return nil, err
+	}
 	sens := analytic.NBSensitivities(base)
 	t := report.NewTable("NB elasticities at the Table 1 point (d ln NB / d ln θ)",
 		"parameter", "elasticity", "direction")
@@ -146,7 +154,10 @@ func runAblationOverlap(cfg Config, w io.Writer) (*Outcome, error) {
 		"%WL", "N", "serial cycles", "overlap cycles", "overlap speedup")
 	o := &Outcome{Metrics: map[string]float64{}}
 	var bestSpeedup float64
-	base := hostpim.DefaultParams()
+	base, err := hostParams(table1Base())
+	if err != nil {
+		return nil, err
+	}
 	tH := base.HWPOpCycles(base.Pmiss)
 	tL := base.LWPOpCycles()
 	for _, n := range []int{1, 4, 16, 64} {
@@ -189,17 +200,25 @@ func runCombined(cfg Config, w io.Writer) (*Outcome, error) {
 	t := report.NewTable("Hybrid host+PIM: gain vs inter-PIM latency and parcels per node (%WL=0.5, N=32)",
 		"latency", "parcels/node", "efficiency", "gain", "effective NB")
 	o := &Outcome{Metrics: map[string]float64{}}
-	base := hybrid.DefaultParams()
-	ideal, err := hostpim.Analytic(base.Host)
+	base := scenario.MustFind("hybrid-baseline")
+	hbase, err := base.HybridParams(scenario.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ideal, err := hostpim.Analytic(hbase.Host)
 	if err != nil {
 		return nil, err
 	}
 	var gainP1L2000, gainP64L2000 float64
 	for _, l := range []float64{0, 200, 2000} {
 		for _, threads := range []int{1, 8, 64} {
-			p := base
-			p.Latency = l
-			p.ThreadsPerNode = threads
+			s := base
+			s.Machine.Latency = l
+			s.Workload.Parallelism = threads
+			p, err := s.HybridParams(scenario.Config{})
+			if err != nil {
+				return nil, err
+			}
 			r, err := hybrid.Analytic(p)
 			if err != nil {
 				return nil, err
@@ -225,9 +244,13 @@ func runCombined(cfg Config, w io.Writer) (*Outcome, error) {
 	if cfg.Quick {
 		horizon = 15000
 	}
-	pt := base
-	pt.Latency = 2000
-	pt.ThreadsPerNode = 64
+	spt := base
+	spt.Machine.Latency = 2000
+	spt.Workload.Parallelism = 64
+	pt, err := spt.HybridParams(scenario.Config{})
+	if err != nil {
+		return nil, err
+	}
 	cal, err := hybrid.AnalyticCalibrated(pt, horizon, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -252,15 +275,17 @@ func runCombined(cfg Config, w io.Writer) (*Outcome, error) {
 }
 
 func runReplication(cfg Config, w io.Writer) (*Outcome, error) {
-	p := parcelsys.DefaultParams()
-	p.Latency = 500
-	p.Parallelism = 16
-	p.RemoteFrac = 0.4
-	p.Seed = cfg.Seed
+	s := scenario.MustFind("fig11-point")
+	s.Machine.Latency = 500
+	s.Workload.Parallelism = 16
+	s.Workload.RemoteFrac = 0.4
+	p, err := s.ParcelParams(scenarioConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
 	reps := 10
 	if cfg.Quick {
 		reps = 4
-		p.Horizon = 20000
 	}
 	r, err := parcelsys.Replicate(p, reps)
 	if err != nil {

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// This file is the experiment-layer face of internal/scenario: a
+// registered experiment that cross-validates every named preset on all
+// supporting model backends, plus ScenarioExperiment, the parameterized
+// wrapper the pimstudy -scenario flag runs through the engine.
+
+func init() {
+	register(&Experiment{
+		ID:    "scenarios",
+		Title: "Scenario presets cross-validated on every supporting backend",
+		PaperClaim: "the paper validates each model against another (analytic vs " +
+			"Workbench simulation in Sec 3.1.2, Saavedra-Barrera vs parcel results " +
+			"in Sec 5.2); the scenario layer makes that cross-validation total",
+		Run: runScenarios,
+	})
+}
+
+// scenarioConfig maps the experiment config onto the scenario layer's.
+func scenarioConfig(cfg Config) scenario.Config {
+	return scenario.Config{Seed: cfg.Seed, Quick: cfg.Quick}
+}
+
+// table1Base returns the Table 1 design point as a scenario — the
+// paper-baseline preset with the two sweep variables reset to their
+// zero-sweep defaults. Studies and ablations start from this value and
+// set the fields they vary.
+func table1Base() scenario.Scenario {
+	s := scenario.MustFind("paper-baseline")
+	s.Workload.PctWL = 0
+	s.Machine.N = 1
+	return s
+}
+
+func runScenarios(cfg Config, w io.Writer) (*Outcome, error) {
+	o := &Outcome{Metrics: map[string]float64{}}
+	for _, s := range scenario.Presets() {
+		if err := crossValidateScenario(cfg, w, s, o, s.Name+"/"); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// crossValidateScenario runs one scenario on all supporting backends,
+// renders the per-backend metrics and the agreement matrix, and folds
+// metrics (prefixed with keyPrefix) and one agreement check into o.
+func crossValidateScenario(cfg Config, w io.Writer, s scenario.Scenario, o *Outcome, keyPrefix string) error {
+	results, ags, err := scenario.CrossValidate(s, scenarioConfig(cfg))
+	if err != nil {
+		return err
+	}
+	if err := renderScenarioResults(cfg, w, s, results, o, keyPrefix); err != nil {
+		return err
+	}
+	at := report.NewTable(fmt.Sprintf("%s — cross-backend agreement", s.Name),
+		"metric", "backends", "a", "b", "diff", "mode", "tol", "status")
+	for _, a := range ags {
+		mode := "rel"
+		if a.Abs {
+			mode = "abs"
+		}
+		status := "ok"
+		if !a.Pass {
+			status = "DISAGREE"
+		}
+		at.AddRow(a.Metric, a.A+" vs "+a.B, a.ValA, a.ValB, a.Diff, mode, a.Tol, status)
+	}
+	if err := emitTable(cfg, w, csvName(s.Name)+"_agreement", at); err != nil {
+		return err
+	}
+	bad := scenario.Disagreements(ags)
+	detail := fmt.Sprintf("%d backends, %d comparisons", len(results), len(ags))
+	if len(bad) > 0 {
+		worst := bad[0]
+		for _, a := range bad[1:] {
+			if a.Diff/a.Tol > worst.Diff/worst.Tol {
+				worst = a
+			}
+		}
+		detail = fmt.Sprintf("%d of %d comparisons disagree; worst: %s %s=%.4g vs %s=%.4g (tol %.3g)",
+			len(bad), len(ags), worst.Metric, worst.A, worst.ValA, worst.B, worst.ValB, worst.Tol)
+	}
+	o.check("cross-backend agreement: "+s.Name, len(bad) == 0, "%s", detail)
+	return nil
+}
+
+// renderScenarioResults renders one scenario's per-backend metrics and
+// folds them into the outcome under keyPrefix+backend/metric.
+func renderScenarioResults(cfg Config, w io.Writer, s scenario.Scenario, results []scenario.Result, o *Outcome, keyPrefix string) error {
+	t := report.NewTable(fmt.Sprintf("%s (%s) — %s", s.Name, s.Kind(), s.About),
+		"backend", "metric", "value")
+	for _, r := range results {
+		for _, m := range r.MetricKeys() {
+			t.AddRow(r.Backend, m, r.Metrics[m])
+			o.Metrics[keyPrefix+r.Backend+"/"+m] = r.Metrics[m]
+		}
+	}
+	return emitTable(cfg, w, csvName(s.Name)+"_metrics", t)
+}
+
+// csvName turns a scenario name into a CSV-safe file stem.
+func csvName(name string) string {
+	return "scenario_" + strings.ReplaceAll(name, "-", "_")
+}
+
+// ScenarioExperiment wraps one named scenario preset as an ad-hoc
+// experiment: on backend "all" it cross-validates across every supporting
+// backend (agreement checks included); on a single backend it runs and
+// reports that backend's metrics. Running these through internal/engine
+// gives scenarios replication, aggregation, caching, and JSON output for
+// free — exactly like the registered artifacts.
+func ScenarioExperiment(name, backend string) (*Experiment, error) {
+	s, err := scenario.Find(name)
+	if err != nil {
+		return nil, err
+	}
+	if backend != "all" {
+		if _, err := scenario.FindBackend(backend); err != nil {
+			return nil, err
+		}
+	}
+	return &Experiment{
+		// The backend is part of the identity: the engine's result cache
+		// keys on (ID, Config), and two backends must never collide.
+		ID:         "scenario-" + s.Name + "-" + backend,
+		Title:      fmt.Sprintf("scenario %s on backend %s", s.Name, backend),
+		PaperClaim: s.About,
+		Run: func(cfg Config, w io.Writer) (*Outcome, error) {
+			o := &Outcome{Metrics: map[string]float64{}}
+			if backend == "all" {
+				if err := crossValidateScenario(cfg, w, s, o, ""); err != nil {
+					return nil, err
+				}
+				return o, nil
+			}
+			r, err := scenario.Run(s, backend, scenarioConfig(cfg))
+			if err != nil {
+				return nil, err
+			}
+			if err := renderScenarioResults(cfg, w, s, []scenario.Result{r}, o, ""); err != nil {
+				return nil, err
+			}
+			return o, nil
+		},
+	}, nil
+}

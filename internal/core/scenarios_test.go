@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestScenariosExperimentQuick(t *testing.T) {
+	skipInShort(t)
+	o, out := runExperiment(t, "scenarios")
+	// One agreement check per preset, all passing (runExperiment already
+	// fails on failed checks); spot-check the rendering.
+	if len(o.Checks) != len(scenario.Presets()) {
+		t.Errorf("%d checks for %d presets", len(o.Checks), len(scenario.Presets()))
+	}
+	for _, want := range []string{"paper-baseline", "fig11-point", "cross-backend agreement", "analytic", "queueing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenarios output missing %q", want)
+		}
+	}
+	// Metrics are namespaced scenario/backend/metric.
+	if _, ok := o.Metrics["paper-baseline/sim/gain"]; !ok {
+		t.Error("missing paper-baseline/sim/gain metric")
+	}
+}
+
+func TestScenarioExperimentSingleBackend(t *testing.T) {
+	e, err := ScenarioExperiment("paper-baseline", "analytic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	o, err := e.Run(quickCfg(), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := o.Metrics["analytic/gain"]; !ok || v <= 1 {
+		t.Errorf("analytic/gain = %g, ok=%v", v, ok)
+	}
+	if len(o.Checks) != 0 {
+		t.Errorf("single-backend run produced %d agreement checks", len(o.Checks))
+	}
+	if !strings.Contains(sb.String(), "paper-baseline") {
+		t.Error("output missing scenario name")
+	}
+}
+
+func TestScenarioExperimentAllBackends(t *testing.T) {
+	skipInShort(t)
+	e, err := ScenarioExperiment("fig11-point", "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	o, err := e.Run(quickCfg(), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range o.Failed() {
+		t.Errorf("check %q failed: %s", c.Name, c.Detail)
+	}
+	if _, ok := o.Metrics["queueing/ratio"]; !ok {
+		t.Error("missing queueing/ratio metric")
+	}
+	if _, ok := o.Metrics["sim/ratio"]; !ok {
+		t.Error("missing sim/ratio metric")
+	}
+	if !strings.Contains(sb.String(), "cross-backend agreement") {
+		t.Error("output missing agreement table")
+	}
+}
+
+func TestScenarioExperimentErrors(t *testing.T) {
+	if _, err := ScenarioExperiment("no-such-scenario", "all"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := ScenarioExperiment("paper-baseline", "no-such-backend"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	// A backend that does not support the scenario fails at run time with
+	// a clear error.
+	e, err := ScenarioExperiment("paper-baseline", "queueing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := e.Run(quickCfg(), &sb); err == nil || !strings.Contains(err.Error(), "does not support") {
+		t.Errorf("want does-not-support error, got %v", err)
+	}
+}

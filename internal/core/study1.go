@@ -8,8 +8,15 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/hostpim"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
+
+// hostParams resolves a study-1 scenario into the model parameter struct;
+// scenario construction errors are experiment bugs.
+func hostParams(s scenario.Scenario) (hostpim.Params, error) {
+	return s.HostParams(scenario.Config{})
+}
 
 // study1Pcts returns the %WL sweep (the paper varies 0%…100%).
 func study1Pcts(cfg Config) []float64 {
@@ -76,7 +83,10 @@ func init() {
 }
 
 func runTable1(cfg Config, w io.Writer) (*Outcome, error) {
-	p := hostpim.DefaultParams()
+	p, err := hostParams(table1Base())
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Table 1 — Parametric Assumptions and Metrics",
 		"parameter", "description", "value")
 	t.AddStringRow("W", "total work (operations)", report.FormatFloat(p.W))
@@ -118,20 +128,24 @@ func runFig5(cfg Config, w io.Writer) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := table1Base()
+	base.Workload.W = study1W(cfg)
 	outs := grid.Run(cfg.Workers, func(pt sweep.Point) (map[string]float64, error) {
-		p := hostpim.DefaultParams()
-		p.W = study1W(cfg)
-		p.N = pt.GetInt("n")
-		p.PctWL = pt.Get("pct")
-		r, err := hostpim.Simulate(p, hostpim.SimOptions{Seed: pt.Seed})
+		s := base
+		s.Machine.N = pt.GetInt("n")
+		s.Workload.PctWL = pt.Get("pct")
+		r, err := scenario.Run(s, "sim", scenario.Config{Seed: pt.Seed})
 		if err != nil {
 			return nil, err
 		}
-		an, err := hostpim.Analytic(p)
+		an, err := scenario.Run(s, "analytic", scenario.Config{Seed: pt.Seed})
 		if err != nil {
 			return nil, err
 		}
-		return map[string]float64{"gain": r.Gain, "analyticGain": an.Gain}, nil
+		return map[string]float64{
+			"gain":         r.Metrics[scenario.MetricGain],
+			"analyticGain": an.Metrics[scenario.MetricGain],
+		}, nil
 	})
 	if err := sweep.FirstError(outs); err != nil {
 		return nil, err
@@ -211,16 +225,17 @@ func runFig6(cfg Config, w io.Writer) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := table1Base()
+	base.Workload.W = study1W(cfg)
 	outs := grid.Run(cfg.Workers, func(pt sweep.Point) (map[string]float64, error) {
-		p := hostpim.DefaultParams()
-		p.W = study1W(cfg)
-		p.N = pt.GetInt("n")
-		p.PctWL = pt.Get("pct")
-		r, err := hostpim.Simulate(p, hostpim.SimOptions{Seed: pt.Seed})
+		s := base
+		s.Machine.N = pt.GetInt("n")
+		s.Workload.PctWL = pt.Get("pct")
+		r, err := scenario.Run(s, "sim", scenario.Config{Seed: pt.Seed})
 		if err != nil {
 			return nil, err
 		}
-		return map[string]float64{"time": r.Total}, nil
+		return map[string]float64{"time": r.Metrics[scenario.MetricTotal]}, nil
 	})
 	if err := sweep.FirstError(outs); err != nil {
 		return nil, err
@@ -280,7 +295,10 @@ func fig6Nodes(cfg Config) []int {
 }
 
 func runFig7(cfg Config, w io.Writer) (*Outcome, error) {
-	base := hostpim.DefaultParams()
+	base, err := hostParams(table1Base())
+	if err != nil {
+		return nil, err
+	}
 	pcts := study1Pcts(cfg)
 	nodes := fig6Nodes(cfg)
 	pts, err := analytic.Surface(base, pcts, nodes)
@@ -344,7 +362,11 @@ func runAccuracy(cfg Config, w io.Writer) (*Outcome, error) {
 	if !cfg.Quick {
 		simW = 10e6 // full grid x 1e8 is wasteful; statistics are W-invariant
 	}
-	min, mean, max, err := hostpim.AgreementBand(hostpim.DefaultParams(), pcts, nodes, simW, cfg.Seed)
+	base, err := hostParams(table1Base())
+	if err != nil {
+		return nil, err
+	}
+	min, mean, max, err := hostpim.AgreementBand(base, pcts, nodes, simW, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -5,8 +5,8 @@ import (
 	"io"
 	"math"
 
-	"repro/internal/parcelsys"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
 
@@ -68,21 +68,21 @@ func runFig11(cfg Config, w io.Writer) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := scenario.MustFind("fig11-point")
+	base.Workload.Horizon = fig11Horizon(cfg)
 	outs := grid.Run(cfg.Workers, func(pt sweep.Point) (map[string]float64, error) {
-		p := parcelsys.DefaultParams()
-		p.Parallelism = pt.GetInt("p")
-		p.RemoteFrac = pt.Get("r")
-		p.Latency = pt.Get("l")
-		p.Horizon = fig11Horizon(cfg)
-		p.Seed = pt.Seed
-		r, err := parcelsys.Run(p)
+		s := base
+		s.Workload.Parallelism = pt.GetInt("p")
+		s.Workload.RemoteFrac = pt.Get("r")
+		s.Machine.Latency = pt.Get("l")
+		r, err := scenario.Run(s, "sim", scenario.Config{Seed: pt.Seed})
 		if err != nil {
 			return nil, err
 		}
 		return map[string]float64{
-			"ratio":    r.Ratio,
-			"ctrlIdle": r.Control.IdleFrac,
-			"testIdle": r.Test.IdleFrac,
+			"ratio":    r.Metrics[scenario.MetricRatio],
+			"ctrlIdle": r.Metrics[scenario.MetricCtrlIdle],
+			"testIdle": r.Metrics[scenario.MetricTestIdle],
 		}, nil
 	})
 	if err := sweep.FirstError(outs); err != nil {
@@ -179,21 +179,21 @@ func runFig12(cfg Config, w io.Writer) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := scenario.MustFind("fig11-point")
+	base.Machine.Latency = 500
+	base.Workload.RemoteFrac = 0.4
+	base.Workload.Horizon = fig12Horizon(cfg)
 	outs := grid.Run(cfg.Workers, func(pt sweep.Point) (map[string]float64, error) {
-		p := parcelsys.DefaultParams()
-		p.Nodes = pt.GetInt("nodes")
-		p.Parallelism = pt.GetInt("p")
-		p.Latency = 500
-		p.RemoteFrac = 0.4
-		p.Horizon = fig12Horizon(cfg)
-		p.Seed = pt.Seed
-		r, err := parcelsys.Run(p)
+		s := base
+		s.Machine.N = pt.GetInt("nodes")
+		s.Workload.Parallelism = pt.GetInt("p")
+		r, err := scenario.Run(s, "sim", scenario.Config{Seed: pt.Seed})
 		if err != nil {
 			return nil, err
 		}
 		return map[string]float64{
-			"ctrlIdle": r.Control.IdleFrac,
-			"testIdle": r.Test.IdleFrac,
+			"ctrlIdle": r.Metrics[scenario.MetricCtrlIdle],
+			"testIdle": r.Metrics[scenario.MetricTestIdle],
 		}, nil
 	})
 	if err := sweep.FirstError(outs); err != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -8,47 +9,93 @@ import (
 	"repro/internal/core"
 )
 
+// DefaultCacheEntries bounds a NewCache-built cache. Results carry full
+// rendered artifacts (potentially megabytes for the big figures), so an
+// unbounded cache would let a long pimsweep grid grow memory without
+// limit; a few hundred entries covers any realistic working set.
+const DefaultCacheEntries = 256
+
 // Cache memoizes experiment Results keyed by a hash of the experiment ID
 // and the full run configuration (seed, quick flag, CSV directory,
-// replication count, CI level). It is safe for concurrent use and may be
-// shared across engines. Entries never expire: every experiment is
+// replication count, CI level), evicting least-recently-used entries past
+// its capacity. It is safe for concurrent use and may be shared across
+// engines. Entries never expire by time: every experiment is
 // deterministic given its configuration, so a cached result stays valid
-// for the life of the process.
+// for the life of the process — only capacity evicts.
 type Cache struct {
 	mu     sync.Mutex
-	m      map[uint64]Result
+	max    int // <= 0 means unbounded
+	m      map[uint64]*list.Element
+	ll     *list.List // front = most recently used
 	hits   int
 	misses int
 }
 
-// NewCache creates an empty result cache.
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key uint64
+	r   Result
+}
+
+// NewCache creates an empty result cache bounded to DefaultCacheEntries.
 func NewCache() *Cache {
-	return &Cache{m: make(map[uint64]Result)}
+	return NewCacheSize(DefaultCacheEntries)
+}
+
+// NewCacheSize creates an empty result cache holding at most max entries
+// (max <= 0 means unbounded).
+func NewCacheSize(max int) *Cache {
+	return &Cache{
+		max: max,
+		m:   make(map[uint64]*list.Element),
+		ll:  list.New(),
+	}
 }
 
 func (c *Cache) get(key uint64) (Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.m[key]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.m[key]
+	if !ok {
 		c.misses++
+		return Result{}, false
 	}
-	return r, ok
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).r, true
 }
 
 func (c *Cache) put(key uint64, r Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m[key] = r
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).r = r
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, r: r})
+	for c.max > 0 && c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
 }
 
 // Len returns the number of cached results.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	return c.ll.Len()
+}
+
+// Cap returns the maximum entry count (0 = unbounded).
+func (c *Cache) Cap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 {
+		return 0
+	}
+	return c.max
 }
 
 // Stats returns the lookup hit and miss counts so far.

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fakeResult builds a distinguishable Result for cache tests.
+func fakeResult(i int) Result {
+	return Result{ID: fmt.Sprintf("exp-%d", i)}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCacheSize(3)
+	for i := 0; i < 5; i++ {
+		c.put(uint64(i), fakeResult(i))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// 0 and 1 were evicted; 2..4 remain.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.get(uint64(i)); ok {
+			t.Errorf("key %d should have been evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if r, ok := c.get(uint64(i)); !ok || r.ID != fmt.Sprintf("exp-%d", i) {
+			t.Errorf("key %d missing or wrong: %v %v", i, r.ID, ok)
+		}
+	}
+}
+
+func TestCacheLRURecencyOrder(t *testing.T) {
+	c := NewCacheSize(2)
+	c.put(1, fakeResult(1))
+	c.put(2, fakeResult(2))
+	// Touch 1 so 2 becomes the eviction victim.
+	if _, ok := c.get(1); !ok {
+		t.Fatal("key 1 missing")
+	}
+	c.put(3, fakeResult(3))
+	if _, ok := c.get(2); ok {
+		t.Error("key 2 should have been evicted (least recently used)")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Error("recently used key 1 was evicted")
+	}
+	if _, ok := c.get(3); !ok {
+		t.Error("key 3 missing")
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := NewCacheSize(2)
+	c.put(1, fakeResult(1))
+	c.put(1, fakeResult(99))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after double put, want 1", c.Len())
+	}
+	if r, _ := c.get(1); r.ID != "exp-99" {
+		t.Errorf("updated value not stored: %s", r.ID)
+	}
+}
+
+func TestCacheUnbounded(t *testing.T) {
+	c := NewCacheSize(0)
+	for i := 0; i < 1000; i++ {
+		c.put(uint64(i), fakeResult(i))
+	}
+	if c.Len() != 1000 {
+		t.Errorf("unbounded cache evicted: Len = %d", c.Len())
+	}
+	if c.Cap() != 0 {
+		t.Errorf("Cap = %d, want 0 (unbounded)", c.Cap())
+	}
+}
+
+func TestCacheDefaultBound(t *testing.T) {
+	c := NewCache()
+	if c.Cap() != DefaultCacheEntries {
+		t.Fatalf("Cap = %d, want %d", c.Cap(), DefaultCacheEntries)
+	}
+	for i := 0; i < DefaultCacheEntries+50; i++ {
+		c.put(uint64(i), fakeResult(i))
+	}
+	if c.Len() != DefaultCacheEntries {
+		t.Errorf("Len = %d, want the %d-entry bound", c.Len(), DefaultCacheEntries)
+	}
+}
+
+func TestCacheStatsCount(t *testing.T) {
+	c := NewCacheSize(2)
+	c.put(1, fakeResult(1))
+	c.get(1)
+	c.get(2)
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("Stats = (%d, %d), want (1, 1)", hits, misses)
+	}
+}

@@ -163,6 +163,9 @@ func (e *Engine) RunAll(cfg core.Config) ([]Result, error) {
 // per-experiment failures (also recorded on the individual Results); the
 // successful Results are valid either way.
 func (e *Engine) Run(cfg core.Config, exps []*core.Experiment) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	reps := e.opts.Replications
 	results := make([]Result, len(exps))
 

@@ -490,3 +490,10 @@ func TestRunAllUsesRegistry(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineRejectsBadConfig(t *testing.T) {
+	eng := New(Options{})
+	if _, err := eng.Run(core.Config{Workers: -1}, core.Registry()[:1]); err == nil {
+		t.Error("engine accepted a negative worker count")
+	}
+}

@@ -108,21 +108,14 @@ func (p Params) nodeEfficiency() (float64, float64, error) {
 	return mm.Efficiency(float64(p.ThreadsPerNode)), mm.SaturationPoint(), nil
 }
 
-// Analytic evaluates the hybrid model in closed form: the LWP phase of
-// study 1 is stretched by the node efficiency.
-func Analytic(p Params) (Result, error) {
-	if err := p.Validate(); err != nil {
-		return Result{}, err
-	}
-	base, err := hostpim.Analytic(p.Host)
-	if err != nil {
-		return Result{}, err
-	}
-	eff, sat, err := p.nodeEfficiency()
-	if err != nil {
-		return Result{}, err
-	}
-	r := Result{Result: base, Efficiency: eff, SaturationThreads: sat}
+// Compose stretches a study-1 closed-form result by a given LWP-phase
+// efficiency and recomputes the totals under the scenario's execution
+// flow. It is the shared composition step beneath Analytic (efficiency
+// from the Saavedra-Barrera curve) and AnalyticCalibrated (efficiency
+// measured from a parcelsys simulation); the scenario layer's simulation
+// backend uses it directly with its own measured efficiency.
+func Compose(base hostpim.Result, p Params, eff float64) Result {
+	r := Result{Result: base, Efficiency: eff}
 	if eff > 0 && eff < 1 {
 		r.TimeLWPPhase = base.TimeLWPPhase / eff
 	}
@@ -138,6 +131,25 @@ func Analytic(p Params) (Result, error) {
 		r.Gain = r.ControlTime / r.Total
 	}
 	r.Relative = r.Total / (p.Host.W * p.Host.HWPOpCycles(p.Host.Pmiss))
+	return r
+}
+
+// Analytic evaluates the hybrid model in closed form: the LWP phase of
+// study 1 is stretched by the node efficiency.
+func Analytic(p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	base, err := hostpim.Analytic(p.Host)
+	if err != nil {
+		return Result{}, err
+	}
+	eff, sat, err := p.nodeEfficiency()
+	if err != nil {
+		return Result{}, err
+	}
+	r := Compose(base, p, eff)
+	r.SaturationThreads = sat
 	return r, nil
 }
 
@@ -181,16 +193,7 @@ func AnalyticCalibrated(p Params, horizon float64, seed uint64) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	r := Result{Result: base, Efficiency: eff}
-	if eff > 0 && eff < 1 {
-		r.TimeLWPPhase = base.TimeLWPPhase / eff
-	}
-	r.Total = r.TimeHWPPhase + r.TimeLWPPhase
-	if r.Total > 0 {
-		r.Gain = r.ControlTime / r.Total
-	}
-	r.Relative = r.Total / (p.Host.W * p.Host.HWPOpCycles(p.Host.Pmiss))
-	return r, nil
+	return Compose(base, p, eff), nil
 }
 
 // EffectiveNB returns the hybrid break-even node count: study 1's NB

@@ -1,6 +1,9 @@
 package report
 
 import (
+	"errors"
+	"io"
+	"math"
 	"strings"
 	"testing"
 )
@@ -209,5 +212,132 @@ func TestChartMultiSeriesDistinctMarks(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "* = one") || !strings.Contains(out, "o = two") {
 		t.Errorf("legend wrong:\n%s", out)
+	}
+}
+
+// errWriter fails every write with a fixed error.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestRenderWriterErrorsPropagate(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, 2)
+	if err := tb.Render(errWriter{}); err == nil {
+		t.Error("Table.Render swallowed writer error")
+	}
+	if err := tb.RenderCSV(errWriter{}); err == nil {
+		t.Error("Table.RenderCSV swallowed writer error")
+	}
+	if err := tb.RenderMarkdown(errWriter{}); err == nil {
+		t.Error("Table.RenderMarkdown swallowed writer error")
+	}
+	ch := NewChart("c", "x", "y")
+	if err := ch.Add(Series{Name: "s", X: []float64{1}, Y: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Render(errWriter{}); err == nil {
+		t.Error("Chart.Render swallowed writer error")
+	}
+	if err := RenderHistogram(errWriter{}, "h", []string{"a"}, []int64{1}, 10); err == nil {
+		t.Error("RenderHistogram swallowed writer error")
+	}
+}
+
+func TestCSVQuotingEdges(t *testing.T) {
+	tb := NewTable("", "col")
+	tb.AddStringRow(`say "hi", ok?`)
+	tb.AddStringRow("two\nlines")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"say ""hi"", ok?"`) {
+		t.Errorf("quote/comma cell not escaped: %q", out)
+	}
+	if !strings.Contains(out, "\"two\nlines\"") {
+		t.Errorf("newline cell not quoted: %q", out)
+	}
+}
+
+func TestFormatFloatEdges(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():   "NaN",
+		math.Inf(1):  "Inf",
+		math.Inf(-1): "Inf",
+		0:            "0",
+		-42:          "-42",
+		12345678:     "1.235e+07",
+		0.0005:       "5.000e-04",
+		-0.25:        "-0.25",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestChartSkipsNonFinitePoints(t *testing.T) {
+	ch := NewChart("c", "x", "y")
+	if err := ch.Add(Series{Name: "s",
+		X: []float64{1, 2, 3, 4},
+		Y: []float64{1, math.NaN(), math.Inf(1), 4}}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("finite points not plotted")
+	}
+}
+
+func TestChartAllNonFinite(t *testing.T) {
+	ch := NewChart("c", "x", "y")
+	if err := ch.Add(Series{Name: "s", X: []float64{1}, Y: []float64{math.NaN()}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Render(io.Discard); err == nil {
+		t.Error("chart with no finite points rendered")
+	}
+}
+
+func TestChartLogScaleFiltersNonPositive(t *testing.T) {
+	// log10 of a non-positive value is non-finite and must be skipped,
+	// not plotted or folded into the axis range.
+	ch := NewChart("c", "x", "y")
+	ch.LogY = true
+	if err := ch.Add(Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0, 10, 100}}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "top=10^2, bottom=10^1") {
+		t.Errorf("log axis range should ignore the zero point:\n%s", sb.String())
+	}
+}
+
+func TestRenderHistogramDefaultsAndMinBar(t *testing.T) {
+	var sb strings.Builder
+	// maxWidth <= 0 falls back to the default; a tiny nonzero count still
+	// draws a one-character bar.
+	if err := RenderHistogram(&sb, "h", []string{"big", "tiny", "zero"},
+		[]int64{1000000, 1, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("unexpected layout:\n%s", sb.String())
+	}
+	if !strings.Contains(lines[2], "|# 1") {
+		t.Errorf("tiny count lost its bar: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero count drew a bar: %q", lines[3])
 	}
 }

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Field is one numerically sweepable scenario knob, addressable by name —
+// the hook pimsweep's scenario mode uses to sweep design-space axes
+// without per-field code.
+type Field struct {
+	// Name is the sweep-axis name (lower-case, no spaces).
+	Name string
+	// About describes the knob for CLI listings.
+	About string
+	// Set writes the value into the scenario; boolean fields treat any
+	// non-zero value as true.
+	Set func(*Scenario, float64)
+	// Get reads the current value.
+	Get func(Scenario) float64
+}
+
+// fields is the registry, in presentation order.
+var fields = []Field{
+	{"pctwl", "low-locality work fraction %WL (0..1)",
+		func(s *Scenario, v float64) { s.Workload.PctWL = v },
+		func(s Scenario) float64 { return s.Workload.PctWL }},
+	{"nodes", "PIM node count N",
+		func(s *Scenario, v float64) { s.Machine.N = int(v) },
+		func(s Scenario) float64 { return float64(s.Machine.N) }},
+	{"w", "total work in operations",
+		func(s *Scenario, v float64) { s.Workload.W = v },
+		func(s Scenario) float64 { return s.Workload.W }},
+	{"mixls", "load/store instruction-mix fraction",
+		func(s *Scenario, v float64) { s.Workload.MixLS = v },
+		func(s Scenario) float64 { return s.Workload.MixLS }},
+	{"remote", "remote fraction of PIM memory accesses",
+		func(s *Scenario, v float64) { s.Workload.RemoteFrac = v },
+		func(s Scenario) float64 { return s.Workload.RemoteFrac }},
+	{"latency", "one-way inter-PIM latency (cycles)",
+		func(s *Scenario, v float64) { s.Machine.Latency = v },
+		func(s Scenario) float64 { return s.Machine.Latency }},
+	{"parallelism", "parcels/threads per PIM node",
+		func(s *Scenario, v float64) { s.Workload.Parallelism = int(v) },
+		func(s Scenario) float64 { return float64(s.Workload.Parallelism) }},
+	{"horizon", "parcel-study simulated cycles",
+		func(s *Scenario, v float64) { s.Workload.Horizon = v },
+		func(s Scenario) float64 { return s.Workload.Horizon }},
+	{"memcycles", "parcel-node local memory access time (cycles)",
+		func(s *Scenario, v float64) { s.Machine.MemCycles = v },
+		func(s Scenario) float64 { return s.Machine.MemCycles }},
+	{"pmiss", "HWP cache miss rate on high-locality work",
+		func(s *Scenario, v float64) { s.Machine.Pmiss = v },
+		func(s Scenario) float64 { return s.Machine.Pmiss }},
+	{"pmisslow", "HWP miss rate on low-locality work (locality-aware control)",
+		func(s *Scenario, v float64) { s.Machine.PmissLow = v },
+		func(s Scenario) float64 { return s.Machine.PmissLow }},
+	{"tlcycle", "LWP cycle time (HWP cycles)",
+		func(s *Scenario, v float64) { s.Machine.TLCycle = v },
+		func(s Scenario) float64 { return s.Machine.TLCycle }},
+	{"tmh", "HWP memory access time (cycles)",
+		func(s *Scenario, v float64) { s.Machine.TMH = v },
+		func(s Scenario) float64 { return s.Machine.TMH }},
+	{"tch", "HWP cache access time (cycles)",
+		func(s *Scenario, v float64) { s.Machine.TCH = v },
+		func(s Scenario) float64 { return s.Machine.TCH }},
+	{"tml", "LWP local memory access time (cycles)",
+		func(s *Scenario, v float64) { s.Machine.TML = v },
+		func(s Scenario) float64 { return s.Machine.TML }},
+	{"kernelweight", "op-weight of the named kernel in the application mix",
+		func(s *Scenario, v float64) { s.Workload.KernelWeight = v },
+		func(s Scenario) float64 { return s.Workload.KernelWeight }},
+	{"overlap", "overlap HWP and LWP phases (non-zero = on)",
+		func(s *Scenario, v float64) { s.Overlap = v != 0 },
+		func(s Scenario) float64 { return b2f(s.Overlap) }},
+	{"software", "software-only parcel overheads (non-zero = on)",
+		func(s *Scenario, v float64) { s.Software = v != 0 },
+		func(s Scenario) float64 { return b2f(s.Software) }},
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Fields returns the sweepable-field registry in presentation order.
+func Fields() []Field { return fields }
+
+// FieldNames returns all sweepable field names, sorted.
+func FieldNames() []string {
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = f.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetField sets the named field; the resulting scenario is NOT validated
+// (sweeps validate once per point at Run time).
+func SetField(s *Scenario, name string, v float64) error {
+	for _, f := range fields {
+		if f.Name == name {
+			f.Set(s, v)
+			return nil
+		}
+	}
+	return fmt.Errorf("scenario: unknown field %q (known: %v)", name, FieldNames())
+}
+
+// GetField reads the named field.
+func GetField(s Scenario, name string) (float64, error) {
+	for _, f := range fields {
+		if f.Name == name {
+			return f.Get(s), nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown field %q (known: %v)", name, FieldNames())
+}

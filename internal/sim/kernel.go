@@ -27,13 +27,21 @@ type Time = float64
 // processes are still blocked.
 var ErrDeadlock = errors.New("sim: deadlock: no scheduled events but processes remain blocked")
 
-// event is a scheduled callback.
+// event is a scheduled callback or process resumption. Events are
+// recycled through the kernel's free list once fired or collected dead,
+// so steady-state scheduling does not allocate; gen distinguishes
+// incarnations so a stale Timer cannot cancel the struct's next tenant.
+// Process resumptions carry the process directly (proc != nil) instead of
+// a closure, keeping the kernel's hottest path — Wait and blocking-wakeup
+// events — entirely allocation-free.
 type event struct {
 	t     Time
 	seq   uint64 // tie-breaker: schedule order
 	fn    func()
-	dead  bool // canceled
-	index int  // heap index, maintained by heap.Interface
+	proc  *Proc  // when non-nil, resume this process instead of calling fn
+	dead  bool   // canceled
+	index int    // heap index, maintained by heap.Interface
+	gen   uint64 // incarnation counter, bumped on recycle
 }
 
 // eventHeap is a min-heap on (t, seq).
@@ -71,6 +79,7 @@ func (h *eventHeap) Pop() any {
 type Kernel struct {
 	now    Time
 	events eventHeap
+	free   []*event // recycled events (see event)
 	seq    uint64
 	procs  map[*Proc]struct{} // live (started, not finished) processes
 	yield  chan struct{}      // process -> kernel handoff
@@ -104,29 +113,51 @@ func NewKernel() *Kernel {
 func (k *Kernel) Now() Time { return k.now }
 
 // Timer is a handle to a scheduled callback; Cancel prevents a pending
-// callback from firing.
-type Timer struct{ ev *event }
+// callback from firing. The generation pins the handle to one incarnation
+// of the (recycled) event struct.
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel marks the timer dead. Canceling an already-fired or already-
 // canceled timer is a no-op. It reports whether the cancel took effect.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.dead || t.ev.index < 0 {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.dead || t.ev.index < 0 {
 		return false
 	}
 	t.ev.dead = true
 	return true
 }
 
-// ScheduleAt registers fn to run at absolute simulated time t. Scheduling
-// in the past panics (events must be causal).
-func (k *Kernel) ScheduleAt(t Time, fn func()) *Timer {
+// scheduleEvent is the internal Timer-free scheduling path: it registers
+// either a callback (fn) or a process resumption (p) at absolute time t,
+// reusing a recycled event when one is free. Scheduling in the past
+// panics (events must be causal).
+func (k *Kernel) scheduleEvent(t Time, fn func(), p *Proc) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%g) before now (%g)", t, k.now))
 	}
-	ev := &event{t: t, seq: k.seq, fn: fn}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		ev.t, ev.fn, ev.proc, ev.dead = t, fn, p, false
+		ev.seq = k.seq
+	} else {
+		ev = &event{t: t, seq: k.seq, fn: fn, proc: p}
+	}
 	k.seq++
 	heap.Push(&k.events, ev)
-	return &Timer{ev: ev}
+	return ev
+}
+
+// ScheduleAt registers fn to run at absolute simulated time t. Scheduling
+// in the past panics (events must be causal).
+func (k *Kernel) ScheduleAt(t Time, fn func()) *Timer {
+	ev := k.scheduleEvent(t, fn, nil)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // Schedule registers fn to run after the given delay (>= 0).
@@ -148,6 +179,7 @@ func (k *Kernel) step(until Time, bounded bool) bool {
 		ev := k.events[0]
 		if ev.dead {
 			heap.Pop(&k.events)
+			k.recycle(ev)
 			continue
 		}
 		if bounded && ev.t > until {
@@ -155,10 +187,26 @@ func (k *Kernel) step(until Time, bounded bool) bool {
 		}
 		heap.Pop(&k.events)
 		k.now = ev.t
-		ev.fn()
+		fn, p := ev.fn, ev.proc
+		k.recycle(ev)
+		if p != nil {
+			k.resume(p)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
+}
+
+// recycle returns a popped event to the free list for the next
+// scheduleEvent. Bumping gen invalidates any Timer still holding the
+// struct.
+func (k *Kernel) recycle(ev *event) {
+	ev.fn = nil
+	ev.proc = nil
+	ev.gen++
+	k.free = append(k.free, ev)
 }
 
 // Run advances the simulation until simulated time `until`, then kills any
@@ -246,9 +294,23 @@ func (k *Kernel) resume(p *Proc) {
 
 // scheduleResume schedules process p to be resumed after delay. This is the
 // only correct way to wake a process from inside another process (direct
-// resume would re-enter the handoff protocol).
-func (k *Kernel) scheduleResume(p *Proc, delay Time) *Timer {
-	return k.Schedule(delay, func() { k.resume(p) })
+// resume would re-enter the handoff protocol). The wakeup is a recycled
+// proc-carrying event, so the path does not allocate.
+func (k *Kernel) scheduleResume(p *Proc, delay Time) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %g", delay))
+	}
+	k.scheduleEvent(k.now+delay, nil, p)
+}
+
+// scheduleResumeTimer is scheduleResume with a cancel handle, for
+// interruptible waits.
+func (k *Kernel) scheduleResumeTimer(p *Proc, delay Time) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %g", delay))
+	}
+	ev := k.scheduleEvent(k.now+delay, nil, p)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // Idle reports whether no events are pending and no processes are live.

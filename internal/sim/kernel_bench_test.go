@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelSchedule measures the callback-event path: schedule a
+// batch of events, drain them. With the free list, steady-state
+// scheduling reuses recycled event structs instead of heap-allocating one
+// per Schedule.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel()
+	var sink int
+	fn := func() { sink++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 256
+	for done := 0; done < b.N; done += batch {
+		for j := 0; j < batch; j++ {
+			k.Schedule(Time(j), fn)
+		}
+		if _, err := k.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sink < 0 {
+		b.Fatal("unreachable")
+	}
+}
+
+// BenchmarkKernelWaitResume measures the kernel's hottest path — a
+// process advancing time with Wait — which recycles proc-carrying events
+// and must not allocate at all.
+func BenchmarkKernelWaitResume(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("waiter", func(c *Context) {
+		for {
+			c.Wait(1)
+		}
+	})
+	b.Cleanup(k.shutdown)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !k.step(0, false) {
+			b.Fatal("no pending events")
+		}
+	}
+}

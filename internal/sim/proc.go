@@ -61,7 +61,10 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Context)) *Proc {
 	}
 	k.nextID++
 	k.procs[p] = struct{}{}
-	k.ScheduleAt(t, func() { k.resume(p) })
+	if t < k.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%g) before now (%g)", t, k.now))
+	}
+	k.scheduleEvent(t, nil, p)
 	return p
 }
 
@@ -134,7 +137,7 @@ func (c *Context) Sleep(d Time) error {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Sleep with negative duration %g", d))
 	}
-	timer := c.k.scheduleResume(c.p, d)
+	timer := c.k.scheduleResumeTimer(c.p, d)
 	c.p.cancel = func() { timer.Cancel() }
 	c.p.park()
 	c.p.cancel = nil
@@ -155,7 +158,7 @@ func (k *Kernel) Interrupt(target *Proc) bool {
 	target.cancel()
 	target.cancel = nil
 	target.interrupted = true
-	k.Schedule(0, func() { k.resume(target) })
+	k.scheduleEvent(k.now, nil, target)
 	return true
 }
 

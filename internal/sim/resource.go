@@ -202,7 +202,7 @@ func (r *Resource) dispatch() {
 		head.granted = true
 		r.take(head.n, r.k.now)
 		p := head.p
-		r.k.Schedule(0, func() { r.k.resume(p) })
+		r.k.scheduleEvent(r.k.now, nil, p)
 	}
 }
 

@@ -649,3 +649,45 @@ func TestResourceQueueStats(t *testing.T) {
 		t.Errorf("mean queue length = %g, want 0.5", ql)
 	}
 }
+
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	// After an event fires, its struct returns to the free list and may be
+	// reused by the next Schedule. A Timer held across the firing must not
+	// cancel the struct's next tenant.
+	k := NewKernel()
+	var fired []string
+	tm := k.Schedule(1, func() { fired = append(fired, "a") })
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(1, func() { fired = append(fired, "b") })
+	if tm.Cancel() {
+		t.Error("stale Timer claimed to cancel a recycled event")
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[1] != "b" {
+		t.Errorf("fired = %v, want [a b]", fired)
+	}
+}
+
+func TestCanceledEventRecycledAndReused(t *testing.T) {
+	// A canceled event is collected dead and recycled; subsequent
+	// schedules reuse it and run normally.
+	k := NewKernel()
+	ran := 0
+	tm := k.Schedule(1, func() { t.Error("canceled event ran") })
+	if !tm.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	for i := 0; i < 100; i++ {
+		k.Schedule(float64(i), func() { ran++ })
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 100 {
+		t.Errorf("ran = %d, want 100", ran)
+	}
+}

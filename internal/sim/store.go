@@ -103,7 +103,7 @@ func (s *Store[T]) deposit(item T) {
 		g.granted = true
 		s.gets++
 		p := g.p
-		s.k.Schedule(0, func() { s.k.resume(p) })
+		s.k.scheduleEvent(s.k.now, nil, p)
 		return
 	}
 	s.items = append(s.items, item)
@@ -161,7 +161,7 @@ func (s *Store[T]) admitPutter() {
 	s.items = append(s.items, w.item)
 	s.Len.Set(s.k.now, float64(len(s.items)))
 	p := w.p
-	s.k.Schedule(0, func() { s.k.resume(p) })
+	s.k.scheduleEvent(s.k.now, nil, p)
 }
 
 func (s *Store[T]) removeGetter(w *storeWaiter[T]) {
@@ -231,7 +231,7 @@ func (s *Signal) Trigger() {
 	s.waiters = nil
 	for _, p := range ws {
 		p := p
-		s.k.Schedule(0, func() { s.k.resume(p) })
+		s.k.scheduleEvent(s.k.now, nil, p)
 	}
 }
 

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -127,5 +128,86 @@ func TestUnknownStateGlyph(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "?") {
 		t.Error("unknown state not rendered as ?")
+	}
+}
+
+// errWriter fails every write with a fixed error.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestGanttWriterErrorPropagates(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(0, "p", "run")
+	if err := rec.Gantt(errWriter{}, 0, 10, 20); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}
+
+func TestGanttClipsEventsOutsideWindow(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(0, "p", "run") // ends at 100 (next event)
+	rec.Record(100, "p", "wait")
+	rec.Record(200, "p", "run")
+	var sb strings.Builder
+	// Window [50, 150): the leading run is clipped at the left edge, the
+	// trailing run falls entirely outside and must not appear.
+	if err := rec.Gantt(&sb, 50, 150, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "-") {
+		t.Errorf("window missing clipped states:\n%s", out)
+	}
+}
+
+func TestGanttTinyWidthAxis(t *testing.T) {
+	// Width smaller than the axis labels must truncate, not panic.
+	rec := NewRecorder()
+	rec.Record(0, "p", "run")
+	var sb strings.Builder
+	if err := rec.Gantt(&sb, 0, 123456789, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, "|") && len(line) > len("p |")+4+1 {
+			t.Errorf("row wider than width budget: %q", line)
+		}
+	}
+}
+
+func TestStateDurationsZeroAndNegativeTail(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(10, "p", "run")
+	rec.Record(10, "p", "wait") // zero-duration run: dropped
+	d := rec.StateDurations(5)  // until before the active state began
+	if d["p"]["run"] != 0 {
+		t.Errorf("zero-duration state kept: %v", d)
+	}
+	if d["p"]["wait"] != 0 {
+		t.Errorf("negative tail duration kept: %v", d)
+	}
+}
+
+func TestStateDurationsUnsortedEvents(t *testing.T) {
+	// Manually recorded events may arrive out of order; durations must be
+	// integrated in time order regardless.
+	rec := NewRecorder()
+	rec.Record(20, "p", "run")
+	rec.Record(0, "p", "idle")
+	d := rec.StateDurations(30)
+	if math.Abs(d["p"]["idle"]-20) > 1e-12 || math.Abs(d["p"]["run"]-10) > 1e-12 {
+		t.Errorf("durations = %v, want idle 20 / run 10", d)
+	}
+}
+
+func TestTracksSortedAndDistinct(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(0, "zeta", "run")
+	rec.Record(1, "alpha", "run")
+	rec.Record(2, "zeta", "wait")
+	got := rec.Tracks()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Tracks = %v, want [alpha zeta]", got)
 	}
 }
