@@ -9,12 +9,9 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/benches"
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/hostpim"
-	"repro/internal/parcelsys"
-	"repro/internal/queueing"
-	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -160,46 +157,10 @@ func BenchmarkKernelProcessSwitch(b *testing.B) {
 	}
 }
 
-// BenchmarkMM1Simulation measures throughput of the queueing toolkit on a
-// standard M/M/1 at rho=0.7.
-func BenchmarkMM1Simulation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		k := sim.NewKernel()
-		arr := rng.NewWithStream(uint64(i), 1)
-		svc := rng.NewWithStream(uint64(i), 2)
-		sink := queueing.NewSink("out")
-		srv := queueing.NewServer(k, "srv", 1, sim.FIFO,
-			func(*queueing.Job) float64 { return svc.Exp(1) }, sink)
-		queueing.NewSource(k, "in", func() float64 { return arr.Exp(1 / 0.7) }, srv).Start()
-		if err := k.Run(5000); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// The model-level micro-benchmarks delegate to internal/benches — the
+// same drivers cmd/pimbench records into BENCH_<n>.json, so the workload
+// behind each trajectory name cannot fork.
 
-// BenchmarkHostPIMSimulate measures one full study-1 simulation point.
-func BenchmarkHostPIMSimulate(b *testing.B) {
-	p := hostpim.DefaultParams()
-	p.PctWL = 0.5
-	p.N = 16
-	p.W = 1e6
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := hostpim.Simulate(p, hostpim.SimOptions{Seed: uint64(i)}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkParcelSysRun measures one full study-2 paired run.
-func BenchmarkParcelSysRun(b *testing.B) {
-	p := parcelsys.DefaultParams()
-	p.Horizon = 20000
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.Seed = uint64(i)
-		if _, err := parcelsys.Run(p); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkMM1Simulation(b *testing.B)   { benches.MM1Simulation(b) }
+func BenchmarkHostPIMSimulate(b *testing.B) { benches.HostPIMSimulate(b) }
+func BenchmarkParcelSysRun(b *testing.B)    { benches.ParcelSysRun(b) }

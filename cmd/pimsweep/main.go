@@ -151,9 +151,12 @@ func (s *sweepSpec) pointKey(p sweep.Point) string {
 
 // table renders one sweep's outcomes in point order.
 func (s *sweepSpec) table(outs []sweep.Outcome) *report.Table {
-	t := report.NewTable(s.tableTitle, append(append([]string{}, s.axisHeaders...), s.metricHeaders...)...)
+	headers := make([]string, 0, len(s.axisHeaders)+len(s.metricHeaders))
+	headers = append(append(headers, s.axisHeaders...), s.metricHeaders...)
+	t := report.NewTable(s.tableTitle, headers...)
+	row := make([]any, 0, len(headers))
 	for _, o := range outs {
-		row := s.axisCols(o.Point)
+		row = append(row[:0], s.axisCols(o.Point)...)
 		for _, m := range s.metrics {
 			row = append(row, o.Metrics[m])
 		}
@@ -174,11 +177,18 @@ func (s *sweepSpec) aggregateTable(baseSeed uint64, aggs map[string]engine.Aggre
 		headers = append(headers, h+" mean", h+" ±ci")
 	}
 	t := report.NewTable(fmt.Sprintf("%s — %d replications (%.0f%% CI)", s.tableTitle, reps, level*100), headers...)
+	row := make([]any, 0, len(headers))
+	var keyBuf []byte
 	for _, p := range g.Points() {
-		row := s.axisCols(p)
-		key := s.pointKey(p)
+		row = append(row[:0], s.axisCols(p)...)
+		// Build "pointkey/metric" in a reused buffer; the map lookup with
+		// string(keyBuf) does not allocate.
+		keyBuf = appendPointKey(keyBuf[:0], s.axes, p)
+		keyBuf = append(keyBuf, '/')
+		base := len(keyBuf)
 		for _, m := range s.metrics {
-			a := aggs[key+"/"+m]
+			keyBuf = append(keyBuf[:base], m...)
+			a := aggs[string(keyBuf)]
 			row = append(row, a.Mean, a.CI)
 		}
 		t.AddRow(row...)
@@ -431,16 +441,24 @@ func (l *sweepList) Set(v string) error {
 	return nil
 }
 
-// pointKeyOf flattens a grid point into a stable metric-name prefix.
-func pointKeyOf(axes []sweep.Axis, p sweep.Point) string {
-	var sb strings.Builder
+// appendPointKey appends a grid point's stable metric-name prefix
+// ("pct=0.5,n=8") to buf without going through fmt.
+func appendPointKey(buf []byte, axes []sweep.Axis, p sweep.Point) []byte {
 	for i, a := range axes {
 		if i > 0 {
-			sb.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&sb, "%s=%g", a.Name, p.Get(a.Name))
+		buf = append(buf, a.Name...)
+		buf = append(buf, '=')
+		// 'g' with precision -1 matches the %g the keys historically used.
+		buf = strconv.AppendFloat(buf, p.Get(a.Name), 'g', -1, 64)
 	}
-	return sb.String()
+	return buf
+}
+
+// pointKeyOf flattens a grid point into a stable metric-name prefix.
+func pointKeyOf(axes []sweep.Axis, p sweep.Point) string {
+	return string(appendPointKey(nil, axes, p))
 }
 
 // metricUnion returns the sorted union of metric names over outcomes. The
@@ -614,14 +632,19 @@ func scenarioAggregateTable(title string, axes []sweep.Axis, baseSeed uint64, ag
 		headers = append(headers, m+" mean", m+" ±ci")
 	}
 	t := report.NewTable(fmt.Sprintf("%s — %d replications (%.0f%% CI)", title, reps, level*100), headers...)
+	row := make([]any, 0, len(headers))
+	var keyBuf []byte
 	for _, p := range g.Points() {
-		row := make([]any, 0, len(headers))
+		row = row[:0]
 		for _, a := range axes {
 			row = append(row, p.Get(a.Name))
 		}
-		key := pointKeyOf(axes, p)
+		keyBuf = appendPointKey(keyBuf[:0], axes, p)
+		keyBuf = append(keyBuf, '/')
+		base := len(keyBuf)
 		for _, m := range metrics {
-			a, ok := aggs[key+"/"+m]
+			keyBuf = append(keyBuf[:base], m...)
+			a, ok := aggs[string(keyBuf)]
 			if !ok {
 				// The metric does not exist at this grid point (the sweep
 				// crossed a scenario-kind boundary) — mirror the base

@@ -21,7 +21,12 @@
 // -replications, -json) and runs scenario presets on any backend
 // (-scenario, -backend); pimsweep sweeps model parameters or scenario
 // fields by name; bench_test.go at this root carries one benchmark per
-// artifact plus serial-vs-engine suite benchmarks.
+// artifact plus serial-vs-engine suite benchmarks. The pimbench command
+// (cmd/pimbench) is the benchmark-trajectory harness: it times the
+// artifact suite and the substrate micro-benchmarks and appends a
+// machine-readable BENCH_<n>.json snapshot (ns/op, allocs/op, suite
+// wall-clock, git SHA), which CI compares against the committed baseline
+// as a perf regression gate.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.

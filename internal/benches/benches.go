@@ -1,0 +1,135 @@
+// Package benches holds the substrate micro-benchmark drivers shared by
+// the in-repo benchmarks (internal/sim, the root bench_test.go) and the
+// pimbench trajectory harness. The BENCH_<n>.json snapshot names promise
+// a stable workload per name; keeping one driver per workload here means
+// a tuning change cannot silently fork the measured code between `go
+// test -bench` and the CI perf gate.
+package benches
+
+import (
+	"testing"
+
+	"repro/internal/hostpim"
+	"repro/internal/parcelsys"
+	"repro/internal/queueing"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// KernelSchedule measures the callback-event path: schedule a batch of
+// events, drain them. With the free list, steady-state scheduling reuses
+// recycled event structs instead of heap-allocating one per Schedule, and
+// the value Timer handle lives on the caller's stack.
+func KernelSchedule(b *testing.B) {
+	k := sim.NewKernel()
+	var sink int
+	fn := func() { sink++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 256
+	for done := 0; done < b.N; done += batch {
+		for j := 0; j < batch; j++ {
+			k.Schedule(sim.Time(j), fn)
+		}
+		if _, err := k.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sink < 0 {
+		b.Fatal("unreachable")
+	}
+}
+
+// KernelWaitResume measures the kernel's hottest path — a process
+// advancing time with Wait. Under direct handoff the process's own
+// resumption is dispatched by the parking goroutine itself, so a burst of
+// Waits costs one controller round trip per Advance window, not two
+// channel operations per event. The ns/op is per completed Wait.
+func KernelWaitResume(b *testing.B) {
+	k := sim.NewKernel()
+	k.Spawn("waiter", func(c *sim.Context) {
+		for {
+			c.Wait(1)
+		}
+	})
+	b.Cleanup(func() { _ = k.Run(k.Now()) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for done := 0; done < b.N; done += batch {
+		if err := k.Advance(sim.Time(done + batch)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// KernelHandoffChain measures a proc→proc resumption chain: two processes
+// alternate at the same timestamps, so every dispatch hands the logical
+// thread directly from one process goroutine to the other (one channel
+// operation per switch instead of a round trip through a central event
+// loop).
+func KernelHandoffChain(b *testing.B) {
+	k := sim.NewKernel()
+	for i := 0; i < 2; i++ {
+		k.Spawn("p", func(c *sim.Context) {
+			for {
+				c.Wait(1)
+			}
+		})
+	}
+	b.Cleanup(func() { _ = k.Run(k.Now()) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 512
+	for done := 0; done < b.N; done += batch {
+		// Each window completes batch Waits per process; 2 procs → count
+		// iterations in proc-waits.
+		if err := k.Advance(sim.Time((done + batch) / 2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MM1Simulation measures throughput of the queueing toolkit on a standard
+// M/M/1 at rho=0.7.
+func MM1Simulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		arr := rng.NewWithStream(uint64(i), 1)
+		svc := rng.NewWithStream(uint64(i), 2)
+		sink := queueing.NewSink("out")
+		srv := queueing.NewServer(k, "srv", 1, sim.FIFO,
+			func(*queueing.Job) float64 { return svc.Exp(1) }, sink)
+		queueing.NewSource(k, "in", func() float64 { return arr.Exp(1 / 0.7) }, srv).Start()
+		if err := k.Run(5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// HostPIMSimulate measures one full study-1 simulation point.
+func HostPIMSimulate(b *testing.B) {
+	p := hostpim.DefaultParams()
+	p.PctWL = 0.5
+	p.N = 16
+	p.W = 1e6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hostpim.Simulate(p, hostpim.SimOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ParcelSysRun measures one full study-2 paired run.
+func ParcelSysRun(b *testing.B) {
+	p := parcelsys.DefaultParams()
+	p.Horizon = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i)
+		if _, err := parcelsys.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -127,6 +127,12 @@ type Result struct {
 	FromCache bool
 }
 
+// bufPool recycles the per-run rendering buffers across experiments,
+// replications, and engines. Rendered artifacts are a few KB; reusing the
+// grown buffers keeps replication sweeps from paying one buffer-growth
+// cycle per run.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Engine executes experiments per its Options. It is safe for concurrent
 // use.
 type Engine struct {
@@ -207,16 +213,26 @@ func (e *Engine) Run(cfg core.Config, exps []*core.Experiment) ([]Result, error)
 				e.emit(Event{Kind: EventStart, ID: exp.ID, Replicate: t.rep, Replications: reps})
 				rcfg := cfg
 				rcfg.Seed = ReplicateSeed(cfg.Seed, t.rep)
-				var buf bytes.Buffer
-				var w io.Writer = &buf
+				var output []byte
+				var o *core.Outcome
+				var err error
 				if t.rep > 0 {
 					// Only the base replicate keeps rendered output and
 					// CSV artifacts; the others contribute metrics.
 					rcfg.CSVDir = ""
-					w = io.Discard
+					o, err = exp.Run(rcfg, io.Discard)
+				} else {
+					// Base replicate: render into a pooled buffer — the
+					// buffer (and its grown capacity) is reused across
+					// experiments and engine runs instead of reallocated
+					// per run.
+					buf := bufPool.Get().(*bytes.Buffer)
+					buf.Reset()
+					o, err = exp.Run(rcfg, buf)
+					output = append([]byte(nil), buf.Bytes()...)
+					bufPool.Put(buf)
 				}
-				o, err := exp.Run(rcfg, w)
-				runs[t.exp][t.rep] = runOut{outcome: o, output: buf.Bytes(), err: err}
+				runs[t.exp][t.rep] = runOut{outcome: o, output: output, err: err}
 				if err != nil {
 					e.emit(Event{Kind: EventError, ID: exp.ID, Replicate: t.rep, Replications: reps, Err: err})
 				} else {

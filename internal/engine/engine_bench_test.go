@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// syntheticExperiment renders a fixed-size artifact and reports one
+// metric; it isolates the engine's own per-run overhead (buffers, seeds,
+// aggregation) from model cost.
+func syntheticExperiment() *core.Experiment {
+	return &core.Experiment{
+		ID:    "synthetic",
+		Title: "synthetic render-only experiment",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			for i := 0; i < 128; i++ {
+				if _, err := fmt.Fprintf(w, "row %4d  %12.6f\n", i, float64(i)*1.5); err != nil {
+					return nil, err
+				}
+			}
+			return &core.Outcome{Metrics: map[string]float64{"x": float64(cfg.Seed % 97)}}, nil
+		},
+	}
+}
+
+// BenchmarkEngineReplicatedWriters measures a replicated engine run of a
+// render-only experiment — the path whose per-run buffered writers are
+// served from the shared sync.Pool instead of being reallocated per run.
+// Compare B/op with and without the pool to see the delta (the pooled
+// version pays one exact-size copy of the base replicate's output; the
+// unpooled one paid a fresh buffer plus its growth doublings every run).
+func BenchmarkEngineReplicatedWriters(b *testing.B) {
+	exp := syntheticExperiment()
+	eng := New(Options{Workers: 1, Replications: 4})
+	cfg := core.Config{Seed: 1, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eng.Run(cfg, []*core.Experiment{exp})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results[0].Output) == 0 {
+			b.Fatal("no output captured")
+		}
+	}
+}
+
+// BenchmarkEngineSingleRun is the single-replication equivalent, the
+// shape core-suite regeneration uses.
+func BenchmarkEngineSingleRun(b *testing.B) {
+	exp := syntheticExperiment()
+	eng := New(Options{Workers: 1})
+	cfg := core.Config{Seed: 1, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(cfg, []*core.Experiment{exp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

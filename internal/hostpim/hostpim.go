@@ -17,6 +17,7 @@ package hostpim
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -250,9 +251,16 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 	hwpMem := sim.NewResource(k, "hwp-mem", 1, sim.FIFO)
 	lwpCPU := make([]*sim.Resource, p.N)
 	lwpMem := make([]*sim.Resource, p.N)
+	// One reseedable value slab for the per-node streams instead of one
+	// heap allocation per node per run.
+	lwpStreams := make([]rng.Stream, p.N)
+	lwpNames := make([]string, p.N)
 	for i := range lwpCPU {
-		lwpCPU[i] = sim.NewResource(k, fmt.Sprintf("lwp-cpu-%d", i), 1, sim.FIFO)
-		lwpMem[i] = sim.NewResource(k, fmt.Sprintf("lwp-mem-%d", i), 1, sim.FIFO)
+		num := strconv.Itoa(i)
+		lwpNames[i] = "lwp-" + num
+		lwpCPU[i] = sim.NewResource(k, "lwp-cpu-"+num, 1, sim.FIFO)
+		lwpMem[i] = sim.NewResource(k, "lwp-mem-"+num, 1, sim.FIFO)
+		lwpStreams[i].Reseed(opt.Seed, 100+uint64(i))
 	}
 
 	wh := (1 - p.PctWL) * p.W
@@ -266,9 +274,8 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 		perNode := wl / float64(p.N)
 		for i := 0; i < p.N; i++ {
 			i := i
-			st := rng.NewWithStream(opt.Seed, 100+uint64(i))
-			c.Spawn(fmt.Sprintf("lwp-%d", i), func(lc *sim.Context) {
-				runLWPWork(lc, st, p, perNode, chunk, lwpCPU[i], lwpMem[i])
+			c.Spawn(lwpNames[i], func(lc *sim.Context) {
+				runLWPWork(lc, &lwpStreams[i], p, perNode, chunk, lwpCPU[i], lwpMem[i])
 				res.NodeTimes[i] = lc.Now() - lwpStart
 				wg.Done()
 			})

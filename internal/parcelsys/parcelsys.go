@@ -27,6 +27,7 @@ package parcelsys
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/network"
 	"repro/internal/parcel"
@@ -171,14 +172,78 @@ type Result struct {
 
 // Run executes the paired experiment.
 func Run(p Params) (Result, error) {
+	return runWith(p, &runState{})
+}
+
+// runState holds the per-run slabs — parcel structs with their embedded
+// RNG streams, per-node statistics, control-thread streams, and node
+// names — that Replicate reuses across replications instead of
+// reallocating per run. All state is fully re-initialized by each run.
+type runState struct {
+	parcels []workParcel
+	nodes   []nodeStats
+	threads []rng.Stream
+	names   nodeNames
+	// ctrl caches the control-thread process names, indexed j*nodes+i;
+	// rebuilt only when the (nodes, threads) geometry changes.
+	ctrl      []string
+	ctrlNodes int
+}
+
+// nodeNames caches the per-node resource/process names, which depend only
+// on the node count.
+type nodeNames struct {
+	mem, cpu, proc, queue, test []string
+}
+
+// grow ensures the name tables cover n nodes.
+func (nn *nodeNames) grow(n int) {
+	for i := len(nn.mem); i < n; i++ {
+		num := strconv.Itoa(i)
+		nn.mem = append(nn.mem, "mem"+num)
+		nn.cpu = append(nn.cpu, "cpu"+num)
+		nn.proc = append(nn.proc, "ctrl-"+num)
+		nn.queue = append(nn.queue, "pq"+num)
+		nn.test = append(nn.test, "test-"+num)
+	}
+}
+
+// ctrlNames returns the control-thread name table for the given geometry.
+func (rs *runState) ctrlNames(nodes, threads int) []string {
+	if len(rs.ctrl) == nodes*threads && rs.ctrlNodes == nodes {
+		return rs.ctrl
+	}
+	rs.names.grow(nodes)
+	rs.ctrl = make([]string, nodes*threads)
+	for i := 0; i < nodes; i++ {
+		rs.ctrl[i] = rs.names.proc[i]
+		for j := 1; j < threads; j++ {
+			rs.ctrl[j*nodes+i] = rs.names.proc[i] + "." + strconv.Itoa(j)
+		}
+	}
+	rs.ctrlNodes = nodes
+	return rs.ctrl
+}
+
+// slab returns s resized to n elements, reusing capacity; the caller
+// re-initializes every element.
+func slab[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// runWith executes the paired experiment against reusable slabs.
+func runWith(p Params, st *runState) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	ctrl, err := runControl(p)
+	ctrl, err := runControl(p, st)
 	if err != nil {
 		return Result{}, err
 	}
-	test, err := runTest(p)
+	test, err := runTest(p, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -212,27 +277,32 @@ func busyWait(c *sim.Context, ns *nodeStats, d float64) {
 }
 
 // runControl simulates the blocking message-passing system.
-func runControl(p Params) (SystemResult, error) {
+func runControl(p Params, rs *runState) (SystemResult, error) {
 	k := sim.NewKernel()
 	mems := make([]*sim.Resource, p.Nodes)
-	nodes := make([]*nodeStats, p.Nodes)
 	cpus := make([]*sim.Resource, p.Nodes)
+	rs.names.grow(p.Nodes)
+	rs.nodes = slab(rs.nodes, p.Nodes)
+	nodes := rs.nodes
 	for i := range mems {
-		mems[i] = sim.NewResource(k, fmt.Sprintf("mem%d", i), 1, sim.FIFO)
-		cpus[i] = sim.NewResource(k, fmt.Sprintf("cpu%d", i), 1, sim.FIFO)
-		nodes[i] = &nodeStats{}
+		mems[i] = sim.NewResource(k, rs.names.mem[i], 1, sim.FIFO)
+		cpus[i] = sim.NewResource(k, rs.names.cpu[i], 1, sim.FIFO)
+		nodes[i] = nodeStats{}
 		nodes[i].busy.Set(0, 0)
 	}
 	threads := p.ControlThreads
 	if threads <= 0 {
 		threads = 1
 	}
+	rs.threads = slab(rs.threads, p.Nodes*threads)
+	ctrlNames := rs.ctrlNames(p.Nodes, threads)
 	for i := 0; i < p.Nodes; i++ {
 		for j := 0; j < threads; j++ {
 			i := i
-			st := rng.NewWithStream(p.Seed, 1000+uint64(i)+uint64(j)*uint64(p.Nodes))
-			k.Spawn(fmt.Sprintf("ctrl-%d.%d", i, j), func(c *sim.Context) {
-				ns := nodes[i]
+			st := &rs.threads[j*p.Nodes+i]
+			st.Reseed(p.Seed, 1000+uint64(i)+uint64(j)*uint64(p.Nodes))
+			k.Spawn(ctrlNames[j*p.Nodes+i], func(c *sim.Context) {
+				ns := &nodes[i]
 				for {
 					nops, remote := segment(st, p)
 					cpus[i].Acquire(c)
@@ -273,8 +343,10 @@ func runControl(p Params) (SystemResult, error) {
 }
 
 // workParcel is a migrating computation continuation in the test system.
+// The RNG stream is embedded by value so a run's parcels live in one
+// reusable slab instead of two allocations per parcel.
 type workParcel struct {
-	st *rng.Stream
+	st rng.Stream
 	// pendingAccess marks that the parcel migrated because of a remote
 	// memory access: the destination performs that access (now local)
 	// right after assimilation.
@@ -282,30 +354,36 @@ type workParcel struct {
 }
 
 // runTest simulates the split-transaction parcel system.
-func runTest(p Params) (SystemResult, error) {
+func runTest(p Params, rs *runState) (SystemResult, error) {
 	k := sim.NewKernel()
 	queues := make([]*sim.Store[*workParcel], p.Nodes)
-	nodes := make([]*nodeStats, p.Nodes)
+	rs.names.grow(p.Nodes)
+	rs.nodes = slab(rs.nodes, p.Nodes)
+	nodes := rs.nodes
 	for i := range queues {
-		queues[i] = sim.NewStore[*workParcel](k, fmt.Sprintf("pq%d", i))
-		nodes[i] = &nodeStats{}
+		queues[i] = sim.NewStore[*workParcel](k, rs.names.queue[i])
+		nodes[i] = nodeStats{}
 		nodes[i].busy.Set(0, 0)
 	}
-	route := rng.NewWithStream(p.Seed, 500)
+	var route rng.Stream
+	route.Reseed(p.Seed, 500)
 
 	// Seed Parallelism parcels at every node: the paper's "average number
 	// of parcels per processor".
+	rs.parcels = slab(rs.parcels, p.Nodes*p.Parallelism)
 	for i := 0; i < p.Nodes; i++ {
 		for j := 0; j < p.Parallelism; j++ {
-			wp := &workParcel{st: rng.NewWithStream(p.Seed, 2000+uint64(i)*64+uint64(j))}
+			wp := &rs.parcels[i*p.Parallelism+j]
+			wp.pendingAccess = false
+			wp.st.Reseed(p.Seed, 2000+uint64(i)*64+uint64(j))
 			queues[i].TryPut(wp)
 		}
 	}
 
 	for i := 0; i < p.Nodes; i++ {
 		i := i
-		k.Spawn(fmt.Sprintf("test-%d", i), func(c *sim.Context) {
-			ns := nodes[i]
+		k.Spawn(rs.names.test[i], func(c *sim.Context) {
+			ns := &nodes[i]
 			for {
 				// Idle while the queue is empty (the Get blocks).
 				wp := queues[i].Get(c)
@@ -322,7 +400,7 @@ func runTest(p Params) (SystemResult, error) {
 				}
 				// Execute the thread locally until it needs remote data.
 				for {
-					nops, remote := segment(wp.st, p)
+					nops, remote := segment(&wp.st, p)
 					if nops > 0 {
 						busyWait(c, ns, float64(nops))
 						ns.ops += int64(nops)
@@ -338,7 +416,7 @@ func runTest(p Params) (SystemResult, error) {
 					}
 					ns.rem++
 					wp.pendingAccess = true
-					dst := p.pickDest(route, i)
+					dst := p.pickDest(&route, i)
 					c.Kernel().Schedule(p.latency(i, dst), func() {
 						queues[dst].TryPut(wp)
 					})
@@ -365,12 +443,15 @@ func otherNode(st *rng.Stream, self, n int) int {
 	return d
 }
 
-// gather folds per-node statistics into a SystemResult.
-func gather(nodes []*nodeStats, queues []*sim.Store[*workParcel], horizon float64) SystemResult {
+// gather folds per-node statistics into a SystemResult. It copies
+// everything it reports, so the caller may reuse the nodes slab
+// immediately.
+func gather(nodes []nodeStats, queues []*sim.Store[*workParcel], horizon float64) SystemResult {
 	var r SystemResult
 	r.PerNodeIdle = make([]float64, len(nodes))
 	var idleSum, queueSum float64
-	for i, ns := range nodes {
+	for i := range nodes {
+		ns := &nodes[i]
 		r.Ops += ns.ops
 		r.RemoteAccesses += ns.rem
 		busyFrac := ns.busy.Mean(horizon)
@@ -415,10 +496,13 @@ func Replicate(p Params, reps int) (ReplicatedResult, error) {
 	}
 	var ratio, ctrl, test stats.Sample
 	seeds := rng.New(p.Seed)
+	// One slab of parcels, node stats, and RNG streams serves every
+	// replication: each run reseeds the streams in place.
+	var rs runState
 	for i := 0; i < reps; i++ {
 		q := p
 		q.Seed = seeds.Uint64()
-		r, err := Run(q)
+		r, err := runWith(q, &rs)
 		if err != nil {
 			return ReplicatedResult{}, err
 		}

@@ -278,7 +278,7 @@ type PSServer struct {
 	// Load is the time-weighted number of resident jobs.
 	Load stats.TimeWeighted
 
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 type psJob struct {
@@ -331,10 +331,8 @@ func (ps *PSServer) advance() {
 
 // reschedule cancels any pending completion event and schedules the next.
 func (ps *PSServer) reschedule() {
-	if ps.timer != nil {
-		ps.timer.Cancel()
-		ps.timer = nil
-	}
+	ps.timer.Cancel()
+	ps.timer = sim.Timer{}
 	if len(ps.jobs) == 0 {
 		return
 	}

@@ -71,6 +71,21 @@ func FormatFloat(v float64) string {
 	}
 }
 
+// pad64 backs writePad: padding is written by slicing a constant instead
+// of materializing a fresh strings.Repeat string per cell.
+const pad64 = "                                                                "
+
+// writePad writes n spaces.
+func writePad(b *strings.Builder, n int) {
+	for n > len(pad64) {
+		b.WriteString(pad64)
+		n -= len(pad64)
+	}
+	if n > 0 {
+		b.WriteString(pad64[:n])
+	}
+}
+
 // Render writes the table to w.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.headers))
@@ -84,27 +99,28 @@ func (t *Table) Render(w io.Writer) error {
 			}
 		}
 	}
+	lineWidth := 0
+	for _, w := range widths {
+		lineWidth += w + 2
+	}
 	var b strings.Builder
+	b.Grow(len(t.Title) + 1 + (len(t.rows)+2)*(lineWidth+1))
 	if t.Title != "" {
-		fmt.Fprintf(&b, "%s\n", t.Title)
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
 	}
 	writeRow := func(cells []string) {
 		for i, cell := range cells {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			pad := widths[i] - len(cell)
-			b.WriteString(strings.Repeat(" ", pad))
+			writePad(&b, widths[i]-len(cell))
 			b.WriteString(cell)
 		}
 		b.WriteByte('\n')
 	}
 	writeRow(t.headers)
-	total := 0
-	for _, w := range widths {
-		total += w + 2
-	}
-	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteString(strings.Repeat("-", lineWidth-2))
 	b.WriteByte('\n')
 	for _, row := range t.rows {
 		writeRow(row)
@@ -116,7 +132,12 @@ func (t *Table) Render(w io.Writer) error {
 // RenderCSV writes the table as CSV (RFC-4180-style quoting for cells
 // containing commas or quotes).
 func (t *Table) RenderCSV(w io.Writer) error {
+	size := 0
+	for _, h := range t.headers {
+		size += len(h) + 1
+	}
 	var b strings.Builder
+	b.Grow(size * (len(t.rows) + 1) * 2)
 	writeRow := func(cells []string) {
 		for i, cell := range cells {
 			if i > 0 {
@@ -281,9 +302,15 @@ func (c *Chart) Render(w io.Writer) error {
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
+	// One backing array for the whole grid instead of a string conversion
+	// per row.
+	backing := make([]byte, c.Height*c.Width)
+	for i := range backing {
+		backing[i] = ' '
+	}
 	grid := make([][]byte, c.Height)
 	for i := range grid {
-		grid[i] = []byte(strings.Repeat(" ", c.Width))
+		grid[i] = backing[i*c.Width : (i+1)*c.Width]
 	}
 	for si, s := range c.series {
 		mark := seriesMarks[si%len(seriesMarks)]
@@ -298,8 +325,10 @@ func (c *Chart) Render(w io.Writer) error {
 		}
 	}
 	var b strings.Builder
+	b.Grow(c.Height*(c.Width+2) + len(c.Title) + 64*(len(c.series)+3))
 	if c.Title != "" {
-		fmt.Fprintf(&b, "%s\n", c.Title)
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
 	}
 	yloTxt, yhiTxt := FormatFloat(ymin), FormatFloat(ymax)
 	if c.LogY {

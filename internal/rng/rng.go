@@ -40,18 +40,27 @@ func New(seed uint64) *Stream { return NewWithStream(seed, 0) }
 // NewWithStream returns a Stream seeded with seed on the given stream
 // number. Streams with different ids are independent even for equal seeds.
 func NewWithStream(seed, stream uint64) *Stream {
-	sm := SplitMix64{State: seed}
 	s := &Stream{}
+	s.Reseed(seed, stream)
+	return s
+}
+
+// Reseed re-initializes s in place, exactly as NewWithStream(seed, stream)
+// would, but without allocating. It is the tool for keeping per-entity
+// streams in a value slab that model loops reuse across runs and
+// replications instead of allocating one Stream per entity per run.
+func (s *Stream) Reseed(seed, stream uint64) {
+	sm := SplitMix64{State: seed}
 	// Derive the 128-bit increment from the stream id; force it odd.
 	sm2 := SplitMix64{State: stream ^ 0x9e3779b97f4a7c15}
 	s.incHi = sm2.Next()
 	s.incLo = sm2.Next() | 1
+	s.haveNorm, s.norm = false, 0
 	// Standard PCG seeding: state = 0, advance, add seed material, advance.
 	s.hi, s.lo = 0, 0
 	s.step()
 	s.lo, s.hi = add128(s.lo, s.hi, sm.Next(), sm.Next())
 	s.step()
-	return s
 }
 
 // Split returns a new Stream derived deterministically from s; the returned

@@ -446,3 +446,39 @@ func BenchmarkNormal(b *testing.B) {
 		_ = s.Normal(0, 1)
 	}
 }
+
+func TestReseedMatchesNewWithStream(t *testing.T) {
+	fresh := NewWithStream(42, 7)
+	var reused Stream
+	// Dirty the stream thoroughly (including the cached normal) before
+	// reseeding: Reseed must erase all of it.
+	reused.Reseed(999, 3)
+	reused.Normal(0, 1)
+	reused.Uint64()
+	reused.Reseed(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a, b := fresh.Uint64(), reused.Uint64(); a != b {
+			t.Fatalf("draw %d: Reseed stream diverged: %d vs %d", i, a, b)
+		}
+	}
+	// Normal caching must also be reset identically.
+	f2, r2 := NewWithStream(5, 5), &reused
+	r2.Reseed(5, 5)
+	for i := 0; i < 100; i++ {
+		if a, b := f2.Normal(1, 2), r2.Normal(1, 2); a != b {
+			t.Fatalf("normal draw %d diverged: %g vs %g", i, a, b)
+		}
+	}
+}
+
+func TestReseedDoesNotAllocate(t *testing.T) {
+	slab := make([]Stream, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range slab {
+			slab[i].Reseed(1, uint64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reseed allocates %.1f objects per 16-stream slab, want 0", allocs)
+	}
+}

@@ -91,19 +91,30 @@ func (analyticBackend) Supports(s Scenario) bool {
 	return s.Validate() == nil && s.Workload.RemoteFrac == 0
 }
 
+// analyticMemo caches the closed forms per parameter point: replicated
+// engine runs and sweep grids re-evaluate identical points (the closed
+// form is seed-independent), so each point is computed once.
+var analyticMemo = newMemoCache[hostpim.Params, [3]float64](4096)
+
 func (analyticBackend) Run(s Scenario, cfg Config) (Result, error) {
 	p, err := s.HostParams(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	r, err := hostpim.Analytic(p)
+	v, err := memoize(analyticMemo, p, func() ([3]float64, error) {
+		r, err := hostpim.Analytic(p)
+		if err != nil {
+			return [3]float64{}, err
+		}
+		return [3]float64{r.Gain, r.Total, r.Relative}, nil
+	})
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{Backend: "analytic", Metrics: map[string]float64{
-		MetricGain:     r.Gain,
-		MetricTotal:    r.Total,
-		MetricRelative: r.Relative,
+		MetricGain:     v[0],
+		MetricTotal:    v[1],
+		MetricRelative: v[2],
 	}}, nil
 }
 
@@ -119,6 +130,19 @@ func (queueingBackend) Name() string { return "queueing" }
 func (queueingBackend) Supports(s Scenario) bool {
 	return s.Validate() == nil && s.Workload.RemoteFrac > 0 && s.Machine.N > 1
 }
+
+// mvaKey is the parameter point of one queueing-backend evaluation. The
+// exact MVA recursion is O(stations × population) — worth remembering
+// across the replicated sweeps that revisit identical grid points (the
+// solve is seed-independent).
+type mvaKey struct {
+	nodes, parallelism        int
+	remote, latency           float64
+	mixMem, memCycles         float64
+	createCycles, assimCycles float64
+}
+
+var mvaMemo = newMemoCache[mvaKey, [4]float64](4096)
 
 // Run models both systems as closed single-class product-form networks
 // over one memory-access cycle.
@@ -140,38 +164,50 @@ func (queueingBackend) Run(s Scenario, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	eOps := (1 - p.MixMem) / p.MixMem // mean useful ops per memory access
-	r := p.RemoteFrac
-	busy := eOps + p.MemCycles
-	ctrlCycle := busy + r*2*p.Latency
-	ctrlIdle := r * (2*p.Latency + p.MemCycles) / ctrlCycle
+	key := mvaKey{
+		nodes: p.Nodes, parallelism: p.Parallelism,
+		remote: p.RemoteFrac, latency: p.Latency,
+		mixMem: p.MixMem, memCycles: p.MemCycles,
+		createCycles: p.Overhead.CreateCycles, assimCycles: p.Overhead.AssimilateCycles,
+	}
+	v, err := memoize(mvaMemo, key, func() ([4]float64, error) {
+		eOps := (1 - p.MixMem) / p.MixMem // mean useful ops per memory access
+		r := p.RemoteFrac
+		busy := eOps + p.MemCycles
+		ctrlCycle := busy + r*2*p.Latency
+		ctrlIdle := r * (2*p.Latency + p.MemCycles) / ctrlCycle
 
-	overhead := p.Overhead.CreateCycles + p.Overhead.AssimilateCycles
-	demand := busy + r*overhead
-	stations := make([]queueing.Station, p.Nodes+1)
-	for i := 0; i < p.Nodes; i++ {
-		stations[i] = queueing.Station{
-			Name: "node", Kind: queueing.QueueingStation,
-			Demand: demand / float64(p.Nodes),
+		overhead := p.Overhead.CreateCycles + p.Overhead.AssimilateCycles
+		demand := busy + r*overhead
+		stations := make([]queueing.Station, p.Nodes+1)
+		for i := 0; i < p.Nodes; i++ {
+			stations[i] = queueing.Station{
+				Name: "node", Kind: queueing.QueueingStation,
+				Demand: demand / float64(p.Nodes),
+			}
 		}
-	}
-	stations[p.Nodes] = queueing.Station{
-		Name: "net", Kind: queueing.DelayStation, Demand: r * p.Latency,
-	}
-	mva, err := queueing.MVA(stations, p.Nodes*p.Parallelism)
+		stations[p.Nodes] = queueing.Station{
+			Name: "net", Kind: queueing.DelayStation, Demand: r * p.Latency,
+		}
+		mva, err := queueing.MVA(stations, p.Nodes*p.Parallelism)
+		if err != nil {
+			return [4]float64{}, err
+		}
+		util := mva.Utilizations[0] // per-node busy fraction (stations identical)
+		if util > 1 {
+			util = 1
+		}
+		perNode := mva.Throughput / float64(p.Nodes) // access-cycles per cycle per node
+		return [4]float64{perNode * ctrlCycle, ctrlIdle, 1 - util, util}, nil
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	util := mva.Utilizations[0] // per-node busy fraction (stations identical)
-	if util > 1 {
-		util = 1
-	}
-	perNode := mva.Throughput / float64(p.Nodes) // access-cycles per cycle per node
 	return Result{Backend: "queueing", Metrics: map[string]float64{
-		MetricRatio:      perNode * ctrlCycle,
-		MetricCtrlIdle:   ctrlIdle,
-		MetricTestIdle:   1 - util,
-		MetricEfficiency: util,
+		MetricRatio:      v[0],
+		MetricCtrlIdle:   v[1],
+		MetricTestIdle:   v[2],
+		MetricEfficiency: v[3],
 	}}, nil
 }
 

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMemoCacheBasics(t *testing.T) {
+	c := newMemoCache[int, string](4)
+	if _, ok := c.get(1); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	v, err := memoize(c, 1, func() (string, error) { return "one", nil })
+	if err != nil || v != "one" {
+		t.Fatalf("memoize = (%q, %v)", v, err)
+	}
+	calls := 0
+	v, err = memoize(c, 1, func() (string, error) { calls++; return "recomputed", nil })
+	if err != nil || v != "one" || calls != 0 {
+		t.Fatalf("second memoize = (%q, %v), calls = %d; want cached \"one\", 0 calls", v, err, calls)
+	}
+}
+
+func TestMemoCacheBoundedReset(t *testing.T) {
+	c := newMemoCache[int, int](4)
+	for i := 0; i < 10; i++ {
+		c.put(i, i)
+	}
+	if n := len(c.m); n > 4 {
+		t.Fatalf("cache grew to %d entries, limit 4", n)
+	}
+	// The most recent entry always survives its own put.
+	if v, ok := c.get(9); !ok || v != 9 {
+		t.Fatalf("latest entry missing: (%d, %v)", v, ok)
+	}
+}
+
+// TestMemoizedBackendsStable: the memoized analytic and queueing backends
+// return the same metrics on repeated and concurrent evaluations, and
+// agree with a fresh (cold-cache) evaluation.
+func TestMemoizedBackendsStable(t *testing.T) {
+	s, err := Find("paper-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 7, Quick: true}
+	first, err := Run(s, "analytic", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := Run(s, "analytic", cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		for k, v := range first.Metrics {
+			if r.Metrics[k] != v {
+				t.Fatalf("concurrent run %d: metric %s = %g, want %g", i, k, r.Metrics[k], v)
+			}
+		}
+	}
+
+	// A parcel scenario exercises the MVA memo the same way.
+	ps, err := Find("fig11-point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := Run(ps, "queueing", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Run(ps, "queueing", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range q1.Metrics {
+		if q2.Metrics[k] != v {
+			t.Fatalf("queueing metric %s changed across memoized runs: %g vs %g", k, q2.Metrics[k], v)
+		}
+	}
+}
+
+// TestMeasureKernelMemoized: the second fitted-workload HostParams call
+// with identical (kernel, seed, quick) serves the measurement from cache
+// and produces identical parameters.
+func TestMeasureKernelMemoized(t *testing.T) {
+	s, err := Find("kernel-stream")
+	if err != nil {
+		t.Skip("no fitted preset named kernel-stream")
+	}
+	cfg := Config{Seed: 11, Quick: true}
+	p1, err := s.HostParams(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.HostParams(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("fitted HostParams diverged across memoized calls:\n%+v\n%+v", p1, p2)
+	}
+}

@@ -385,19 +385,36 @@ func KernelNames() []string {
 	return out
 }
 
+// measureKey identifies one kernel measurement; the drive is fully
+// deterministic given (kernel, seed, quick).
+type measureKey struct {
+	kernel string
+	seed   uint64
+	quick  bool
+}
+
+// measureMemo caches kernel measurements — by far the most expensive step
+// of a fitted-workload HostParams call (hundreds of thousands of cache
+// accesses) and re-run identically by every backend, replicate, and sweep
+// point that shares the scenario's kernel and seed.
+var measureMemo = newMemoCache[measureKey, workload.Profile](256)
+
 // measureKernel drives the named kernel through a concrete 32 KiB 4-way
 // LRU cache and returns its measured profile.
 func (s Scenario) measureKernel(cfg Config) (workload.Profile, error) {
-	gen, err := newKernel(s.Workload.Kernel, rng.NewWithStream(cfg.Seed, 9001), cfg.Quick)
-	if err != nil {
-		return workload.Profile{}, err
-	}
-	ops := int64(measureOpsFull)
-	if cfg.Quick {
-		ops = measureOpsQuick
-	}
-	ccfg := cache.Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: cache.LRU}
-	return workload.Measure(gen, ccfg, nil, ops)
+	key := measureKey{kernel: s.Workload.Kernel, seed: cfg.Seed, quick: cfg.Quick}
+	return memoize(measureMemo, key, func() (workload.Profile, error) {
+		gen, err := newKernel(s.Workload.Kernel, rng.NewWithStream(cfg.Seed, 9001), cfg.Quick)
+		if err != nil {
+			return workload.Profile{}, err
+		}
+		ops := int64(measureOpsFull)
+		if cfg.Quick {
+			ops = measureOpsQuick
+		}
+		ccfg := cache.Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, Policy: cache.LRU}
+		return workload.Measure(gen, ccfg, nil, ops)
+	})
 }
 
 // newKernel constructs a generator by name with deterministic geometry.

@@ -2,18 +2,21 @@
 // simulation kernel. It is the replacement for the commercial HyPerformix
 // SES/Workbench tool the paper used: transactions are modeled as lightweight
 // processes (goroutines) that advance simulated time by waiting, acquiring
-// resources, and exchanging messages, while a single-threaded event loop
-// guarantees reproducible execution order.
+// resources, and exchanging messages, while a single logical thread of
+// control guarantees reproducible execution order.
 //
 // Concurrency model: any number of process goroutines may exist, but exactly
-// one of them (or the kernel event loop itself) runs at any instant. Control
-// passes between the kernel and a process through a channel handoff, so the
-// simulation is deterministic: the same seed and model always produce the
-// same trajectory. Ties in event time are broken by schedule order.
+// one of them (or the controller that called Run) executes at any instant.
+// The logical thread is handed directly from goroutine to goroutine: a
+// parking process continues dispatching events itself, so a burst of
+// same-window resumptions costs one channel handoff per process switch (and
+// none at all when a process's next event resumes the process itself)
+// instead of a round trip through a central event-loop goroutine per event.
+// The simulation is deterministic: the same seed and model always produce
+// the same trajectory. Ties in event time are broken by schedule order.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -35,62 +38,123 @@ var ErrDeadlock = errors.New("sim: deadlock: no scheduled events but processes r
 // a closure, keeping the kernel's hottest path — Wait and blocking-wakeup
 // events — entirely allocation-free.
 type event struct {
-	t     Time
-	seq   uint64 // tie-breaker: schedule order
-	fn    func()
-	proc  *Proc  // when non-nil, resume this process instead of calling fn
-	dead  bool   // canceled
-	index int    // heap index, maintained by heap.Interface
-	gen   uint64 // incarnation counter, bumped on recycle
+	t    Time
+	seq  uint64 // tie-breaker: schedule order
+	fn   func()
+	proc *Proc  // when non-nil, resume this process instead of calling fn
+	dead bool   // canceled
+	gen  uint64 // incarnation counter, bumped on recycle
 }
 
-// eventHeap is a min-heap on (t, seq).
-type eventHeap []*event
+// eventQueue is a 4-ary min-heap on (t, seq) specialized to *event: the
+// comparisons are inlined and nothing is boxed, unlike container/heap's
+// interface-driven sift. The wider fan-out halves the tree depth of the
+// binary heap, which pays on the pop-heavy dispatch loop.
+type eventQueue []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// push inserts ev, sifting up with inlined (t, seq) comparisons.
+func (q *eventQueue) push(ev *event) {
+	a := append(*q, ev)
+	i := len(a) - 1
+	t, seq := ev.t, ev.seq
+	for i > 0 {
+		pi := (i - 1) >> 2
+		p := a[pi]
+		if p.t < t || (p.t == t && p.seq < seq) {
+			break
+		}
+		a[i] = p
+		i = pi
 	}
-	return h[i].seq < h[j].seq
+	a[i] = ev
+	*q = a
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() *event {
+	a := *q
+	n := len(a) - 1
+	top := a[0]
+	last := a[n]
+	a[n] = nil
+	a = a[:n]
+	*q = a
+	if n > 0 {
+		i := 0
+		t, seq := last.t, last.seq
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m, mc := c, a[c]
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				cj := a[j]
+				if cj.t < mc.t || (cj.t == mc.t && cj.seq < mc.seq) {
+					m, mc = j, cj
+				}
+			}
+			if t < mc.t || (t == mc.t && seq < mc.seq) {
+				break
+			}
+			a[i] = mc
+			i = m
+		}
+		a[i] = last
+	}
+	return top
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+
+// dispatchState is the outcome of one dispatch burst (see Kernel.dispatch).
+type dispatchState int
+
+const (
+	// resumedSelf: the next due event resumes the dispatching process
+	// itself — it continues immediately, with no channel traffic at all.
+	resumedSelf dispatchState = iota
+	// handedOff: another process now owns the logical thread; the caller
+	// must wait for it to come back (own wake channel, or yield for the
+	// controller) or simply exit (a finished process).
+	handedOff
+	// exhausted: nothing is due (bound reached, queue empty, or the run
+	// stopped); the logical thread returns to the controller.
+	exhausted
+)
 
 // Kernel is a discrete-event simulation instance. Create one with NewKernel;
 // the zero value is not usable.
 type Kernel struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	free   []*event // recycled events (see event)
 	seq    uint64
-	procs  map[*Proc]struct{} // live (started, not finished) processes
-	yield  chan struct{}      // process -> kernel handoff
-	err    error              // first process panic, if any
+
+	// procs lists every spawned, not-yet-reaped process in id (== spawn)
+	// order; done processes are swept lazily. live counts the non-done
+	// ones, so the hot paths never touch a map.
+	procs []*Proc
+	live  int
+
+	yield  chan struct{} // logical thread -> controller handoff (cap 1)
+	err    error         // first process panic, if any
 	nextID int64
+
+	// until/bounded frame the current drain window (set by Advance, Run,
+	// and RunUntilIdle; read by every dispatcher).
+	until   Time
+	bounded bool
 
 	// Tracer, if non-nil, observes process state transitions. Used by the
 	// trace package to build per-processor timelines.
 	Tracer Tracer
 
-	stopped bool // Stop() requested
+	stopped  bool // Stop() requested
+	draining bool // shutdown in progress: dispatch is suspended
+	running  bool // a drain window is active: Run/Advance must not reenter
 }
 
 // Tracer receives process lifecycle callbacks. All callbacks run on the
@@ -103,10 +167,7 @@ type Tracer interface {
 
 // NewKernel returns an empty simulation at time 0.
 func NewKernel() *Kernel {
-	return &Kernel{
-		procs: make(map[*Proc]struct{}),
-		yield: make(chan struct{}),
-	}
+	return &Kernel{yield: make(chan struct{}, 1)}
 }
 
 // Now returns the current simulated time.
@@ -114,7 +175,8 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Timer is a handle to a scheduled callback; Cancel prevents a pending
 // callback from firing. The generation pins the handle to one incarnation
-// of the (recycled) event struct.
+// of the (recycled) event struct. Timer is a small value: copying it is
+// free and the zero value is a no-op handle.
 type Timer struct {
 	ev  *event
 	gen uint64
@@ -122,8 +184,8 @@ type Timer struct {
 
 // Cancel marks the timer dead. Canceling an already-fired or already-
 // canceled timer is a no-op. It reports whether the cancel took effect.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.dead || t.ev.index < 0 {
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
@@ -149,19 +211,19 @@ func (k *Kernel) scheduleEvent(t Time, fn func(), p *Proc) *event {
 		ev = &event{t: t, seq: k.seq, fn: fn, proc: p}
 	}
 	k.seq++
-	heap.Push(&k.events, ev)
+	k.events.push(ev)
 	return ev
 }
 
 // ScheduleAt registers fn to run at absolute simulated time t. Scheduling
 // in the past panics (events must be causal).
-func (k *Kernel) ScheduleAt(t Time, fn func()) *Timer {
+func (k *Kernel) ScheduleAt(t Time, fn func()) Timer {
 	ev := k.scheduleEvent(t, fn, nil)
-	return &Timer{ev: ev, gen: ev.gen}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Schedule registers fn to run after the given delay (>= 0).
-func (k *Kernel) Schedule(delay Time, fn func()) *Timer {
+func (k *Kernel) Schedule(delay Time, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %g", delay))
 	}
@@ -173,30 +235,79 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Timer {
 // completion.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// step executes the next event. It reports false when no live events remain.
-func (k *Kernel) step(until Time, bounded bool) bool {
-	for len(k.events) > 0 {
+// dispatch executes due events on the calling goroutine until the logical
+// thread must move elsewhere. self is the parked process driving the loop
+// (nil for the controller and for finished processes). Callback events run
+// inline; a resumption of self returns resumedSelf with no channel
+// traffic; a resumption of any other process starts or wakes it and
+// returns handedOff — the caller must then relinquish control. When
+// nothing is due within the window, dispatch returns exhausted.
+//
+// A panicking callback is recorded as the run's error and stops the run
+// (it would otherwise unwind whichever goroutine happened to be
+// dispatching, crashing the program from a process that did nothing
+// wrong).
+func (k *Kernel) dispatch(self *Proc) dispatchState {
+	for {
+		if k.stopped || k.draining {
+			return exhausted
+		}
+		if len(k.events) == 0 {
+			return exhausted
+		}
 		ev := k.events[0]
 		if ev.dead {
-			heap.Pop(&k.events)
+			k.events.pop()
 			k.recycle(ev)
 			continue
 		}
-		if bounded && ev.t > until {
-			return false
+		if k.bounded && ev.t > k.until {
+			return exhausted
 		}
-		heap.Pop(&k.events)
+		k.events.pop()
 		k.now = ev.t
 		fn, p := ev.fn, ev.proc
 		k.recycle(ev)
-		if p != nil {
-			k.resume(p)
-		} else {
-			fn()
+		if p == nil {
+			k.runCallback(fn)
+			continue
 		}
-		return true
+		if p.done {
+			// Stale resumption of a finished process (possible only for
+			// events left over from a previous window); skip it.
+			continue
+		}
+		if p == self {
+			return resumedSelf
+		}
+		k.startOrWake(p)
+		return handedOff
 	}
-	return false
+}
+
+// runCallback runs one scheduled callback, converting a panic into the
+// run's error so the failure surfaces from Run regardless of which
+// goroutine was dispatching.
+func (k *Kernel) runCallback(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if k.err == nil {
+				k.err = fmt.Errorf("sim: scheduled callback panicked: %v", r)
+			}
+			k.stopped = true
+		}
+	}()
+	fn()
+}
+
+// startOrWake gives the logical thread to process p.
+func (k *Kernel) startOrWake(p *Proc) {
+	if !p.started {
+		p.started = true
+		go p.main()
+	} else {
+		p.wake <- struct{}{}
+	}
 }
 
 // recycle returns a popped event to the free list for the next
@@ -209,6 +320,47 @@ func (k *Kernel) recycle(ev *event) {
 	k.free = append(k.free, ev)
 }
 
+// drain runs the event loop from the controller side over the given
+// window: dispatch until nothing is due, waiting out each burst that
+// process goroutines carry among themselves. Reentry — Run or Advance
+// called from a callback or process while a window is active — would
+// clobber the window and can deadlock the handoff protocol, so it panics
+// instead (surfacing as the run's error when it happens inside the
+// simulation).
+func (k *Kernel) drain(until Time, bounded bool) {
+	if k.running {
+		panic("sim: Run/Advance called from inside the running simulation")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	k.until, k.bounded = until, bounded
+	for !k.stopped {
+		switch k.dispatch(nil) {
+		case handedOff:
+			<-k.yield
+		case exhausted:
+			return
+		}
+	}
+}
+
+// Advance runs the simulation up to simulated time `until` and returns the
+// first process error, if any. Unlike Run it does not kill the remaining
+// processes, so repeated Advance calls execute a simulation incrementally;
+// after Advance returns, Now() == until (unless Stop was called). Advance
+// must be called from outside the simulation — calling it from a process
+// or scheduled callback panics.
+func (k *Kernel) Advance(until Time) error {
+	if until < k.now {
+		return fmt.Errorf("sim: Advance(%g) before now (%g)", until, k.now)
+	}
+	k.drain(until, true)
+	if !k.stopped {
+		k.now = until
+	}
+	return k.err
+}
+
 // Run advances the simulation until simulated time `until`, then kills any
 // remaining processes and returns the first process error (model panic), if
 // any. After Run returns, Now() == until (unless Stop was called earlier).
@@ -216,8 +368,7 @@ func (k *Kernel) Run(until Time) error {
 	if until < k.now {
 		return fmt.Errorf("sim: Run(%g) before now (%g)", until, k.now)
 	}
-	for !k.stopped && k.step(until, true) {
-	}
+	k.drain(until, true)
 	if !k.stopped {
 		k.now = until
 	}
@@ -229,14 +380,13 @@ func (k *Kernel) Run(until Time) error {
 // the final simulated time and ErrDeadlock if blocked processes remain, or
 // the first process error.
 func (k *Kernel) RunUntilIdle() (Time, error) {
-	for !k.stopped && k.step(0, false) {
-	}
+	k.drain(0, false)
 	if k.err != nil {
 		k.shutdown()
 		return k.now, k.err
 	}
-	if len(k.procs) > 0 {
-		blocked := len(k.procs)
+	if k.live > 0 {
+		blocked := k.live
 		k.shutdown()
 		if k.err != nil {
 			return k.now, k.err
@@ -247,49 +397,57 @@ func (k *Kernel) RunUntilIdle() (Time, error) {
 	return k.now, k.err
 }
 
-// shutdown kills every remaining process so no goroutines leak. Processes
-// are unblocked in an arbitrary but inconsequential order: each one panics
-// internally with a kill sentinel that its wrapper recovers.
+// shutdown kills every remaining process so no goroutines leak. The procs
+// list is in spawn (id) order, so processes die lowest id first —
+// deterministic and, unlike a min-scan per kill, linear in the number of
+// processes. A process whose deferred cleanup parks again (a blocking
+// Wait or Acquire in a defer) is re-killed until it finishes, one defer
+// level per pass, exactly as the old retry-until-empty loop did.
+// Dispatch is suspended for the duration: events scheduled by dying
+// processes' deferred cleanup accumulate but never fire.
 func (k *Kernel) shutdown() {
-	for len(k.procs) > 0 {
-		var p *Proc
-		for q := range k.procs {
-			if p == nil || q.id < p.id {
-				p = q // deterministic order: lowest id first
-			}
+	k.draining = true
+	for i := 0; i < len(k.procs); i++ { // len re-read: defers may Spawn
+		p := k.procs[i]
+		for !p.done {
+			k.kill(p)
 		}
-		k.kill(p)
 	}
+	k.procs = k.procs[:0]
+	k.live = 0
+	k.draining = false
 }
 
-// kill terminates one live process.
+// kill terminates one live process and waits for it to unwind.
 func (k *Kernel) kill(p *Proc) {
-	if p.done {
-		delete(k.procs, p)
-		return
-	}
 	p.killed = true
 	if p.cancel != nil {
 		p.cancel()
 		p.cancel = nil
 	}
-	k.resume(p)
+	k.startOrWake(p)
+	<-k.yield
 }
 
-// resume hands control to process p and blocks until it parks again or
-// finishes. Must only be called from the kernel's logical thread (inside an
-// event callback or the shutdown loop).
-func (k *Kernel) resume(p *Proc) {
-	if p.done {
-		return
+// addProc registers a newly spawned process, sweeping reaped entries when
+// the roster has grown well past the live population. The sweep is
+// suppressed mid-shutdown: it would shift not-yet-killed processes below
+// the kill loop's index.
+func (k *Kernel) addProc(p *Proc) {
+	if !k.draining && len(k.procs) >= 64 && len(k.procs) >= 2*k.live {
+		kept := k.procs[:0]
+		for _, q := range k.procs {
+			if !q.done {
+				kept = append(kept, q)
+			}
+		}
+		for i := len(kept); i < len(k.procs); i++ {
+			k.procs[i] = nil
+		}
+		k.procs = kept
 	}
-	if !p.started {
-		p.started = true
-		go p.main()
-	} else {
-		p.wake <- struct{}{}
-	}
-	<-k.yield
+	k.procs = append(k.procs, p)
+	k.live++
 }
 
 // scheduleResume schedules process p to be resumed after delay. This is the
@@ -305,23 +463,23 @@ func (k *Kernel) scheduleResume(p *Proc, delay Time) {
 
 // scheduleResumeTimer is scheduleResume with a cancel handle, for
 // interruptible waits.
-func (k *Kernel) scheduleResumeTimer(p *Proc, delay Time) *Timer {
+func (k *Kernel) scheduleResumeTimer(p *Proc, delay Time) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %g", delay))
 	}
 	ev := k.scheduleEvent(k.now+delay, nil, p)
-	return &Timer{ev: ev, gen: ev.gen}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Idle reports whether no events are pending and no processes are live.
-func (k *Kernel) Idle() bool { return len(k.events) == 0 && len(k.procs) == 0 }
+func (k *Kernel) Idle() bool { return len(k.events) == 0 && k.live == 0 }
 
 // PendingEvents returns the number of scheduled (possibly canceled) events;
 // exposed for tests and diagnostics.
 func (k *Kernel) PendingEvents() int { return len(k.events) }
 
 // LiveProcs returns the number of live processes.
-func (k *Kernel) LiveProcs() int { return len(k.procs) }
+func (k *Kernel) LiveProcs() int { return k.live }
 
 func (k *Kernel) trace(t Time, name, state string) {
 	if k.Tracer != nil {

@@ -1,47 +1,123 @@
-package sim
+package sim_test
 
-import "testing"
+// The kernel micro-benchmarks delegate to internal/benches, the single
+// source of the workloads that cmd/pimbench records into BENCH_<n>.json —
+// tuning a driver there changes both measurements together, so the
+// trajectory stays comparable.
 
-// BenchmarkKernelSchedule measures the callback-event path: schedule a
-// batch of events, drain them. With the free list, steady-state
-// scheduling reuses recycled event structs instead of heap-allocating one
-// per Schedule.
-func BenchmarkKernelSchedule(b *testing.B) {
-	k := NewKernel()
-	var sink int
-	fn := func() { sink++ }
+import (
+	"testing"
+
+	"repro/internal/benches"
+	"repro/internal/sim"
+)
+
+func BenchmarkKernelSchedule(b *testing.B)     { benches.KernelSchedule(b) }
+func BenchmarkKernelWaitResume(b *testing.B)   { benches.KernelWaitResume(b) }
+func BenchmarkKernelHandoffChain(b *testing.B) { benches.KernelHandoffChain(b) }
+
+// BenchmarkTimerCancel measures the cancel-and-collect path: schedule,
+// cancel, and let the dead event be swept on the next drain.
+func BenchmarkTimerCancel(b *testing.B) {
+	k := sim.NewKernel()
+	fn := func() {}
 	b.ReportAllocs()
 	b.ResetTimer()
 	const batch = 256
 	for done := 0; done < b.N; done += batch {
 		for j := 0; j < batch; j++ {
-			k.Schedule(Time(j), fn)
+			tm := k.Schedule(sim.Time(j), fn)
+			if !tm.Cancel() {
+				b.Fatal("cancel failed")
+			}
 		}
 		if _, err := k.RunUntilIdle(); err != nil {
 			b.Fatal(err)
 		}
 	}
-	if sink < 0 {
-		b.Fatal("unreachable")
+}
+
+// --- Allocation regression guards -------------------------------------
+//
+// These pin the post-overhaul allocation counts of the kernel's hot
+// paths. If a change re-introduces a per-event allocation (boxing in the
+// event queue, a heap-escaping Timer, a closure on the resume path), the
+// corresponding test fails rather than silently regressing every model.
+
+// TestScheduleAllocsPinned: steady-state Schedule + drain is
+// allocation-free (the free list recycles events; Timer is a value).
+func TestScheduleAllocsPinned(t *testing.T) {
+	k := sim.NewKernel()
+	fn := func() {}
+	// Prime the free list and the queue's capacity.
+	for j := 0; j < 512; j++ {
+		k.Schedule(sim.Time(j), fn)
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 512; j++ {
+			k.Schedule(sim.Time(j), fn)
+		}
+		if _, err := k.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule+drain allocates %.1f objects per 512-event batch, want 0", allocs)
 	}
 }
 
-// BenchmarkKernelWaitResume measures the kernel's hottest path — a
-// process advancing time with Wait — which recycles proc-carrying events
-// and must not allocate at all.
-func BenchmarkKernelWaitResume(b *testing.B) {
-	k := NewKernel()
-	k.Spawn("waiter", func(c *Context) {
+// TestWaitWakeupAllocsPinned: a process Wait (schedule resume, park,
+// dispatch own wakeup) is allocation-free.
+func TestWaitWakeupAllocsPinned(t *testing.T) {
+	k := sim.NewKernel()
+	k.Spawn("waiter", func(c *sim.Context) {
 		for {
 			c.Wait(1)
 		}
 	})
-	b.Cleanup(k.shutdown)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if !k.step(0, false) {
-			b.Fatal("no pending events")
+	t.Cleanup(func() { _ = k.Run(k.Now()) })
+	// Prime: first window starts the goroutine and grows the queue.
+	next := sim.Time(256)
+	if err := k.Advance(next); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		next += 256
+		if err := k.Advance(next); err != nil {
+			t.Fatal(err)
 		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Wait/wakeup allocates %.1f objects per 256-wait window, want 0", allocs)
+	}
+}
+
+// TestTimerCancelAllocsPinned: Cancel plus dead-event collection is
+// allocation-free.
+func TestTimerCancelAllocsPinned(t *testing.T) {
+	k := sim.NewKernel()
+	fn := func() {}
+	for j := 0; j < 256; j++ {
+		k.Schedule(sim.Time(j), fn)
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 256; j++ {
+			tm := k.Schedule(sim.Time(j), fn)
+			if !tm.Cancel() {
+				t.Fatal("cancel failed")
+			}
+		}
+		if _, err := k.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Schedule+Cancel+collect allocates %.1f objects per 256-timer batch, want 0", allocs)
 	}
 }

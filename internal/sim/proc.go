@@ -57,10 +57,10 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Context)) *Proc {
 		id:   k.nextID,
 		name: name,
 		fn:   fn,
-		wake: make(chan struct{}),
+		wake: make(chan struct{}, 1),
 	}
 	k.nextID++
-	k.procs[p] = struct{}{}
+	k.addProc(p)
 	if t < k.now {
 		panic(fmt.Sprintf("sim: SpawnAt(%g) before now (%g)", t, k.now))
 	}
@@ -69,12 +69,13 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(*Context)) *Proc {
 }
 
 // main is the process goroutine body: runs fn, recovers the kill sentinel,
-// records model panics, and always hands control back to the kernel.
+// records model panics, and passes the logical thread on — directly to the
+// next due event's process when there is one, to the controller otherwise.
 func (p *Proc) main() {
 	defer func() {
 		r := recover()
 		p.done = true
-		delete(p.k.procs, p)
+		p.k.live--
 		if r != nil {
 			if _, isKill := r.(killSentinel); !isKill {
 				if p.k.err == nil {
@@ -85,17 +86,31 @@ func (p *Proc) main() {
 			}
 		}
 		p.k.trace(p.k.now, p.name, "done")
-		p.k.yield <- struct{}{}
+		if p.k.dispatch(nil) == exhausted {
+			p.k.yield <- struct{}{}
+		}
 	}()
 	p.k.trace(p.k.now, p.name, "start")
 	p.fn(&Context{k: p.k, p: p})
 }
 
-// park blocks the calling process until the kernel resumes it. Must be
-// called with any necessary wait registration (p.cancel) already in place.
+// park blocks the calling process until it is resumed. Must be called with
+// any necessary wait registration (p.cancel) already in place. The parking
+// goroutine keeps driving the dispatch loop itself: if the next due event
+// resumes this very process, park returns with no channel traffic at all;
+// if it resumes another process, the logical thread is handed to it in one
+// channel operation; only when nothing is due does control return to the
+// controller.
 func (p *Proc) park() {
-	p.k.yield <- struct{}{}
-	<-p.wake
+	switch p.k.dispatch(p) {
+	case resumedSelf:
+		// Direct continuation — the next event was this process's own.
+	case handedOff:
+		<-p.wake
+	case exhausted:
+		p.k.yield <- struct{}{}
+		<-p.wake
+	}
 	if p.killed {
 		panic(killSentinel{})
 	}

@@ -691,3 +691,78 @@ func TestCanceledEventRecycledAndReused(t *testing.T) {
 		t.Errorf("ran = %d, want 100", ran)
 	}
 }
+
+func TestShutdownReKillsProcessParkingInDefer(t *testing.T) {
+	// A process whose deferred cleanup blocks again (Wait in a defer) must
+	// be re-killed until it fully unwinds — one defer level per kill pass.
+	k := NewKernel()
+	cleanupRan := false
+	k.Spawn("p", func(c *Context) {
+		defer func() { cleanupRan = true }()
+		defer func() { c.Wait(100) }() // parks again during kill unwinding
+		c.Wait(1000)
+	})
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !cleanupRan {
+		t.Fatal("outer defer never ran: process leaked blocked in its deferred Wait")
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after Run", k.LiveProcs())
+	}
+}
+
+func TestShutdownKillsProcsSpawnedInDefers(t *testing.T) {
+	// Dying processes may Spawn in their defers (the roster grows
+	// mid-shutdown, and with enough processes the compaction threshold is
+	// in play); every process — original and defer-spawned — must unwind.
+	k := NewKernel()
+	const n = 80
+	finished := 0
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("p", func(c *Context) {
+			defer func() { finished++ }()
+			if i < 4 {
+				defer func() {
+					c.Kernel().Spawn("late", func(lc *Context) {
+						defer func() { finished++ }()
+						lc.Wait(1e9)
+					})
+				}()
+			}
+			c.Wait(1e9)
+		})
+	}
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if want := n + 4; finished != want {
+		t.Fatalf("finished = %d processes, want %d (leak during shutdown)", finished, want)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after Run", k.LiveProcs())
+	}
+}
+
+func TestNestedRunFromCallbackErrors(t *testing.T) {
+	// Run/Advance from inside the simulation would clobber the active
+	// drain window and can deadlock the handoff protocol; it must surface
+	// as a run error, never hang.
+	k := NewKernel()
+	k.Schedule(1, func() { _ = k.Advance(50) })
+	err := k.Run(10)
+	if err == nil {
+		t.Fatal("nested Advance from a callback did not error")
+	}
+
+	k2 := NewKernel()
+	k2.Spawn("p", func(c *Context) {
+		c.Wait(1)
+		_ = c.Kernel().Run(50)
+	})
+	if err := k2.Run(10); err == nil {
+		t.Fatal("nested Run from a process did not error")
+	}
+}
