@@ -13,11 +13,18 @@
 //	go run ./cmd/pimbench -dir out             # scan/write snapshots in out/
 //	go run ./cmd/pimbench -o current.json      # explicit output path
 //	go run ./cmd/pimbench -against BENCH_1.json -maxregress 0.25
+//	go run ./cmd/pimbench -compare BENCH_1.json -suite=false
+//	go run ./cmd/pimbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -against, pimbench compares the new suite wall-clock to the given
 // snapshot and exits non-zero when it regresses by more than -maxregress
-// (CI uses this as the perf gate). -micros=false and -suite=false cut the
-// run down for smoke tests.
+// (CI uses this as the perf gate). -compare prints per-benchmark ns/op
+// and allocs/op deltas against a previous snapshot with no gate — the
+// tool for eyeballing a work-in-progress optimisation; a bare -compare
+// run writes no snapshot (add -o to keep one). -micros=false and
+// -suite=false cut the run down for smoke tests; -cpuprofile/-memprofile
+// write pprof profiles of the measured run for drilling into a
+// regression the trajectory surfaces.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"testing"
@@ -110,8 +118,23 @@ func run(args []string, out io.Writer) error {
 	suite := fs.Bool("suite", true, "run the artifact suite")
 	against := fs.String("against", "", "baseline snapshot to compare the suite wall-clock to")
 	maxRegress := fs.Float64("maxregress", 0.25, "max tolerated suite wall-clock regression vs -against")
+	compareTo := fs.String("compare", "", "previous snapshot: print ns/op and allocs/op deltas, no gate")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the measured run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the measured run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	snap := Snapshot{
@@ -137,8 +160,25 @@ func run(args []string, out io.Writer) error {
 	if *micros {
 		snap.Benchmarks = append(snap.Benchmarks, measureMicros(out)...)
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 
 	path := *outPath
+	if path == "" && *compareTo != "" && *against == "" {
+		// A bare -compare is an eyeballing flow: don't litter the snapshot
+		// directory with a partial numbered BENCH_<n>.json (a stray one
+		// would become the CI gate's baseline). Pass -o to keep the run.
+		path = "-"
+	}
 	if path == "" {
 		next, err := nextIndex(*dir)
 		if err != nil {
@@ -146,12 +186,21 @@ func run(args []string, out io.Writer) error {
 		}
 		path = filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", next))
 	}
-	if err := writeSnapshot(path, snap); err != nil {
-		return err
+	if path != "-" {
+		if err := writeSnapshot(path, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (suite %.2fs, engine %.2fs, %d benchmarks, sha %s)\n",
+			path, snap.SuiteWallClockSec, snap.EngineWallClockSec, len(snap.Benchmarks), snap.GitSHA)
 	}
-	fmt.Fprintf(out, "wrote %s (suite %.2fs, engine %.2fs, %d benchmarks, sha %s)\n",
-		path, snap.SuiteWallClockSec, snap.EngineWallClockSec, len(snap.Benchmarks), snap.GitSHA)
 
+	if *compareTo != "" {
+		base, err := readSnapshot(*compareTo)
+		if err != nil {
+			return err
+		}
+		printDeltas(out, base, snap)
+	}
 	if *against != "" {
 		base, err := readSnapshot(*against)
 		if err != nil {
@@ -160,6 +209,44 @@ func run(args []string, out io.Writer) error {
 		return compare(out, base, snap, *maxRegress)
 	}
 	return nil
+}
+
+// printDeltas prints per-benchmark ns/op and allocs/op deltas of the new
+// snapshot against a previous one — purely informational, no gate.
+func printDeltas(out io.Writer, base, cur Snapshot) {
+	type baseRec struct {
+		ns     float64
+		allocs int64
+	}
+	prev := make(map[string]baseRec, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		prev[r.Name] = baseRec{ns: r.NsPerOp, allocs: r.AllocsPerOp}
+	}
+	fmt.Fprintf(out, "deltas vs %s (%s):\n", base.GitSHA, base.Timestamp)
+	fmt.Fprintf(out, "%-26s %14s %12s %14s %12s\n", "benchmark", "ns/op", "Δns/op", "allocs/op", "Δallocs")
+	for _, r := range cur.Benchmarks {
+		b, ok := prev[r.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-26s %14.1f %12s %14d %12s\n", r.Name, r.NsPerOp, "(new)", r.AllocsPerOp, "")
+			continue
+		}
+		delete(prev, r.Name)
+		dns := "n/a"
+		if b.ns > 0 {
+			dns = fmt.Sprintf("%+.1f%%", (r.NsPerOp/b.ns-1)*100)
+		}
+		dal := ""
+		if r.AllocsPerOp >= 0 && b.allocs >= 0 {
+			dal = fmt.Sprintf("%+d", r.AllocsPerOp-b.allocs)
+		}
+		fmt.Fprintf(out, "%-26s %14.1f %12s %14d %12s\n", r.Name, r.NsPerOp, dns, r.AllocsPerOp, dal)
+	}
+	// Anything left in prev was measured in the baseline but not now.
+	for _, r := range base.Benchmarks {
+		if _, dropped := prev[r.Name]; dropped {
+			fmt.Fprintf(out, "%-26s dropped (was %.1f ns/op)\n", r.Name, r.NsPerOp)
+		}
+	}
 }
 
 // measureSuite regenerates every registered experiment once in Quick mode
@@ -215,6 +302,7 @@ var microBenchmarks = []struct {
 	{"kernel_schedule", benches.KernelSchedule},
 	{"kernel_wait_resume", benches.KernelWaitResume},
 	{"kernel_handoff_chain", benches.KernelHandoffChain},
+	{"kernel_activity_chain", benches.KernelActivityChain},
 	{"mm1_simulation", benches.MM1Simulation},
 	{"hostpim_simulate", benches.HostPIMSimulate},
 	{"parcelsys_run", benches.ParcelSysRun},

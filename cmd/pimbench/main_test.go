@@ -118,6 +118,7 @@ func TestMicroBenchNamesStable(t *testing.T) {
 		"kernel_schedule",
 		"kernel_wait_resume",
 		"kernel_handoff_chain",
+		"kernel_activity_chain",
 		"mm1_simulation",
 		"hostpim_simulate",
 		"parcelsys_run",

@@ -231,6 +231,12 @@ type SimOptions struct {
 // Simulate runs the queuing model on the DES kernel: the HWP station of
 // Fig. 2 followed by the N-node LWP array of Fig. 3, with the control run
 // executed in the same stochastic style. Returns the measured Result.
+//
+// The model executes in the kernel's activity mode: every work loop is a
+// run-to-completion state machine stepped inline by the dispatch loop, so
+// the N-way interleaved LWP phase costs a heap pop per switch instead of a
+// goroutine handoff. The event trajectory (and therefore every statistic)
+// is identical to the original Proc-based formulation.
 func Simulate(p Params, opt SimOptions) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -267,45 +273,13 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 	wl := p.PctWL * p.W
 	res.NodeTimes = make([]float64, p.N)
 
-	// startLWPArray launches the N uniform concurrent LWP threads (Fig. 4)
-	// at the current time and returns their join group.
-	startLWPArray := func(c *sim.Context, lwpStart sim.Time) *sim.WaitGroup {
-		wg := sim.NewWaitGroup(k, "lwp-join", p.N)
-		perNode := wl / float64(p.N)
-		for i := 0; i < p.N; i++ {
-			i := i
-			c.Spawn(lwpNames[i], func(lc *sim.Context) {
-				runLWPWork(lc, &lwpStreams[i], p, perNode, chunk, lwpCPU[i], lwpMem[i])
-				res.NodeTimes[i] = lc.Now() - lwpStart
-				wg.Done()
-			})
-		}
-		return wg
+	ts := &testSystem{
+		k: k, p: p, res: &res, chunk: chunk,
+		lwpCPU: lwpCPU, lwpMem: lwpMem, lwpStreams: lwpStreams, lwpNames: lwpNames,
+		nodes: make([]lwpNode, p.N),
 	}
-	k.Spawn("test-system", func(c *sim.Context) {
-		if p.Overlap {
-			// Extension mode: HWP and LWP array execute concurrently.
-			wg := startLWPArray(c, c.Now())
-			runHWPWork(c, hwpStream, p, p.Pmiss, wh, chunk, hwpCPU, hwpMem, nil)
-			res.TimeHWPPhase = c.Now()
-			wg.Wait(c)
-			res.TimeLWPPhase = 0
-			for _, nt := range res.NodeTimes {
-				if nt > res.TimeLWPPhase {
-					res.TimeLWPPhase = nt
-				}
-			}
-			return
-		}
-		// Phase 1: HWP executes the high-locality work.
-		runHWPWork(c, hwpStream, p, p.Pmiss, wh, chunk, hwpCPU, hwpMem, nil)
-		res.TimeHWPPhase = c.Now()
-		// Phase 2: the LWP array executes the low-locality work.
-		lwpStart := c.Now()
-		wg := startLWPArray(c, lwpStart)
-		wg.Wait(c)
-		res.TimeLWPPhase = c.Now() - lwpStart
-	})
+	ts.hwp.init(p, hwpStream, p.Pmiss, wh, chunk, hwpCPU, hwpMem)
+	k.SpawnActivity("test-system", ts)
 	if _, err := k.RunUntilIdle(); err != nil {
 		return Result{}, err
 	}
@@ -327,15 +301,17 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 	ctrlStream := rng.NewWithStream(opt.Seed, 2)
 	cCPU := sim.NewResource(kc, "hwp-cpu", 1, sim.FIFO)
 	cMem := sim.NewResource(kc, "hwp-mem", 1, sim.FIFO)
-	kc.Spawn("control-system", func(c *sim.Context) {
-		switch p.Control {
-		case ControlFixedMiss:
-			runHWPWork(c, ctrlStream, p, p.Pmiss, p.W, chunk, cCPU, cMem, nil)
-		case ControlLocalityAware:
-			runHWPWork(c, ctrlStream, p, p.Pmiss, wh, chunk, cCPU, cMem, nil)
-			runHWPWork(c, ctrlStream, p, p.PmissLow, wl, chunk, cCPU, cMem, nil)
-		}
-	})
+	cs := &controlSystem{}
+	switch p.Control {
+	case ControlFixedMiss:
+		cs.seg[0].init(p, ctrlStream, p.Pmiss, p.W, chunk, cCPU, cMem)
+		cs.segs = 1
+	case ControlLocalityAware:
+		cs.seg[0].init(p, ctrlStream, p.Pmiss, wh, chunk, cCPU, cMem)
+		cs.seg[1].init(p, ctrlStream, p.PmissLow, wl, chunk, cCPU, cMem)
+		cs.segs = 2
+	}
+	kc.SpawnActivity("control-system", cs)
 	if _, err := kc.RunUntilIdle(); err != nil {
 		return Result{}, err
 	}
@@ -348,62 +324,216 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 	return res, nil
 }
 
-// runHWPWork executes ops operations on the HWP station: compute cycles on
-// the CPU resource, load/store cycles on the memory path, with the miss
-// rate applied statistically (Fig. 2's queue model). Operations are
-// processed in chunks whose internal composition is sampled exactly.
-func runHWPWork(c *sim.Context, st *rng.Stream, p Params, pmiss, ops float64, chunk int,
-	cpu, mem *sim.Resource, onChunk func(done float64)) {
-	remaining := int64(math.Round(ops))
-	for remaining > 0 {
-		n := int64(chunk)
-		if n > remaining {
-			n = remaining
-		}
-		remaining -= n
-		nLS := st.Binomial(int(n), p.MixLS)
-		nMiss := st.Binomial(nLS, pmiss)
-		// Issue + cache-hit portion on the CPU; memory portion on the
-		// memory device, mirroring the two service centres of Fig. 2.
-		cpuCycles := float64(n) + float64(nLS)*(p.TCH-1)
-		memCycles := float64(nMiss) * p.TMH
-		cpu.Acquire(c)
-		c.Wait(cpuCycles)
-		cpu.Release(1)
-		if memCycles > 0 {
-			mem.Acquire(c)
-			c.Wait(memCycles)
-			mem.Release(1)
-		}
-		if onChunk != nil {
-			onChunk(float64(n))
+// stationWork drives a batch of operations through one two-resource
+// station (CPU then memory) as a run-to-completion state machine — the
+// activity-mode form of the old blocking work loop. Operations are
+// processed in chunks whose internal composition is sampled exactly, so
+// batching changes only event granularity, not the statistics. The same
+// machine serves the HWP station of Fig. 2 (hwp true: issue + cache-hit
+// cycles on the CPU, miss cycles on memory) and an LWP node of Fig. 3
+// (hwp false: TLCycle per issue on the node CPU, TML per load/store on
+// its bank).
+type stationWork struct {
+	p         Params
+	st        *rng.Stream
+	pmiss     float64 // HWP miss rate (hwp mode only)
+	hwp       bool
+	remaining int64
+	chunk     int64
+	cpu, mem  *sim.Resource
+
+	state     int
+	cpuCycles float64
+	memCycles float64
+}
+
+// stationWork states: which step of the current chunk runs next.
+const (
+	swNextChunk = iota // draw the next chunk, acquire the CPU
+	swHoldCPU          // CPU granted: spend the compute cycles
+	swCPUDone          // compute done: release, acquire memory if needed
+	swHoldMem          // memory granted: spend the access cycles
+	swMemDone          // access done: release, next chunk
+)
+
+// init prepares the machine for ops operations at the given miss rate
+// (ignored for LWP stations, where initLWP applies).
+func (w *stationWork) init(p Params, st *rng.Stream, pmiss, ops float64, chunk int, cpu, mem *sim.Resource) {
+	*w = stationWork{p: p, st: st, pmiss: pmiss, hwp: true,
+		remaining: int64(math.Round(ops)), chunk: int64(chunk), cpu: cpu, mem: mem}
+}
+
+// initLWP prepares the machine as an LWP node.
+func (w *stationWork) initLWP(p Params, st *rng.Stream, ops float64, chunk int, cpu, mem *sim.Resource) {
+	*w = stationWork{p: p, st: st,
+		remaining: int64(math.Round(ops)), chunk: int64(chunk), cpu: cpu, mem: mem}
+}
+
+// run advances the machine until it must wait (returns false; call again
+// on the next resumption) or all operations are done (returns true).
+func (w *stationWork) run(a *sim.ActCtx) bool {
+	for {
+		switch w.state {
+		case swNextChunk:
+			if w.remaining <= 0 {
+				return true
+			}
+			n := w.chunk
+			if n > w.remaining {
+				n = w.remaining
+			}
+			w.remaining -= n
+			nLS := w.st.Binomial(int(n), w.p.MixLS)
+			if w.hwp {
+				nMiss := w.st.Binomial(nLS, w.pmiss)
+				// Issue + cache-hit portion on the CPU; memory portion on
+				// the memory device, mirroring the two service centres of
+				// Fig. 2.
+				w.cpuCycles = float64(n) + float64(nLS)*(w.p.TCH-1)
+				w.memCycles = float64(nMiss) * w.p.TMH
+			} else {
+				w.cpuCycles = float64(n-int64(nLS)) * w.p.TLCycle
+				w.memCycles = float64(nLS) * w.p.TML
+			}
+			w.state = swHoldCPU
+			if !w.cpu.Acquire1Act(a) {
+				return false
+			}
+		case swHoldCPU:
+			w.state = swCPUDone
+			a.Wait(w.cpuCycles)
+			return false
+		case swCPUDone:
+			w.cpu.Release(1)
+			if w.memCycles > 0 {
+				w.state = swHoldMem
+				if !w.mem.Acquire1Act(a) {
+					return false
+				}
+			} else {
+				w.state = swNextChunk
+			}
+		case swHoldMem:
+			w.state = swMemDone
+			a.Wait(w.memCycles)
+			return false
+		case swMemDone:
+			w.mem.Release(1)
+			w.state = swNextChunk
 		}
 	}
 }
 
-// runLWPWork executes ops operations on one LWP node: TLCycle per issue on
-// the node CPU, TML per load/store on the node's memory bank (Fig. 3).
-func runLWPWork(c *sim.Context, st *rng.Stream, p Params, ops float64, chunk int,
-	cpu, mem *sim.Resource) {
-	remaining := int64(math.Round(ops))
-	for remaining > 0 {
-		n := int64(chunk)
-		if n > remaining {
-			n = remaining
-		}
-		remaining -= n
-		nLS := st.Binomial(int(n), p.MixLS)
-		cpuCycles := float64(int64(n)-int64(nLS)) * p.TLCycle
-		memCycles := float64(nLS) * p.TML
-		cpu.Acquire(c)
-		c.Wait(cpuCycles)
-		cpu.Release(1)
-		if memCycles > 0 {
-			mem.Acquire(c)
-			c.Wait(memCycles)
-			mem.Release(1)
-		}
+// testSystem orchestrates the Fig. 4 execution flow as an activity: the
+// HWP phase, then (or concurrently with, in Overlap mode) the N uniform
+// LWP threads, then the join.
+type testSystem struct {
+	k     *sim.Kernel
+	p     Params
+	res   *Result
+	chunk int
+
+	hwp        stationWork
+	lwpCPU     []*sim.Resource
+	lwpMem     []*sim.Resource
+	lwpStreams []rng.Stream
+	lwpNames   []string
+	nodes      []lwpNode
+
+	phase    int // 0: HWP work; 1: joined
+	started  bool
+	wg       *sim.WaitGroup
+	lwpStart sim.Time
+}
+
+// lwpNode is one LWP thread of the array: its station machine plus the
+// bookkeeping done at completion.
+type lwpNode struct {
+	w     stationWork
+	ts    *testSystem
+	idx   int
+	start sim.Time
+}
+
+// Step advances one LWP thread; at completion it records the node time
+// and joins.
+func (n *lwpNode) Step(a *sim.ActCtx) {
+	if !n.w.run(a) {
+		return
 	}
+	n.ts.res.NodeTimes[n.idx] = a.Now() - n.start
+	n.ts.wg.Done()
+	a.Exit()
+}
+
+// startLWPArray launches the N uniform concurrent LWP threads (Fig. 4) at
+// the current time.
+func (ts *testSystem) startLWPArray(now sim.Time) {
+	ts.wg = sim.NewWaitGroup(ts.k, "lwp-join", ts.p.N)
+	ts.lwpStart = now
+	perNode := ts.p.PctWL * ts.p.W / float64(ts.p.N)
+	for i := 0; i < ts.p.N; i++ {
+		n := &ts.nodes[i]
+		n.ts, n.idx, n.start = ts, i, now
+		n.w.initLWP(ts.p, &ts.lwpStreams[i], perNode, ts.chunk, ts.lwpCPU[i], ts.lwpMem[i])
+		ts.k.SpawnActivity(ts.lwpNames[i], n)
+	}
+}
+
+// Step drives the test system's phases.
+func (ts *testSystem) Step(a *sim.ActCtx) {
+	if ts.p.Overlap && !ts.started {
+		// Extension mode: HWP and LWP array execute concurrently.
+		ts.started = true
+		ts.startLWPArray(a.Now())
+	}
+	switch ts.phase {
+	case 0:
+		if !ts.hwp.run(a) {
+			return
+		}
+		ts.res.TimeHWPPhase = a.Now()
+		ts.phase = 1
+		if !ts.p.Overlap {
+			// Phase 2: the LWP array executes the low-locality work.
+			ts.startLWPArray(a.Now())
+		}
+		if !ts.wg.WaitAct(a) {
+			return
+		}
+		fallthrough
+	case 1:
+		if ts.p.Overlap {
+			ts.res.TimeLWPPhase = 0
+			for _, nt := range ts.res.NodeTimes {
+				if nt > ts.res.TimeLWPPhase {
+					ts.res.TimeLWPPhase = nt
+				}
+			}
+		} else {
+			ts.res.TimeLWPPhase = a.Now() - ts.lwpStart
+		}
+		a.Exit()
+	}
+}
+
+// controlSystem runs the control workload — the HWP alone — as one or two
+// sequential station segments (two under the locality-aware policy).
+type controlSystem struct {
+	seg  [2]stationWork
+	segs int
+	cur  int
+}
+
+// Step drives the control segments in order.
+func (cs *controlSystem) Step(a *sim.ActCtx) {
+	for cs.cur < cs.segs {
+		if !cs.seg[cs.cur].run(a) {
+			return
+		}
+		cs.cur++
+	}
+	a.Exit()
 }
 
 // GainCurve sweeps %WL for a fixed node count using the analytic path,

@@ -176,14 +176,16 @@ func Run(p Params) (Result, error) {
 }
 
 // runState holds the per-run slabs — parcel structs with their embedded
-// RNG streams, per-node statistics, control-thread streams, and node
-// names — that Replicate reuses across replications instead of
-// reallocating per run. All state is fully re-initialized by each run.
+// RNG streams, per-node statistics, control-thread machines, test-node
+// machines, and node names — that Replicate reuses across replications
+// instead of reallocating per run. All state is fully re-initialized by
+// each run.
 type runState struct {
-	parcels []workParcel
-	nodes   []nodeStats
-	threads []rng.Stream
-	names   nodeNames
+	parcels   []workParcel
+	nodes     []nodeStats
+	threads   []ctrlThread
+	testNodes []testNode
+	names     nodeNames
 	// ctrl caches the control-thread process names, indexed j*nodes+i;
 	// rebuilt only when the (nodes, threads) geometry changes.
 	ctrl      []string
@@ -269,14 +271,10 @@ func segment(st *rng.Stream, p Params) (int, bool) {
 	return n, remote
 }
 
-// busyWait marks the node busy for d cycles.
-func busyWait(c *sim.Context, ns *nodeStats, d float64) {
-	ns.busy.Add(c.Now(), 1)
-	c.Wait(d)
-	ns.busy.Add(c.Now(), -1)
-}
-
-// runControl simulates the blocking message-passing system.
+// runControl simulates the blocking message-passing system. Each thread
+// is a run-to-completion activity (see ctrlThread): the per-switch cost of
+// the N-way interleaving is a heap pop, not a goroutine handoff, and the
+// event trajectory is identical to the original Proc-based formulation.
 func runControl(p Params, rs *runState) (SystemResult, error) {
 	k := sim.NewKernel()
 	mems := make([]*sim.Resource, p.Nodes)
@@ -298,42 +296,10 @@ func runControl(p Params, rs *runState) (SystemResult, error) {
 	ctrlNames := rs.ctrlNames(p.Nodes, threads)
 	for i := 0; i < p.Nodes; i++ {
 		for j := 0; j < threads; j++ {
-			i := i
-			st := &rs.threads[j*p.Nodes+i]
-			st.Reseed(p.Seed, 1000+uint64(i)+uint64(j)*uint64(p.Nodes))
-			k.Spawn(ctrlNames[j*p.Nodes+i], func(c *sim.Context) {
-				ns := &nodes[i]
-				for {
-					nops, remote := segment(st, p)
-					cpus[i].Acquire(c)
-					if nops > 0 {
-						busyWait(c, ns, float64(nops))
-						ns.ops += int64(nops)
-					}
-					if remote {
-						// Blocking remote transaction: request out, service
-						// at the destination memory, reply back. The thread
-						// releases the processor and waits idle the whole
-						// round trip; with ControlThreads > 1 a sibling
-						// thread may run meanwhile.
-						cpus[i].Release(1)
-						dst := p.pickDest(st, i)
-						c.Wait(p.latency(i, dst))
-						mems[dst].Acquire(c)
-						c.Wait(p.MemCycles)
-						mems[dst].Release(1)
-						c.Wait(p.latency(dst, i))
-						ns.rem++
-					} else {
-						// Local access busies processor and its memory bank.
-						mems[i].Acquire(c)
-						busyWait(c, ns, p.MemCycles)
-						mems[i].Release(1)
-						cpus[i].Release(1)
-					}
-					ns.ops++ // the access itself is a completed operation
-				}
-			})
+			th := &rs.threads[j*p.Nodes+i]
+			*th = ctrlThread{p: &p, i: i, ns: &nodes[i], cpus: cpus, mems: mems}
+			th.st.Reseed(p.Seed, 1000+uint64(i)+uint64(j)*uint64(p.Nodes))
+			k.SpawnActivity(ctrlNames[j*p.Nodes+i], th)
 		}
 	}
 	if err := k.Run(p.Horizon); err != nil {
@@ -342,18 +308,126 @@ func runControl(p Params, rs *runState) (SystemResult, error) {
 	return gather(nodes, nil, p.Horizon), nil
 }
 
+// ctrlThread is one blocking control thread as an activity state machine.
+// One cycle: draw a segment, hold the processor for the useful ops, then
+// perform the access — a blocking remote round trip (request out, service
+// at the destination memory, reply back; the thread releases the
+// processor and waits idle the whole time, the paper's third processor
+// state) or a local access busying processor and memory bank.
+type ctrlThread struct {
+	p    *Params
+	st   rng.Stream
+	ns   *nodeStats
+	i    int
+	cpus []*sim.Resource
+	mems []*sim.Resource
+
+	state  int
+	nops   int
+	remote bool
+	dst    int
+}
+
+// ctrlThread states.
+const (
+	ctSegment   = iota // draw the next segment, acquire the processor
+	ctHoldCPU          // processor granted: run the useful ops
+	ctUseful           // useful-ops wait finished
+	ctSent             // request latency elapsed: acquire remote memory
+	ctHoldRMem         // remote memory granted: service the access
+	ctServed           // remote service done: reply latency
+	ctReplied          // reply arrived: transaction complete
+	ctHoldLMem         // local memory granted: perform the access
+	ctLocalDone        // local access finished
+)
+
+// Step runs the control thread until it must wait; it loops forever (the
+// horizon kill ends it).
+func (t *ctrlThread) Step(a *sim.ActCtx) {
+	p, ns := t.p, t.ns
+	for {
+		switch t.state {
+		case ctSegment:
+			t.nops, t.remote = segment(&t.st, *p)
+			t.state = ctHoldCPU
+			if !t.cpus[t.i].Acquire1Act(a) {
+				return
+			}
+		case ctHoldCPU:
+			if t.nops > 0 {
+				ns.busy.Add(a.Now(), 1)
+				t.state = ctUseful
+				a.Wait(float64(t.nops))
+				return
+			}
+			t.state = ctUseful
+		case ctUseful:
+			if t.nops > 0 {
+				ns.busy.Add(a.Now(), -1)
+				ns.ops += int64(t.nops)
+			}
+			if t.remote {
+				t.cpus[t.i].Release(1)
+				t.dst = p.pickDest(&t.st, t.i)
+				t.state = ctSent
+				a.Wait(p.latency(t.i, t.dst))
+				return
+			}
+			t.state = ctHoldLMem
+			if !t.mems[t.i].Acquire1Act(a) {
+				return
+			}
+		case ctSent:
+			t.state = ctHoldRMem
+			if !t.mems[t.dst].Acquire1Act(a) {
+				return
+			}
+		case ctHoldRMem:
+			t.state = ctServed
+			a.Wait(p.MemCycles)
+			return
+		case ctServed:
+			t.mems[t.dst].Release(1)
+			t.state = ctReplied
+			a.Wait(p.latency(t.dst, t.i))
+			return
+		case ctReplied:
+			ns.rem++
+			ns.ops++ // the access itself is a completed operation
+			t.state = ctSegment
+		case ctHoldLMem:
+			ns.busy.Add(a.Now(), 1)
+			t.state = ctLocalDone
+			a.Wait(p.MemCycles)
+			return
+		case ctLocalDone:
+			ns.busy.Add(a.Now(), -1)
+			t.mems[t.i].Release(1)
+			t.cpus[t.i].Release(1)
+			ns.ops++
+			t.state = ctSegment
+		}
+	}
+}
+
 // workParcel is a migrating computation continuation in the test system.
 // The RNG stream is embedded by value so a run's parcels live in one
 // reusable slab instead of two allocations per parcel.
 type workParcel struct {
 	st rng.Stream
+	// dst is the destination node while the parcel is in flight (the
+	// shipping event carries the parcel, not a closure).
+	dst int
 	// pendingAccess marks that the parcel migrated because of a remote
 	// memory access: the destination performs that access (now local)
 	// right after assimilation.
 	pendingAccess bool
 }
 
-// runTest simulates the split-transaction parcel system.
+// runTest simulates the split-transaction parcel system. Each node is a
+// run-to-completion activity (see testNode); an in-flight parcel is one
+// ScheduleArg event carrying the parcel itself, so the steady-state run
+// schedules no closures at all.
 func runTest(p Params, rs *runState) (SystemResult, error) {
 	k := sim.NewKernel()
 	queues := make([]*sim.Store[*workParcel], p.Nodes)
@@ -380,55 +454,158 @@ func runTest(p Params, rs *runState) (SystemResult, error) {
 		}
 	}
 
+	// deliver lands an in-flight parcel at its destination queue.
+	deliver := func(x any) {
+		wp := x.(*workParcel)
+		queues[wp.dst].TryPut(wp)
+	}
+	rs.testNodes = slab(rs.testNodes, p.Nodes)
 	for i := 0; i < p.Nodes; i++ {
-		i := i
-		k.Spawn(rs.names.test[i], func(c *sim.Context) {
-			ns := &nodes[i]
-			for {
-				// Idle while the queue is empty (the Get blocks).
-				wp := queues[i].Get(c)
-				// Assimilation overhead to instantiate the parcel's action.
-				if p.Overhead.AssimilateCycles > 0 {
-					busyWait(c, ns, p.Overhead.AssimilateCycles)
-				}
-				// The access that caused the migration executes here, where
-				// the data lives (computation moved to the data).
-				if wp.pendingAccess {
-					wp.pendingAccess = false
-					busyWait(c, ns, p.MemCycles)
-					ns.ops++
-				}
-				// Execute the thread locally until it needs remote data.
-				for {
-					nops, remote := segment(&wp.st, p)
-					if nops > 0 {
-						busyWait(c, ns, float64(nops))
-						ns.ops += int64(nops)
-					}
-					if !remote {
-						busyWait(c, ns, p.MemCycles)
-						ns.ops++
-						continue
-					}
-					// Remote access: move the computation to the data.
-					if p.Overhead.CreateCycles > 0 {
-						busyWait(c, ns, p.Overhead.CreateCycles)
-					}
-					ns.rem++
-					wp.pendingAccess = true
-					dst := p.pickDest(&route, i)
-					c.Kernel().Schedule(p.latency(i, dst), func() {
-						queues[dst].TryPut(wp)
-					})
-					break // service the next pending parcel
-				}
-			}
-		})
+		n := &rs.testNodes[i]
+		*n = testNode{p: &p, i: i, ns: &nodes[i], queue: queues[i], route: &route, deliver: deliver}
+		k.SpawnActivity(rs.names.test[i], n)
 	}
 	if err := k.Run(p.Horizon); err != nil {
 		return SystemResult{}, err
 	}
 	return gather(nodes, queues, p.Horizon), nil
+}
+
+// testNode is one split-transaction processor as an activity state
+// machine. One parcel service: idle until a parcel is queued, pay the
+// assimilation overhead, perform the access that caused the migration
+// (the computation moved to the data), then execute the thread locally —
+// useful ops and local accesses — until it needs remote data again, at
+// which point the continuation ships one-way and the node services its
+// next pending parcel.
+type testNode struct {
+	p       *Params
+	i       int
+	ns      *nodeStats
+	queue   *sim.Store[*workParcel]
+	route   *rng.Stream
+	deliver func(any)
+
+	state int
+	wp    *workParcel
+	nops  int
+	rem   bool
+}
+
+// testNode states.
+const (
+	tnFetch      = iota // take (or wait for) the next pending parcel
+	tnAssimDone         // assimilation overhead paid
+	tnAccessDone        // migrated access performed
+	tnSegment           // draw the next execution segment
+	tnUsefulDone        // useful-ops run finished
+	tnLocalDone         // local memory access finished
+	tnCreateDone        // parcel-creation overhead paid: ship
+)
+
+// busyFor marks the node busy for d cycles and parks until they elapse,
+// resuming in state next (which starts by marking the node idle again).
+func (n *testNode) busyFor(a *sim.ActCtx, d float64, next int) {
+	n.ns.busy.Add(a.Now(), 1)
+	n.state = next
+	a.Wait(d)
+}
+
+// Step runs the node until it must wait; it loops forever (the horizon
+// kill ends it).
+func (n *testNode) Step(a *sim.ActCtx) {
+	p, ns := n.p, n.ns
+	for {
+		switch n.state {
+		case tnFetch:
+			// Idle while the queue is empty (the registration blocks).
+			wp, ok := n.queue.GetAct(a)
+			if !ok {
+				return
+			}
+			n.wp = wp
+			// Assimilation overhead to instantiate the parcel's action.
+			if p.Overhead.AssimilateCycles > 0 {
+				n.busyFor(a, p.Overhead.AssimilateCycles, tnAssimDone)
+				return
+			}
+			if n.postAssim(a) {
+				return
+			}
+		case tnAssimDone:
+			ns.busy.Add(a.Now(), -1)
+			if n.postAssim(a) {
+				return
+			}
+		case tnAccessDone:
+			ns.busy.Add(a.Now(), -1)
+			ns.ops++
+			n.state = tnSegment
+		case tnSegment:
+			n.nops, n.rem = segment(&n.wp.st, *p)
+			if n.nops > 0 {
+				n.busyFor(a, float64(n.nops), tnUsefulDone)
+				return
+			}
+			if n.afterUseful(a) {
+				return
+			}
+		case tnUsefulDone:
+			ns.busy.Add(a.Now(), -1)
+			ns.ops += int64(n.nops)
+			if n.afterUseful(a) {
+				return
+			}
+		case tnLocalDone:
+			ns.busy.Add(a.Now(), -1)
+			ns.ops++
+			n.state = tnSegment
+		case tnCreateDone:
+			ns.busy.Add(a.Now(), -1)
+			n.ship(a)
+		}
+	}
+}
+
+// postAssim performs the access that caused the migration, if any — it
+// executes here, where the data lives. Reports whether the node parked.
+func (n *testNode) postAssim(a *sim.ActCtx) bool {
+	if n.wp.pendingAccess {
+		n.wp.pendingAccess = false
+		n.busyFor(a, n.p.MemCycles, tnAccessDone)
+		return true
+	}
+	n.state = tnSegment
+	return false
+}
+
+// afterUseful branches on the drawn access: local (busy the memory bank)
+// or remote (pay the creation overhead, then ship). Reports whether the
+// node parked; a free ship turns straight to the next fetch.
+func (n *testNode) afterUseful(a *sim.ActCtx) bool {
+	if !n.rem {
+		n.busyFor(a, n.p.MemCycles, tnLocalDone)
+		return true
+	}
+	// Remote access: move the computation to the data.
+	if n.p.Overhead.CreateCycles > 0 {
+		n.busyFor(a, n.p.Overhead.CreateCycles, tnCreateDone)
+		return true
+	}
+	n.ship(a)
+	return false
+}
+
+// ship sends the current parcel one-way to its destination and turns to
+// the next pending parcel.
+func (n *testNode) ship(a *sim.ActCtx) {
+	n.ns.rem++
+	wp := n.wp
+	wp.pendingAccess = true
+	wp.dst = n.p.pickDest(n.route, n.i)
+	a.Kernel().ScheduleArg(n.p.latency(n.i, wp.dst), n.deliver, wp)
+	n.wp = nil
+	n.state = tnFetch
 }
 
 // otherNode picks a uniform destination distinct from self when possible.

@@ -1,0 +1,257 @@
+package queueing
+
+// Activity-mode (event-oriented) stations. The Proc-based components in
+// this package give every job its own process, which reads naturally but
+// pays a goroutine handoff per station visit. The Act* components below
+// run entirely inside the kernel's dispatch loop: jobs are plain values,
+// a station visit is an inline call plus one scheduled completion event,
+// and a whole M/M/1 run executes with zero goroutines. Use them for hot
+// measurement loops; keep the Proc components for interactive examples
+// and models whose control flow does not fit run-to-completion handlers.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ActNode consumes jobs in activity mode. AcceptAct must not block: it
+// runs to completion inside the caller's dispatch step.
+type ActNode interface {
+	AcceptAct(k *sim.Kernel, j *Job)
+}
+
+// ActNodeFunc adapts a function to the ActNode interface.
+type ActNodeFunc func(k *sim.Kernel, j *Job)
+
+// AcceptAct calls the function.
+func (f ActNodeFunc) AcceptAct(k *sim.Kernel, j *Job) { f(k, j) }
+
+// AcceptAct lets a Sink terminate an activity-mode chain. When Recycle is
+// set, the absorbed job is handed to it (an ActSource's Dispose closes the
+// allocation loop).
+func (s *Sink) AcceptAct(k *sim.Kernel, j *Job) {
+	s.count++
+	s.Sojourn.Add(k.Now() - j.Created)
+	if s.Recycle != nil {
+		s.Recycle(j)
+	}
+}
+
+// ActSource generates jobs in activity mode: one activity re-arms itself
+// per interarrival instead of spawning a process per job. Jobs disposed
+// back to the source are reused, so a steady-state run allocates nothing
+// per job.
+type ActSource struct {
+	Name string
+	// Limit stops generation after this many jobs (0 = unlimited); the
+	// generator activity exits when it is reached.
+	Limit int64
+
+	k      *sim.Kernel
+	inter  func() float64
+	class  int
+	out    ActNode
+	next   int64
+	primed bool
+	free   []*Job
+}
+
+// NewActSource creates an activity-mode source of class-0 jobs with the
+// given interarrival sampler, feeding out. Call Start to launch it.
+func NewActSource(k *sim.Kernel, name string, interarrival func() float64, out ActNode) *ActSource {
+	return &ActSource{Name: name, k: k, inter: interarrival, out: out}
+}
+
+// SetClass sets the class of generated jobs.
+func (s *ActSource) SetClass(class int) { s.class = class }
+
+// Start launches the generator activity.
+func (s *ActSource) Start() { s.k.SpawnActivity(s.Name, s) }
+
+// Generated returns the number of jobs generated so far.
+func (s *ActSource) Generated() int64 { return s.next }
+
+// Dispose returns an absorbed job to the source's free list (wire it to
+// the terminal Sink's Recycle field).
+func (s *ActSource) Dispose(j *Job) { s.free = append(s.free, j) }
+
+// Step emits one job per resumption: like the Proc source, the first
+// arrival happens one interarrival after the start time.
+func (s *ActSource) Step(a *sim.ActCtx) {
+	if !s.primed {
+		s.primed = true
+		a.Wait(s.inter())
+		return
+	}
+	var j *Job
+	if n := len(s.free); n > 0 {
+		j = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*j = Job{}
+	} else {
+		j = &Job{}
+	}
+	j.ID = s.next
+	j.Class = s.class
+	j.Created = a.Now()
+	s.next++
+	s.out.AcceptAct(s.k, j)
+	if s.Limit > 0 && s.next >= s.Limit {
+		a.Exit()
+		return
+	}
+	a.Wait(s.inter())
+}
+
+// ActServer is the activity-mode k-server FIFO station: arriving jobs
+// enter service immediately when a server is free and queue otherwise;
+// each service is one scheduled completion event carrying the job (no
+// closure per job). Statistics mirror the Proc Server's.
+type ActServer struct {
+	Name string
+	// Service samples the service times actually drawn.
+	Service stats.Sample
+	// Sojourn samples wait + service per visit.
+	Sojourn stats.Sample
+	// Util is the time-weighted number of busy servers; Util.Mean(now) /
+	// servers is the utilization ρ.
+	Util stats.TimeWeighted
+	// QueueLen is the time-weighted number of waiting jobs.
+	QueueLen stats.TimeWeighted
+
+	k        *sim.Kernel
+	servers  int
+	busy     int
+	queue    []*Job
+	svc      func(*Job) float64
+	out      ActNode
+	complete func(any) // bound once; every completion event reuses it
+}
+
+// NewActServer creates an activity-mode station with `servers` identical
+// servers, service sampler svc, and downstream node out.
+func NewActServer(k *sim.Kernel, name string, servers int, svc func(*Job) float64, out ActNode) *ActServer {
+	if servers <= 0 {
+		panic(fmt.Sprintf("queueing: NewActServer %q with %d servers", name, servers))
+	}
+	s := &ActServer{Name: name, k: k, servers: servers, svc: svc, out: out}
+	s.Util.Set(k.Now(), 0)
+	s.QueueLen.Set(k.Now(), 0)
+	s.complete = s.finish
+	return s
+}
+
+// Servers returns the number of servers.
+func (s *ActServer) Servers() int { return s.servers }
+
+// Busy returns the number of servers currently serving.
+func (s *ActServer) Busy() int { return s.busy }
+
+// QueueLength returns the number of jobs currently waiting.
+func (s *ActServer) QueueLength() int { return len(s.queue) }
+
+// Utilization returns the mean fraction of servers busy over the run.
+func (s *ActServer) Utilization(now sim.Time) float64 {
+	return s.Util.Mean(now) / float64(s.servers)
+}
+
+// AcceptAct admits the job: straight into service when a server is free,
+// else into the FIFO queue.
+func (s *ActServer) AcceptAct(k *sim.Kernel, j *Job) {
+	j.Start = k.Now()
+	if s.busy < s.servers {
+		s.begin(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+	s.QueueLen.Set(k.Now(), float64(len(s.queue)))
+}
+
+// begin starts one service and schedules its completion.
+func (s *ActServer) begin(j *Job) {
+	now := s.k.Now()
+	s.busy++
+	s.Util.Set(now, float64(s.busy))
+	t := s.svc(j)
+	if t < 0 {
+		panic(fmt.Sprintf("queueing: server %q sampled negative service time %g", s.Name, t))
+	}
+	s.Service.Add(t)
+	s.k.ScheduleArg(t, s.complete, j)
+}
+
+// finish completes one service: frees the server, admits the queue head,
+// and forwards the job downstream.
+func (s *ActServer) finish(x any) {
+	j := x.(*Job)
+	now := s.k.Now()
+	s.busy--
+	s.Util.Set(now, float64(s.busy))
+	s.Sojourn.Add(now - j.Start)
+	if len(s.queue) > 0 {
+		var head *Job
+		s.queue, head = sim.PopFront(s.queue)
+		s.QueueLen.Set(now, float64(len(s.queue)))
+		s.begin(head)
+	}
+	if s.out != nil {
+		s.out.AcceptAct(s.k, j)
+	}
+}
+
+// ActDelay holds each job for a sampled time without queueing (the
+// infinite-server station in activity mode).
+type ActDelay struct {
+	Name string
+
+	k       *sim.Kernel
+	d       func(*Job) float64
+	out     ActNode
+	forward func(any)
+}
+
+// NewActDelay creates an activity-mode pure-delay node.
+func NewActDelay(k *sim.Kernel, name string, d func(*Job) float64, out ActNode) *ActDelay {
+	ad := &ActDelay{Name: name, k: k, d: d, out: out}
+	ad.forward = func(x any) {
+		if ad.out != nil {
+			ad.out.AcceptAct(ad.k, x.(*Job))
+		}
+	}
+	return ad
+}
+
+// AcceptAct delays the job and forwards it.
+func (d *ActDelay) AcceptAct(k *sim.Kernel, j *Job) {
+	t := d.d(j)
+	if t < 0 {
+		panic(fmt.Sprintf("queueing: delay %q sampled negative time %g", d.Name, t))
+	}
+	k.ScheduleArg(t, d.forward, j)
+}
+
+// ActRouter sends each job to one of several outputs according to a
+// choice function (probabilistic, class-based, round-robin...).
+type ActRouter struct {
+	Name   string
+	choose func(*Job) int
+	outs   []ActNode
+}
+
+// NewActRouter creates an activity-mode router. choose must return an
+// index into outs.
+func NewActRouter(name string, choose func(*Job) int, outs ...ActNode) *ActRouter {
+	return &ActRouter{Name: name, choose: choose, outs: outs}
+}
+
+// AcceptAct forwards the job to the chosen output.
+func (r *ActRouter) AcceptAct(k *sim.Kernel, j *Job) {
+	idx := r.choose(j)
+	if idx < 0 || idx >= len(r.outs) {
+		panic(fmt.Sprintf("queueing: router %q chose invalid output %d of %d", r.Name, idx, len(r.outs)))
+	}
+	r.outs[idx].AcceptAct(k, j)
+}

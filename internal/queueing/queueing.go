@@ -23,6 +23,9 @@ type Job struct {
 	ID      int64
 	Class   int // workload class, available for routing decisions
 	Created sim.Time
+	// Start is per-station scratch used by the activity-mode stations:
+	// the arrival time at the station currently holding the job.
+	Start sim.Time
 	// Attrs carries model-specific baggage.
 	Attrs map[string]float64
 }
@@ -46,6 +49,11 @@ type Sink struct {
 	Name string
 	// Sojourn samples job lifetime (now - Created).
 	Sojourn stats.Sample
+	// Recycle, when non-nil, receives each job absorbed through AcceptAct
+	// (activity mode) so its allocation can be reused. The Proc-mode
+	// Accept never calls it: a process may still hold its job after the
+	// sink returns.
+	Recycle func(*Job)
 	count   int64
 }
 

@@ -232,13 +232,37 @@ func (s *Stream) Gamma(alpha, theta float64) float64 {
 }
 
 // Geometric returns the number of Bernoulli(p) failures before the first
-// success (support {0, 1, 2, ...}). It panics unless 0 < p <= 1.
+// success (support {0, 1, 2, ...}). It panics unless 0 < p <= 1. For the
+// moderate-p regime the simulation hot loops live in, the variate is
+// inverted by recursive probability multiplication — one uniform draw and
+// ~1/p multiplications, no logarithms; tiny p falls back to logarithmic
+// inversion, whose cost does not grow as the mean does.
 func (s *Stream) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
 		panic("rng: Geometric with p out of (0, 1]")
 	}
 	if p == 1 {
 		return 0
+	}
+	if p >= 0.1 {
+		// Inversion by multiplication: walk the CDF with the ratio
+		// P(k+1)/P(k) = q. The iteration count is bounded: once the tail
+		// mass q^k drops below the uniform's resolution the loop has
+		// already exited (u < 1 strictly).
+		q := 1 - p
+		r := p
+		u := s.Float64Open()
+		k := 0
+		for u > r {
+			u -= r
+			r *= q
+			k++
+			if r == 0 {
+				// Accumulated rounding exhausted the mass; clamp.
+				return k
+			}
+		}
+		return k
 	}
 	u := s.Float64Open()
 	return int(math.Floor(math.Log(u) / math.Log(1-p)))
@@ -269,10 +293,11 @@ func (s *Stream) Poisson(mean float64) int {
 }
 
 // Binomial returns the number of successes in n Bernoulli(p) trials. Exact
-// (BTPE-free) sampling: direct trials for small n, inversion on the
-// geometric waiting-time decomposition for small n·p, and a normal
-// approximation with continuity correction only above n·p·(1−p) > 1000,
-// where its error is far below the simulation noise floor.
+// (BTPE-free) sampling: CDF inversion by recursive probability ratios (the
+// classic BINV algorithm — one uniform draw and O(n·p) multiplications, no
+// logarithms) for small n·p, and a normal approximation with continuity
+// correction only above n·p·(1−p) > 1000, where its error is far below the
+// simulation noise floor.
 func (s *Stream) Binomial(n int, p float64) int {
 	switch {
 	case n < 0:
@@ -287,23 +312,8 @@ func (s *Stream) Binomial(n int, p float64) int {
 	}
 	np := float64(n) * p
 	switch {
-	case n <= 64:
-		k := 0
-		for i := 0; i < n; i++ {
-			if s.Float64() < p {
-				k++
-			}
-		}
-		return k
-	case np <= 30:
-		// Waiting-time method: count geometric gaps between successes.
-		k := 0
-		i := s.Geometric(p)
-		for i < n {
-			k++
-			i += 1 + s.Geometric(p)
-		}
-		return k
+	case np <= 30 || n <= 64:
+		return s.binv(n, p)
 	default:
 		v := float64(n) * p * (1 - p)
 		if v <= 1000 {
@@ -320,6 +330,43 @@ func (s *Stream) Binomial(n int, p float64) int {
 		}
 		return int(x)
 	}
+}
+
+// binv inverts the Binomial(n, p) CDF by walking it with the recursive
+// ratio P(k+1)/P(k) = (n−k)/(k+1) · p/q. Requires 0 < p <= 0.5 and small
+// n·p (so that P(0) = qⁿ ≳ e⁻⁶⁰ stays comfortably normal and the expected
+// walk length ≈ n·p stays short).
+func (s *Stream) binv(n int, p float64) int {
+	q := 1 - p
+	ratio := p / q
+	r := powN(q, n)
+	u := s.Float64Open()
+	k := 0
+	for u > r {
+		u -= r
+		k++
+		if k > n {
+			// Accumulated rounding left a residue beyond the support.
+			return n
+		}
+		r *= ratio * float64(n-k+1) / float64(k)
+	}
+	return k
+}
+
+// powN computes qⁿ by binary exponentiation — plain multiplications, so
+// the result (and therefore every stream's draw sequence) is identical on
+// every platform, unlike math.Pow's libm-dependent rounding.
+func powN(q float64, n int) float64 {
+	r := 1.0
+	for n > 0 {
+		if n&1 == 1 {
+			r *= q
+		}
+		q *= q
+		n >>= 1
+	}
+	return r
 }
 
 // Triangular returns a triangularly distributed variate on [lo, hi] with

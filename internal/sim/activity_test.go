@@ -1,0 +1,787 @@
+package sim
+
+// Tests of the activity execution mode: equivalence with the Proc mode
+// under the property-test model (identical traces, byte-identical across
+// reruns), the Interrupt/Timer.Cancel/Advance interplay, mixed
+// Proc+Activity models, and allocation guards pinning the inline paths at
+// zero.
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// recTracer records (t, track, state) triples for trace comparison.
+type recTracer struct {
+	events []traceEvent
+}
+
+type traceEvent struct {
+	t     Time
+	track string
+	state string
+}
+
+func (r *recTracer) ProcState(t Time, name, state string) {
+	r.events = append(r.events, traceEvent{t, name, state})
+}
+
+// workerPlan is one worker's precomputed schedule: alternating waits and
+// resource holds. Both execution modes consume the same plan, so any
+// trajectory difference is the kernel's fault, not sampling noise.
+type workerPlan struct {
+	waits []Time
+	holds []Time
+}
+
+func makePlans(seed uint64, workers, steps int) []workerPlan {
+	st := rng.New(seed)
+	plans := make([]workerPlan, workers)
+	for i := range plans {
+		plans[i] = workerPlan{waits: make([]Time, steps), holds: make([]Time, steps)}
+		for j := 0; j < steps; j++ {
+			plans[i].waits[j] = st.Exp(3)
+			plans[i].holds[j] = st.Exp(2)
+		}
+	}
+	return plans
+}
+
+// runPlansProc executes the plans as processes; returns the trace, final
+// time, and total grants.
+func runPlansProc(plans []workerPlan, capacity int) ([]traceEvent, Time, int64, error) {
+	k := NewKernel()
+	rec := &recTracer{}
+	k.Tracer = rec
+	r := NewResource(k, "res", capacity, FIFO)
+	for i := range plans {
+		pl := &plans[i]
+		k.Spawn("w", func(c *Context) {
+			for j := range pl.waits {
+				c.Wait(pl.waits[j])
+				r.Acquire(c)
+				c.Wait(pl.holds[j])
+				r.Release(1)
+			}
+		})
+	}
+	now, err := k.RunUntilIdle()
+	return rec.events, now, r.Grants(), err
+}
+
+// planWorker is the activity-mode form of the same worker.
+type planWorker struct {
+	pl    *workerPlan
+	r     *Resource
+	step  int
+	state int // 0: start wait; 1: acquire; 2: hold; 3: release
+}
+
+func (w *planWorker) Step(a *ActCtx) {
+	for {
+		switch w.state {
+		case 0:
+			if w.step >= len(w.pl.waits) {
+				a.Exit()
+				return
+			}
+			w.state = 1
+			a.Wait(w.pl.waits[w.step])
+			return
+		case 1:
+			w.state = 2
+			if !w.r.Acquire1Act(a) {
+				return
+			}
+		case 2:
+			w.state = 3
+			a.Wait(w.pl.holds[w.step])
+			return
+		case 3:
+			w.r.Release(1)
+			w.step++
+			w.state = 0
+		}
+	}
+}
+
+// runPlansAct executes the plans as activities.
+func runPlansAct(plans []workerPlan, capacity int) ([]traceEvent, Time, int64, error) {
+	k := NewKernel()
+	rec := &recTracer{}
+	k.Tracer = rec
+	r := NewResource(k, "res", capacity, FIFO)
+	for i := range plans {
+		k.SpawnActivity("w", &planWorker{pl: &plans[i], r: r})
+	}
+	now, err := k.RunUntilIdle()
+	return rec.events, now, r.Grants(), err
+}
+
+func tracesEqual(a, b []traceEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestActivityProcTraceEquivalence: for any random workload the activity
+// mode produces the exact event trajectory of the process mode — same
+// trace (times, order, states), same final time, same grant count — and
+// the activity run is byte-identical across reruns.
+func TestActivityProcTraceEquivalence(t *testing.T) {
+	err := quick.Check(func(seed uint64, wRaw, sRaw, cRaw uint8) bool {
+		workers := 1 + int(wRaw%8)
+		steps := 1 + int(sRaw%12)
+		capacity := 1 + int(cRaw%3)
+		plans := makePlans(seed, workers, steps)
+		pTrace, pNow, pGrants, pErr := runPlansProc(plans, capacity)
+		aTrace, aNow, aGrants, aErr := runPlansAct(plans, capacity)
+		if pErr != nil || aErr != nil {
+			return false
+		}
+		aTrace2, aNow2, _, aErr2 := runPlansAct(plans, capacity)
+		if aErr2 != nil || aNow2 != aNow || !tracesEqual(aTrace, aTrace2) {
+			return false // activity rerun not byte-identical
+		}
+		return pNow == aNow && pGrants == aGrants && tracesEqual(pTrace, aTrace)
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestActivityInterruptSleep: InterruptActivity ends a Sleep early with
+// the interrupted flag set; an undisturbed Sleep runs to term with the
+// flag clear; interrupting a non-sleeping activity is a refused no-op.
+func TestActivityInterruptSleep(t *testing.T) {
+	k := NewKernel()
+	var wakes []Time
+	var flags []bool
+	var sleeper *ActCtx
+	sleeper = k.SpawnActivity("sleeper", ActivityFunc(func(a *ActCtx) {
+		if len(wakes) > 0 || a.Now() > 0 {
+			wakes = append(wakes, a.Now())
+			flags = append(flags, a.Interrupted())
+		}
+		if len(wakes) >= 2 {
+			a.Exit()
+			return
+		}
+		a.Sleep(100)
+	}))
+	k.Schedule(5, func() {
+		if !k.InterruptActivity(sleeper) {
+			t.Error("interrupt of sleeping activity refused")
+		}
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// First sleep starts at 0, interrupted at 5; second runs 5..105.
+	if len(wakes) != 2 || wakes[0] != 5 || wakes[1] != 105 {
+		t.Fatalf("wakes = %v, want [5 105]", wakes)
+	}
+	if !flags[0] || flags[1] {
+		t.Fatalf("interrupted flags = %v, want [true false]", flags)
+	}
+	if k.InterruptActivity(sleeper) {
+		t.Error("interrupt of an exited activity succeeded")
+	}
+
+	k2 := NewKernel()
+	idle := k2.SpawnActivity("idle", ActivityFunc(func(a *ActCtx) {}))
+	if err := k2.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	if k2.InterruptActivity(idle) {
+		t.Error("interrupt of a dormant (non-sleeping) activity succeeded")
+	}
+}
+
+// TestActivityTimerCancelAdvance: timers armed from activity steps honour
+// Cancel across Advance windows, Wait resumptions span window boundaries,
+// and a canceled resumption never steps the activity.
+func TestActivityTimerCancelAdvance(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	var tm Timer
+	var steps []Time
+	k.SpawnActivity("arm", ActivityFunc(func(a *ActCtx) {
+		steps = append(steps, a.Now())
+		if a.Now() == 0 {
+			// Arm a callback due in the second window; it is canceled from
+			// outside between the windows, so it must never fire.
+			tm = a.Kernel().Schedule(40, func() { fired++ })
+			a.Wait(10) // resumes in the same window
+			return
+		}
+		if a.Now() == 10 {
+			a.Wait(20) // spans the window boundary at 25
+			return
+		}
+		a.Exit()
+	}))
+	if err := k.Advance(25); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 25 {
+		t.Fatalf("Now = %g after Advance(25)", k.Now())
+	}
+	if !tm.Cancel() {
+		t.Fatal("cancel of pending timer between windows failed")
+	}
+	if err := k.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("canceled timer fired %d times", fired)
+	}
+	if len(steps) != 3 || steps[0] != 0 || steps[1] != 10 || steps[2] != 30 {
+		t.Fatalf("steps = %v, want [0 10 30]", steps)
+	}
+	if k.LiveActivities() != 0 {
+		t.Fatalf("LiveActivities = %d after Exit", k.LiveActivities())
+	}
+}
+
+// TestScheduleArgDelivery: ScheduleArg delivers the argument without a
+// per-call closure, and its Timer cancels like any other.
+func TestScheduleArgDelivery(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	deliver := func(x any) { got = append(got, x.(int)) }
+	k.ScheduleArg(2, deliver, 7)
+	k.ScheduleArg(1, deliver, 3)
+	tm := k.ScheduleArg(3, deliver, 9)
+	if !tm.Cancel() {
+		t.Fatal("ScheduleArg timer cancel failed")
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("deliveries = %v, want [3 7]", got)
+	}
+}
+
+// TestMixedProcActivityOrdering: processes and activities contending the
+// same FIFO resource are granted strictly in request order, regardless of
+// mode.
+func TestMixedProcActivityOrdering(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 1, FIFO)
+	var order []int
+	const each = 8
+	for i := 0; i < each; i++ {
+		id := 2 * i
+		at := Time(i)
+		k.SpawnAt(at, "p", func(c *Context) {
+			r.Acquire(c)
+			order = append(order, id)
+			c.Wait(3)
+			r.Release(1)
+		})
+		aid := 2*i + 1
+		k.SpawnActivityAt(at+0.5, "a", &mixedAcquirer{r: r, id: aid, order: &order})
+	}
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2*each {
+		t.Fatalf("grants = %d, want %d", len(order), 2*each)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("grant order %v: position %d got %d", order, i, id)
+		}
+	}
+}
+
+type mixedAcquirer struct {
+	r     *Resource
+	id    int
+	order *[]int
+	state int
+}
+
+func (m *mixedAcquirer) Step(a *ActCtx) {
+	switch m.state {
+	case 0:
+		m.state = 1
+		if !m.r.Acquire1Act(a) {
+			return
+		}
+		fallthrough
+	case 1:
+		*m.order = append(*m.order, m.id)
+		m.state = 2
+		a.Wait(3)
+	case 2:
+		m.r.Release(1)
+		a.Exit()
+	}
+}
+
+// TestMixedProcActivityStore: values flow between the two modes through
+// one store in FIFO order, in both directions.
+func TestMixedProcActivityStore(t *testing.T) {
+	k := NewKernel()
+	s := NewStore[int](k, "box")
+	var actGot, procGot []int
+	// Proc producer -> activity consumer.
+	k.Spawn("producer", func(c *Context) {
+		for i := 0; i < 10; i++ {
+			c.Wait(1)
+			s.Put(c, i)
+		}
+	})
+	k.SpawnActivity("consumer", ActivityFunc(func(a *ActCtx) {
+		for {
+			v, ok := s.GetAct(a)
+			if !ok {
+				return
+			}
+			actGot = append(actGot, v)
+			if len(actGot) == 10 {
+				a.Exit()
+				return
+			}
+		}
+	}))
+	// Activity producer -> proc consumer.
+	s2 := NewStore[int](k, "box2")
+	k.SpawnActivity("producer2", &actProducer{s: s2, n: 10})
+	k.Spawn("consumer2", func(c *Context) {
+		for i := 0; i < 10; i++ {
+			procGot = append(procGot, s2.Get(c))
+		}
+	})
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if actGot[i] != i || procGot[i] != i {
+			t.Fatalf("actGot = %v, procGot = %v", actGot, procGot)
+		}
+	}
+}
+
+type actProducer struct {
+	s *Store[int]
+	n int
+	i int
+}
+
+func (p *actProducer) Step(a *ActCtx) {
+	if p.i > 0 {
+		p.s.TryPut(p.i - 1)
+	}
+	if p.i == p.n {
+		a.Exit()
+		return
+	}
+	p.i++
+	a.Wait(1)
+}
+
+// TestActivitySignalJoin: a WaitGroup joins activities and processes
+// together; the joiner (an activity) resumes only after every member is
+// done.
+func TestActivitySignalJoin(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k, "join", 4)
+	var joinedAt Time = -1
+	for i := 0; i < 2; i++ {
+		d := Time(10 * (i + 1))
+		k.Spawn("p", func(c *Context) {
+			c.Wait(d)
+			wg.Done()
+		})
+		k.SpawnActivity("a", &delayedDone{wg: wg, d: d + 5})
+	}
+	k.SpawnActivity("joiner", ActivityFunc(func(a *ActCtx) {
+		if !wg.WaitAct(a) {
+			return
+		}
+		joinedAt = a.Now()
+		a.Exit()
+	}))
+	if _, err := k.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if joinedAt != 25 {
+		t.Fatalf("joined at %g, want 25 (the slowest member)", joinedAt)
+	}
+}
+
+type delayedDone struct {
+	wg    *WaitGroup
+	d     Time
+	state int
+}
+
+func (d *delayedDone) Step(a *ActCtx) {
+	if d.state == 0 {
+		d.state = 1
+		a.Wait(d.d)
+		return
+	}
+	d.wg.Done()
+	a.Exit()
+}
+
+// TestActivityDeadlockDetection: a blocked (queue-registered) activity
+// with no events left is a deadlock; a dormant activity is not.
+func TestActivityDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	s := NewStore[int](k, "empty")
+	k.SpawnActivity("starved", ActivityFunc(func(a *ActCtx) {
+		if _, ok := s.GetAct(a); !ok {
+			return
+		}
+		a.Exit()
+	}))
+	if _, err := k.RunUntilIdle(); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+
+	k2 := NewKernel()
+	k2.SpawnActivity("dormant", ActivityFunc(func(a *ActCtx) {
+		// Returns without pending work: an idle event-oriented server.
+	}))
+	if _, err := k2.RunUntilIdle(); err != nil {
+		t.Fatalf("dormant activity reported: %v", err)
+	}
+}
+
+// TestActivityPanicSurfaces: a panicking Step becomes the run's error
+// instead of crashing whichever goroutine dispatched it.
+func TestActivityPanicSurfaces(t *testing.T) {
+	k := NewKernel()
+	k.SpawnActivity("bad", ActivityFunc(func(a *ActCtx) {
+		panic("boom")
+	}))
+	_, err := k.RunUntilIdle()
+	if err == nil {
+		t.Fatal("activity panic did not surface")
+	}
+}
+
+// TestActivityDoubleBlockPanics: issuing two pending resumptions in one
+// step is a model bug and must be reported, not silently double-stepped.
+func TestActivityDoubleBlockPanics(t *testing.T) {
+	k := NewKernel()
+	k.SpawnActivity("greedy", ActivityFunc(func(a *ActCtx) {
+		a.Wait(1)
+		a.Wait(2)
+	}))
+	if _, err := k.RunUntilIdle(); err == nil {
+		t.Fatal("double Wait in one step not reported")
+	}
+}
+
+// TestActivityExitWhileRegisteredPanics: Exit with a wait-queue
+// registration outstanding would leave a dead activity enqueued (and leak
+// resource units at grant time); it must be reported as a model bug.
+func TestActivityExitWhileRegisteredPanics(t *testing.T) {
+	k := NewKernel()
+	s := NewStore[int](k, "box")
+	k.SpawnActivity("quitter", ActivityFunc(func(a *ActCtx) {
+		if _, ok := s.GetAct(a); !ok {
+			a.Exit() // bug: still registered as a getter
+		}
+	}))
+	if _, err := k.RunUntilIdle(); err == nil {
+		t.Fatal("Exit while registered not reported")
+	}
+}
+
+// TestActivityCrossStoreGetPanics: a GetAct on a different store while a
+// delivery is in flight on another store of the same element type must be
+// reported, not silently collect the wrong store's item.
+func TestActivityCrossStoreGetPanics(t *testing.T) {
+	k := NewKernel()
+	s1 := NewStore[int](k, "box1")
+	s2 := NewStore[int](k, "box2")
+	k.SpawnActivity("confused", ActivityFunc(func(a *ActCtx) {
+		if a.Now() == 0 {
+			if _, ok := s1.GetAct(a); ok {
+				t.Error("unexpected immediate delivery")
+			}
+			return
+		}
+		// Resumed by s1's delivery, but collects from s2: model bug.
+		s2.GetAct(a)
+	}))
+	k.Schedule(1, func() { s1.TryPut(7) })
+	if _, err := k.RunUntilIdle(); err == nil {
+		t.Fatal("cross-store GetAct not reported")
+	}
+}
+
+// TestMixedModelsParallelRace drives several independent mixed
+// Proc+Activity kernels from concurrent goroutines. Under -race this
+// checks two things: activity state stepped from whichever goroutine
+// happens to dispatch (controller or a parked process) is properly
+// ordered by the handoff protocol, and kernels share no hidden package
+// state.
+func TestMixedModelsParallelRace(t *testing.T) {
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		seed := uint64(g + 1)
+		go func() {
+			k := NewKernel()
+			r := NewResource(k, "res", 2, FIFO)
+			s := NewStore[int](k, "box")
+			plans := makePlans(seed, 4, 20)
+			for i := range plans {
+				k.SpawnActivity("a", &planWorker{pl: &plans[i], r: r})
+			}
+			for i := 0; i < 4; i++ {
+				i := i
+				k.Spawn("p", func(c *Context) {
+					for j := 0; j < 20; j++ {
+						c.Wait(0.7)
+						r.Acquire(c)
+						c.Wait(0.3)
+						r.Release(1)
+						s.Put(c, i*100+j)
+					}
+				})
+			}
+			k.SpawnActivity("drain", ActivityFunc(func(a *ActCtx) {
+				for {
+					if _, ok := s.GetAct(a); !ok {
+						return
+					}
+				}
+			}))
+			_, err := k.RunUntilIdle()
+			done <- err
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		// The drain activity stays registered when the puts run out.
+		if err := <-done; err != nil && !errors.Is(err, ErrDeadlock) {
+			t.Error(err)
+		}
+	}
+}
+
+// --- Allocation regression guards -------------------------------------
+//
+// The activity-mode satellites of the kernel_bench_test.go guards: the
+// inline fast paths — Wait, Sleep+Interrupt, Signal rounds, contended
+// Acquire, store ping-pong — must stay allocation-free at steady state.
+
+// TestActivityWaitAllocsPinned: the activity Wait/step cycle is
+// allocation-free.
+func TestActivityWaitAllocsPinned(t *testing.T) {
+	k := NewKernel()
+	var w waitLoopAct
+	k.SpawnActivity("w", &w)
+	t.Cleanup(func() { _ = k.Run(k.Now()) })
+	next := Time(256)
+	if err := k.Advance(next); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		next += 256
+		if err := k.Advance(next); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state activity Wait allocates %.1f objects per 256-wait window, want 0", allocs)
+	}
+}
+
+type waitLoopAct struct{}
+
+func (*waitLoopAct) Step(a *ActCtx) { a.Wait(1) }
+
+// TestActivitySleepInterruptAllocsPinned: Sleep plus InterruptActivity is
+// allocation-free.
+func TestActivitySleepInterruptAllocsPinned(t *testing.T) {
+	k := NewKernel()
+	var s sleepLoopAct
+	target := k.SpawnActivity("s", &s)
+	interrupt := func() { k.InterruptActivity(target) }
+	t.Cleanup(func() { _ = k.Run(k.Now()) })
+	next := Time(0)
+	window := func() {
+		for j := 0; j < 64; j++ {
+			k.Schedule(Time(j)+0.5, interrupt)
+		}
+		next += 64
+		if err := k.Advance(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	window() // prime free lists and queue capacity
+	allocs := testing.AllocsPerRun(100, func() { window() })
+	if allocs != 0 {
+		t.Errorf("steady-state Sleep+Interrupt allocates %.1f objects per 64-cycle window, want 0", allocs)
+	}
+	if s.interrupts == 0 {
+		t.Fatal("no interrupts delivered")
+	}
+}
+
+type sleepLoopAct struct {
+	interrupts int
+}
+
+func (s *sleepLoopAct) Step(a *ActCtx) {
+	if a.Interrupted() {
+		s.interrupts++
+	}
+	a.Sleep(1000)
+}
+
+// TestActivitySignalAllocsPinned: a Trigger/Reset round over registered
+// activity waiters is allocation-free at steady state.
+func TestActivitySignalAllocsPinned(t *testing.T) {
+	k := NewKernel()
+	sig := NewSignal(k, "gate")
+	var ws [4]sigLoopAct
+	for i := range ws {
+		ws[i].sig = sig
+		k.SpawnActivity("w", &ws[i])
+	}
+	round := func() { sig.Trigger(); sig.Reset() }
+	t.Cleanup(func() { _ = k.Run(k.Now()) })
+	next := Time(0)
+	window := func() {
+		for j := 0; j < 64; j++ {
+			k.Schedule(Time(j)+0.5, round)
+		}
+		next += 64
+		if err := k.Advance(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	window()
+	allocs := testing.AllocsPerRun(100, func() { window() })
+	if allocs != 0 {
+		t.Errorf("steady-state Signal round allocates %.1f objects per 64-round window, want 0", allocs)
+	}
+	if ws[0].rounds == 0 {
+		t.Fatal("no signal rounds observed")
+	}
+}
+
+type sigLoopAct struct {
+	sig    *Signal
+	rounds int
+}
+
+func (s *sigLoopAct) Step(a *ActCtx) {
+	s.rounds++
+	if !s.sig.WaitAct(a) {
+		return
+	}
+	// Already triggered: yield until the next round's registration window.
+	a.Wait(1)
+}
+
+// TestActivityAcquireContendedAllocsPinned: contended activity acquires
+// (queue registration, grant, resumption) are allocation-free.
+func TestActivityAcquireContendedAllocsPinned(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 1, FIFO)
+	for i := 0; i < 3; i++ {
+		k.SpawnActivity("c", &contendLoopAct{r: r})
+	}
+	t.Cleanup(func() { _ = k.Run(k.Now()) })
+	next := Time(256)
+	if err := k.Advance(next); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		next += 256
+		if err := k.Advance(next); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state contended AcquireAct allocates %.1f objects per 256-cycle window, want 0", allocs)
+	}
+}
+
+type contendLoopAct struct {
+	r     *Resource
+	state int
+}
+
+func (c *contendLoopAct) Step(a *ActCtx) {
+	for {
+		switch c.state {
+		case 0:
+			c.state = 1
+			if !c.r.Acquire1Act(a) {
+				return
+			}
+		case 1:
+			c.state = 2
+			a.Wait(1)
+			return
+		case 2:
+			c.r.Release(1)
+			c.state = 0
+		}
+	}
+}
+
+// TestActivityStoreAllocsPinned: the GetAct/TryPut ping-pong (register,
+// deliver, collect) is allocation-free.
+func TestActivityStoreAllocsPinned(t *testing.T) {
+	k := NewKernel()
+	s := NewStore[int](k, "box")
+	var g getLoopAct
+	g.s = s
+	k.SpawnActivity("g", &g)
+	feed := func() { s.TryPut(1) }
+	t.Cleanup(func() { _ = k.Run(k.Now()) })
+	next := Time(0)
+	window := func() {
+		for j := 0; j < 64; j++ {
+			k.Schedule(Time(j)+0.5, feed)
+		}
+		next += 64
+		if err := k.Advance(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	window()
+	allocs := testing.AllocsPerRun(100, func() { window() })
+	if allocs != 0 {
+		t.Errorf("steady-state GetAct/TryPut allocates %.1f objects per 64-item window, want 0", allocs)
+	}
+	if g.got == 0 {
+		t.Fatal("no items delivered")
+	}
+}
+
+type getLoopAct struct {
+	s   *Store[int]
+	got int
+}
+
+func (g *getLoopAct) Step(a *ActCtx) {
+	for {
+		if _, ok := g.s.GetAct(a); !ok {
+			return
+		}
+		g.got++
+	}
+}

@@ -1,19 +1,35 @@
-// Package sim is a deterministic process-interaction discrete-event
-// simulation kernel. It is the replacement for the commercial HyPerformix
-// SES/Workbench tool the paper used: transactions are modeled as lightweight
+// Package sim is a deterministic discrete-event simulation kernel with two
+// execution modes sharing one event heap. It is the replacement for the
+// commercial HyPerformix SES/Workbench tool the paper used.
+//
+// Process mode (Proc, Context): transactions are modeled as lightweight
 // processes (goroutines) that advance simulated time by waiting, acquiring
 // resources, and exchanging messages, while a single logical thread of
-// control guarantees reproducible execution order.
+// control guarantees reproducible execution order. Any number of process
+// goroutines may exist, but exactly one of them (or the controller that
+// called Run) executes at any instant. The logical thread is handed
+// directly from goroutine to goroutine: a parking process continues
+// dispatching events itself, so a burst of same-window resumptions costs
+// one channel handoff per process switch (and none at all when a process's
+// next event resumes the process itself). Write models in this mode when
+// straight-line control flow matters more than throughput: the model body
+// reads like sequential code and may block anywhere.
 //
-// Concurrency model: any number of process goroutines may exist, but exactly
-// one of them (or the controller that called Run) executes at any instant.
-// The logical thread is handed directly from goroutine to goroutine: a
-// parking process continues dispatching events itself, so a burst of
-// same-window resumptions costs one channel handoff per process switch (and
-// none at all when a process's next event resumes the process itself)
-// instead of a round trip through a central event-loop goroutine per event.
-// The simulation is deterministic: the same seed and model always produce
-// the same trajectory. Ties in event time are broken by schedule order.
+// Activity mode (Activity, ActCtx): run-to-completion event handlers the
+// kernel steps inline in its dispatch loop — zero goroutines, zero channel
+// operations, zero stack switches. A switch between two activities costs a
+// heap pop instead of a goroutine handoff (an order of magnitude cheaper),
+// at the price of event-oriented style: the model is an explicit state
+// machine and every blocking primitive becomes a "try or register" call
+// (AcquireAct, GetAct, WaitAct). Write hot simulation loops in this mode;
+// the repository's heavy studies (hostpim, parcelsys, the activity-mode
+// queueing stations) all do.
+//
+// The two modes coexist on the same kernel: events carry either a callback,
+// a process resumption, or an activity step, and the single (t, seq) order
+// covers all three, so a mixed model is exactly as deterministic as a pure
+// one. The same seed and model always produce the same trajectory; ties in
+// event time are broken by schedule order.
 package sim
 
 import (
@@ -30,18 +46,23 @@ type Time = float64
 // processes are still blocked.
 var ErrDeadlock = errors.New("sim: deadlock: no scheduled events but processes remain blocked")
 
-// event is a scheduled callback or process resumption. Events are
-// recycled through the kernel's free list once fired or collected dead,
-// so steady-state scheduling does not allocate; gen distinguishes
-// incarnations so a stale Timer cannot cancel the struct's next tenant.
-// Process resumptions carry the process directly (proc != nil) instead of
-// a closure, keeping the kernel's hottest path — Wait and blocking-wakeup
-// events — entirely allocation-free.
+// event is a scheduled callback, process resumption, or activity step.
+// Events are recycled through the kernel's free list once fired or
+// collected dead, so steady-state scheduling does not allocate; gen
+// distinguishes incarnations so a stale Timer cannot cancel the struct's
+// next tenant. Resumptions carry the process or activity directly instead
+// of a closure, keeping the kernel's hottest paths — Wait and
+// blocking-wakeup events in both execution modes — entirely
+// allocation-free; ScheduleArg callbacks likewise carry their argument out
+// of line so one function value can serve many deliveries.
 type event struct {
 	t    Time
-	seq  uint64 // tie-breaker: schedule order
+	seq  uint64  // tie-breaker: schedule order
+	proc *Proc   // when non-nil, resume this process
+	act  *ActCtx // when non-nil, step this activity
 	fn   func()
-	proc *Proc  // when non-nil, resume this process instead of calling fn
+	afn  func(any) // when non-nil, call afn(arg)
+	arg  any
 	dead bool   // canceled
 	gen  uint64 // incarnation counter, bumped on recycle
 }
@@ -139,6 +160,14 @@ type Kernel struct {
 	procs []*Proc
 	live  int
 
+	// acts is the activity roster (same sweep policy as procs); liveActs
+	// counts the not-yet-exited ones, actsBlocked the subset registered in
+	// a wait structure with no scheduled resumption (these count toward
+	// deadlock detection exactly as blocked processes do).
+	acts        []*ActCtx
+	liveActs    int
+	actsBlocked int
+
 	yield  chan struct{} // logical thread -> controller handoff (cap 1)
 	err    error         // first process panic, if any
 	nextID int64
@@ -192,11 +221,11 @@ func (t Timer) Cancel() bool {
 	return true
 }
 
-// scheduleEvent is the internal Timer-free scheduling path: it registers
-// either a callback (fn) or a process resumption (p) at absolute time t,
-// reusing a recycled event when one is free. Scheduling in the past
-// panics (events must be causal).
-func (k *Kernel) scheduleEvent(t Time, fn func(), p *Proc) *event {
+// newEvent takes a recycled event (or allocates one), stamps it with the
+// given time and the next sequence number, and leaves the payload fields
+// for the caller to fill before pushing. Scheduling in the past panics
+// (events must be causal).
+func (k *Kernel) newEvent(t Time) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%g) before now (%g)", t, k.now))
 	}
@@ -205,12 +234,30 @@ func (k *Kernel) scheduleEvent(t Time, fn func(), p *Proc) *event {
 		ev = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
-		ev.t, ev.fn, ev.proc, ev.dead = t, fn, p, false
+		ev.t, ev.dead = t, false
 		ev.seq = k.seq
 	} else {
-		ev = &event{t: t, seq: k.seq, fn: fn, proc: p}
+		ev = &event{t: t, seq: k.seq}
 	}
 	k.seq++
+	return ev
+}
+
+// scheduleEvent is the internal Timer-free scheduling path: it registers
+// either a callback (fn) or a process resumption (p) at absolute time t,
+// reusing a recycled event when one is free.
+func (k *Kernel) scheduleEvent(t Time, fn func(), p *Proc) *event {
+	ev := k.newEvent(t)
+	ev.fn, ev.proc = fn, p
+	k.events.push(ev)
+	return ev
+}
+
+// scheduleActEvent registers a step of activity a at absolute time t —
+// the activity-mode resumption path, allocation-free at steady state.
+func (k *Kernel) scheduleActEvent(t Time, a *ActCtx) *event {
+	ev := k.newEvent(t)
+	ev.act = a
 	k.events.push(ev)
 	return ev
 }
@@ -228,6 +275,22 @@ func (k *Kernel) Schedule(delay Time, fn func()) Timer {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %g", delay))
 	}
 	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleArg registers fn(arg) to run after the given delay (>= 0). The
+// callback and its argument travel separately through the (recycled)
+// event, so one per-run function value can serve any number of scheduled
+// deliveries with no closure allocation per call — the timed message-
+// delivery path of the activity-mode models. Passing a pointer as arg does
+// not allocate.
+func (k *Kernel) ScheduleArg(delay Time, fn func(any), arg any) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleArg with negative delay %g", delay))
+	}
+	ev := k.newEvent(k.now + delay)
+	ev.afn, ev.arg = fn, arg
+	k.events.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Stop requests that the current Run call return after the event that is
@@ -266,22 +329,38 @@ func (k *Kernel) dispatch(self *Proc) dispatchState {
 		}
 		k.events.pop()
 		k.now = ev.t
-		fn, p := ev.fn, ev.proc
+		// The payload fields are read lazily, most-frequent kind first, so
+		// the hot resume paths touch as little of the event as possible.
+		if a := ev.act; a != nil {
+			k.recycle(ev)
+			// Activity step: runs inline on this goroutine — the logical
+			// thread never moves, whole bursts of activity events drain
+			// with no handoffs at all.
+			if !a.done {
+				k.stepActivity(a)
+			}
+			continue
+		}
+		if p := ev.proc; p != nil {
+			k.recycle(ev)
+			if p.done {
+				// Stale resumption of a finished process (possible only for
+				// events left over from a previous window); skip it.
+				continue
+			}
+			if p == self {
+				return resumedSelf
+			}
+			k.startOrWake(p)
+			return handedOff
+		}
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
 		k.recycle(ev)
-		if p == nil {
+		if afn != nil {
+			k.runArgCallback(afn, arg)
+		} else {
 			k.runCallback(fn)
-			continue
 		}
-		if p.done {
-			// Stale resumption of a finished process (possible only for
-			// events left over from a previous window); skip it.
-			continue
-		}
-		if p == self {
-			return resumedSelf
-		}
-		k.startOrWake(p)
-		return handedOff
 	}
 }
 
@@ -300,6 +379,19 @@ func (k *Kernel) runCallback(fn func()) {
 	fn()
 }
 
+// runArgCallback is runCallback for ScheduleArg events.
+func (k *Kernel) runArgCallback(fn func(any), arg any) {
+	defer func() {
+		if r := recover(); r != nil {
+			if k.err == nil {
+				k.err = fmt.Errorf("sim: scheduled callback panicked: %v", r)
+			}
+			k.stopped = true
+		}
+	}()
+	fn(arg)
+}
+
 // startOrWake gives the logical thread to process p.
 func (k *Kernel) startOrWake(p *Proc) {
 	if !p.started {
@@ -316,6 +408,9 @@ func (k *Kernel) startOrWake(p *Proc) {
 func (k *Kernel) recycle(ev *event) {
 	ev.fn = nil
 	ev.proc = nil
+	ev.act = nil
+	ev.afn = nil
+	ev.arg = nil
 	ev.gen++
 	k.free = append(k.free, ev)
 }
@@ -385,8 +480,12 @@ func (k *Kernel) RunUntilIdle() (Time, error) {
 		k.shutdown()
 		return k.now, k.err
 	}
-	if k.live > 0 {
-		blocked := k.live
+	if k.live > 0 || k.actsBlocked > 0 {
+		// Blocked processes and blocked (queue-registered) activities both
+		// mean the model stalled. Activities that merely returned without a
+		// pending resumption are dormant by design (an idle event-oriented
+		// server) and do not count.
+		blocked := k.live + k.actsBlocked
 		k.shutdown()
 		if k.err != nil {
 			return k.now, k.err
@@ -415,6 +514,16 @@ func (k *Kernel) shutdown() {
 	}
 	k.procs = k.procs[:0]
 	k.live = 0
+	// Activities have no stack to unwind: finishing them is marking them
+	// done (which also deregisters the blocked ones from the deadlock
+	// count). They die after the processes so that dying processes'
+	// deferred cleanup may still Release/Trigger toward them.
+	for _, a := range k.acts {
+		k.finishAct(a)
+	}
+	k.acts = k.acts[:0]
+	k.liveActs = 0
+	k.actsBlocked = 0
 	k.draining = false
 }
 
@@ -471,8 +580,24 @@ func (k *Kernel) scheduleResumeTimer(p *Proc, delay Time) Timer {
 	return Timer{ev: ev, gen: ev.gen}
 }
 
-// Idle reports whether no events are pending and no processes are live.
-func (k *Kernel) Idle() bool { return len(k.events) == 0 && k.live == 0 }
+// PopFront removes and returns the head of a FIFO slice by compacting in
+// place: q[1:] would creep through the backing array and eventually
+// reallocate, while shifting keeps steady-state queue traffic
+// allocation-free (simulation queues are short, the copy is cheap). The
+// kernel's wait queues and the queueing package's job queues share it.
+func PopFront[T any](q []T) ([]T, T) {
+	head := q[0]
+	n := copy(q, q[1:])
+	var zero T
+	q[n] = zero
+	return q[:n], head
+}
+
+// Idle reports whether nothing can ever happen again: no events are
+// pending, no processes are live, and no activities are blocked in a wait
+// queue. Dormant activities (spawned, not exited, nothing pending) do not
+// count — with no events left they will never be stepped again.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 && k.live == 0 && k.actsBlocked == 0 }
 
 // PendingEvents returns the number of scheduled (possibly canceled) events;
 // exposed for tests and diagnostics.
@@ -480,6 +605,9 @@ func (k *Kernel) PendingEvents() int { return len(k.events) }
 
 // LiveProcs returns the number of live processes.
 func (k *Kernel) LiveProcs() int { return k.live }
+
+// LiveActivities returns the number of spawned, not-yet-exited activities.
+func (k *Kernel) LiveActivities() int { return k.liveActs }
 
 func (k *Kernel) trace(t Time, name, state string) {
 	if k.Tracer != nil {

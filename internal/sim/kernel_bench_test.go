@@ -12,9 +12,10 @@ import (
 	"repro/internal/sim"
 )
 
-func BenchmarkKernelSchedule(b *testing.B)     { benches.KernelSchedule(b) }
-func BenchmarkKernelWaitResume(b *testing.B)   { benches.KernelWaitResume(b) }
-func BenchmarkKernelHandoffChain(b *testing.B) { benches.KernelHandoffChain(b) }
+func BenchmarkKernelSchedule(b *testing.B)      { benches.KernelSchedule(b) }
+func BenchmarkKernelWaitResume(b *testing.B)    { benches.KernelWaitResume(b) }
+func BenchmarkKernelHandoffChain(b *testing.B)  { benches.KernelHandoffChain(b) }
+func BenchmarkKernelActivityChain(b *testing.B) { benches.KernelActivityChain(b) }
 
 // BenchmarkTimerCancel measures the cancel-and-collect path: schedule,
 // cancel, and let the dead event be swept on the next drain.

@@ -52,8 +52,13 @@ type Resource struct {
 	grants int64 // total successful acquisitions
 }
 
+// resWaiter is one queued acquisition — by a process (p) or an activity
+// (a). Process waiters are allocated per block; activity waiters are
+// embedded in the ActCtx (an activity blocks on at most one resource at a
+// time), so the activity path does not allocate.
 type resWaiter struct {
 	p       *Proc
+	a       *ActCtx
 	n       int
 	prio    float64
 	since   Time
@@ -119,6 +124,35 @@ func (r *Resource) AcquireN(c *Context, n int, prio float64) {
 		panic(fmt.Sprintf("sim: process %q resumed in resource %q queue without grant", c.p.name, r.name))
 	}
 	r.WaitTime.Add(c.k.now - w.since)
+}
+
+// Acquire1Act is AcquireAct for the common single-unit, zero-priority
+// case.
+func (r *Resource) Acquire1Act(a *ActCtx) bool { return r.AcquireAct(a, 1, 0) }
+
+// AcquireAct is the activity-mode acquire: when n units are free (and
+// nobody queues ahead) it takes them and returns true — the caller holds
+// the resource and continues inline. Otherwise it registers the activity
+// in the queue and returns false; the caller's Step must return, and the
+// activity is stepped again holding the grant (the same queue, discipline,
+// and FIFO fairness as the blocking AcquireN, allocation-free).
+func (r *Resource) AcquireAct(a *ActCtx, n int, prio float64) bool {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: AcquireAct(%d) on resource %q with capacity %d", n, r.name, r.capacity))
+	}
+	now := r.k.now
+	if len(r.queue) == 0 && r.capacity-r.inUse >= n {
+		r.take(n, now)
+		r.WaitTime.Add(0)
+		return true
+	}
+	r.k.blockAct(a)
+	w := &a.rw
+	w.n, w.prio, w.since = n, prio, now
+	w.granted, w.removed = false, false
+	r.enqueue(w)
+	r.QueueLen.Set(now, float64(len(r.queue)))
+	return false
 }
 
 // TryAcquire obtains n units without blocking; it reports success.
@@ -197,10 +231,18 @@ func (r *Resource) dispatch() {
 		if r.capacity-r.inUse < head.n {
 			return
 		}
-		r.queue = r.queue[1:]
+		r.queue, _ = PopFront(r.queue)
 		r.QueueLen.Set(r.k.now, float64(len(r.queue)))
 		head.granted = true
 		r.take(head.n, r.k.now)
+		if head.a != nil {
+			// Activity grant: the wait ends now, so the waiting-time sample
+			// lands here (the blocking path records the same value after
+			// its same-time resumption).
+			r.WaitTime.Add(r.k.now - head.since)
+			r.k.resumeBlockedAct(head.a)
+			continue
+		}
 		p := head.p
 		r.k.scheduleEvent(r.k.now, nil, p)
 	}

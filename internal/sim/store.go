@@ -17,6 +17,9 @@ type Store[T any] struct {
 	items    []T
 	getters  []*storeWaiter[T]
 	putters  []*putWaiter[T]
+	// freeGetW/freePutW recycle activity waiters (see storeWaiter).
+	freeGetW []*storeWaiter[T]
+	freePutW []*putWaiter[T]
 
 	// Len is the time-weighted number of buffered items.
 	Len stats.TimeWeighted
@@ -26,8 +29,16 @@ type Store[T any] struct {
 	puts, gets int64
 }
 
+// storeWaiter is one blocked Get — by a process (p) or an activity (a).
+// Activity waiters are recycled through the store's free list, so the
+// activity get path does not allocate at steady state.
 type storeWaiter[T any] struct {
-	p       *Proc
+	p *Proc
+	a *ActCtx
+	// owner pins an activity waiter to the store that registered it, so a
+	// GetAct on a different store of the same element type cannot collect
+	// it by accident.
+	owner   *Store[T]
 	item    T
 	granted bool
 	since   Time
@@ -35,6 +46,7 @@ type storeWaiter[T any] struct {
 
 type putWaiter[T any] struct {
 	p       *Proc
+	a       *ActCtx
 	item    T
 	granted bool
 }
@@ -97,11 +109,15 @@ func (s *Store[T]) TryPut(item T) bool {
 func (s *Store[T]) deposit(item T) {
 	s.puts++
 	if len(s.getters) > 0 {
-		g := s.getters[0]
-		s.getters = s.getters[1:]
+		var g *storeWaiter[T]
+		s.getters, g = PopFront(s.getters)
 		g.item = item
 		g.granted = true
 		s.gets++
+		if g.a != nil {
+			s.k.resumeBlockedAct(g.a)
+			return
+		}
 		p := g.p
 		s.k.scheduleEvent(s.k.now, nil, p)
 		return
@@ -114,7 +130,7 @@ func (s *Store[T]) deposit(item T) {
 // empty.
 func (s *Store[T]) Get(c *Context) T {
 	if len(s.items) > 0 {
-		return s.takeHead(c)
+		return s.takeHead()
 	}
 	w := &storeWaiter[T]{p: c.p, since: c.k.now}
 	s.getters = append(s.getters, w)
@@ -134,15 +150,81 @@ func (s *Store[T]) TryGet(c *Context) (T, bool) {
 		var zero T
 		return zero, false
 	}
-	return s.takeHead(c), true
+	return s.takeHead(), true
 }
 
-func (s *Store[T]) takeHead(c *Context) T {
-	item := s.items[0]
-	s.items = s.items[1:]
+// GetAct is the activity-mode get. Fast path: an item is buffered, it is
+// taken and returned inline with ok true. Slow path: the store is empty,
+// the activity is registered as a getter and (zero, false) returns; when
+// an item arrives the activity is stepped again, and that step's GetAct
+// call collects the delivered item (ok true). Between the registering call
+// and the collecting call the activity must not interact with any other
+// store. Steady-state allocation-free: activity waiters are recycled.
+func (s *Store[T]) GetAct(a *ActCtx) (T, bool) {
+	if w, ok := a.wslot.(*storeWaiter[T]); ok {
+		if w.owner != s {
+			panic(fmt.Sprintf("sim: activity %q called store %q GetAct with a wait in flight on store %q", a.name, s.name, w.owner.name))
+		}
+		if !w.granted {
+			panic(fmt.Sprintf("sim: activity %q re-entered store %q GetAct without a delivery", a.name, s.name))
+		}
+		item := w.item
+		s.GetWait.Add(s.k.now - w.since)
+		a.wslot = nil
+		var zero T
+		w.item, w.a, w.owner, w.granted = zero, nil, nil, false
+		s.freeGetW = append(s.freeGetW, w)
+		return item, true
+	}
+	if len(s.items) > 0 {
+		return s.takeHead(), true
+	}
+	s.k.blockAct(a)
+	var w *storeWaiter[T]
+	if n := len(s.freeGetW); n > 0 {
+		w = s.freeGetW[n-1]
+		s.freeGetW[n-1] = nil
+		s.freeGetW = s.freeGetW[:n-1]
+	} else {
+		w = &storeWaiter[T]{}
+	}
+	w.a, w.owner, w.since = a, s, s.k.now
+	s.getters = append(s.getters, w)
+	a.wslot = w
+	var zero T
+	return zero, false
+}
+
+// PutAct is the activity-mode put. It deposits immediately (returning
+// true) unless a bounded store is full, in which case the activity is
+// registered as a putter and false returns; the item is deposited when
+// space opens and the activity is stepped again — the resumption itself
+// is the acknowledgement, no collecting call is needed.
+func (s *Store[T]) PutAct(a *ActCtx, item T) bool {
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		s.k.blockAct(a)
+		var w *putWaiter[T]
+		if n := len(s.freePutW); n > 0 {
+			w = s.freePutW[n-1]
+			s.freePutW[n-1] = nil
+			s.freePutW = s.freePutW[:n-1]
+		} else {
+			w = &putWaiter[T]{}
+		}
+		w.a, w.item, w.granted = a, item, false
+		s.putters = append(s.putters, w)
+		return false
+	}
+	s.deposit(item)
+	return true
+}
+
+func (s *Store[T]) takeHead() T {
+	var item T
+	s.items, item = PopFront(s.items)
 	s.gets++
 	s.GetWait.Add(0)
-	s.Len.Set(c.k.now, float64(len(s.items)))
+	s.Len.Set(s.k.now, float64(len(s.items)))
 	s.admitPutter()
 	return item
 }
@@ -155,11 +237,18 @@ func (s *Store[T]) admitPutter() {
 	if s.capacity > 0 && len(s.items) >= s.capacity {
 		return
 	}
-	w := s.putters[0]
-	s.putters = s.putters[1:]
+	var w *putWaiter[T]
+	s.putters, w = PopFront(s.putters)
 	w.granted = true
 	s.items = append(s.items, w.item)
 	s.Len.Set(s.k.now, float64(len(s.items)))
+	if w.a != nil {
+		s.k.resumeBlockedAct(w.a)
+		var zero T
+		w.item, w.a = zero, nil
+		s.freePutW = append(s.freePutW, w)
+		return
+	}
 	p := w.p
 	s.k.scheduleEvent(s.k.now, nil, p)
 }
@@ -182,14 +271,22 @@ func (s *Store[T]) removePutter(w *putWaiter[T]) {
 	}
 }
 
-// Signal is a one-shot broadcast event: processes that Wait before Trigger
-// block; Trigger releases all of them and subsequent Waits return
-// immediately.
+// Signal is a one-shot broadcast event: processes and activities that
+// Wait before Trigger block; Trigger releases all of them and subsequent
+// Waits return immediately. Reset rearms a fired signal for reuse.
 type Signal struct {
 	k         *Kernel
 	name      string
 	triggered bool
-	waiters   []*Proc
+	waiters   []sigWaiter
+}
+
+// sigWaiter is one blocked waiter — a process or an activity. A single
+// list keeps the release order equal to the registration order across the
+// two execution modes.
+type sigWaiter struct {
+	p *Proc
+	a *ActCtx
 }
 
 // NewSignal creates an untriggered signal.
@@ -206,11 +303,11 @@ func (s *Signal) Wait(c *Context) {
 	if s.triggered {
 		return
 	}
-	s.waiters = append(s.waiters, c.p)
+	s.waiters = append(s.waiters, sigWaiter{p: c.p})
 	p := c.p
 	c.p.cancel = func() {
 		for i, q := range s.waiters {
-			if q == p {
+			if q.p == p {
 				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
 				return
 			}
@@ -220,20 +317,42 @@ func (s *Signal) Wait(c *Context) {
 	c.p.cancel = nil
 }
 
-// Trigger fires the signal, waking all waiters at the current time.
-// Triggering twice is a no-op.
+// WaitAct is the activity-mode wait: true when the signal already fired
+// (continue inline); false when the activity was registered — it is
+// stepped again when Trigger fires. Allocation-free at steady state (the
+// waiter list keeps its capacity across Reset cycles).
+func (s *Signal) WaitAct(a *ActCtx) bool {
+	if s.triggered {
+		return true
+	}
+	s.k.blockAct(a)
+	s.waiters = append(s.waiters, sigWaiter{a: a})
+	return false
+}
+
+// Trigger fires the signal, waking all waiters at the current time in
+// registration order. Triggering twice is a no-op.
 func (s *Signal) Trigger() {
 	if s.triggered {
 		return
 	}
 	s.triggered = true
 	ws := s.waiters
-	s.waiters = nil
-	for _, p := range ws {
-		p := p
+	s.waiters = s.waiters[:0]
+	for _, w := range ws {
+		if w.a != nil {
+			s.k.resumeBlockedAct(w.a)
+			continue
+		}
+		p := w.p
 		s.k.scheduleEvent(s.k.now, nil, p)
 	}
 }
+
+// Reset rearms a fired signal so it can gate another round (repeated
+// fork/join phases reuse one signal instead of allocating per round).
+// Waiters registered after a Reset block until the next Trigger.
+func (s *Signal) Reset() { s.triggered = false }
 
 // WaitGroup counts down from an initial count; Wait blocks until the count
 // reaches zero. It is the join primitive used for fork/join workloads such
@@ -269,6 +388,10 @@ func (wg *WaitGroup) Done() {
 
 // Wait blocks until the count reaches zero.
 func (wg *WaitGroup) Wait(c *Context) { wg.sig.Wait(c) }
+
+// WaitAct is the activity-mode join: true when the count is already zero,
+// false when the activity was registered for the completion trigger.
+func (wg *WaitGroup) WaitAct(a *ActCtx) bool { return wg.sig.WaitAct(a) }
 
 // Count returns the remaining count.
 func (wg *WaitGroup) Count() int { return wg.count }
