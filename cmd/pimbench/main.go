@@ -306,6 +306,7 @@ var microBenchmarks = []struct {
 	{"mm1_simulation", benches.MM1Simulation},
 	{"hostpim_simulate", benches.HostPIMSimulate},
 	{"parcelsys_run", benches.ParcelSysRun},
+	{"machine_gups", benches.MachineGUPS},
 }
 
 // measureMicros runs the substrate micro-benchmarks through

@@ -122,6 +122,7 @@ func TestMicroBenchNamesStable(t *testing.T) {
 		"mm1_simulation",
 		"hostpim_simulate",
 		"parcelsys_run",
+		"machine_gups",
 	}
 	if len(microBenchmarks) != len(want) {
 		t.Fatalf("micro suite has %d benchmarks, want %d — extend this pin, never rename", len(microBenchmarks), len(want))

@@ -16,8 +16,11 @@
 //
 // Scenario mode runs a named machine+workload preset (internal/scenario)
 // on one model backend — or on every backend that supports it, with
-// cross-backend agreement checks. Scenario runs execute through the same
-// engine, so -replications, -parallel, -json, and -csv all apply.
+// cross-backend agreement checks. Backends: analytic, queueing, sim,
+// hybrid, and machine (execution-driven: assembled ISA programs on the
+// multi-node VM with DRAM row-buffer timing and network topologies).
+// Scenario runs execute through the same engine, so -replications,
+// -parallel, -json, and -csv all apply.
 //
 // Flags:
 //
@@ -62,7 +65,7 @@ func run(args []string) error {
 	progress := fs.Bool("progress", false, "log progress events to stderr")
 	csvDir := fs.String("csv", "", "write tables as CSV into this directory")
 	scenarioName := fs.String("scenario", "", "run a scenario preset (all = every preset, list = show them)")
-	backend := fs.String("backend", "all", "model backend for -scenario: analytic|queueing|sim|hybrid|all")
+	backend := fs.String("backend", "all", "model backend for -scenario: analytic|queueing|sim|hybrid|machine|all")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: pimstudy [flags] <experiment>|all|list\n")
 		fmt.Fprintf(fs.Output(), "       pimstudy -scenario <name>|all|list [-backend <name>|all] [flags]\n\nexperiments:\n")

@@ -12,6 +12,8 @@
 //	pimsweep parcelsys -parallelism 1,2,4,8 -latency 10,100,1000 [flags]
 //	pimsweep scenario  -preset fig11-point -backend sim \
 //	                   -sweep parallelism=1,2,4,8 -sweep latency=10:1000:4 [flags]
+//	pimsweep scenario  -preset machine-dram -backend machine \
+//	                   -sweep pagepolicy=0,1,2 -sweep updates=256,1024,4096 [flags]
 //
 // Axis syntax: either a comma list ("1,2,4,8") or "lo:hi:n" for n evenly
 // spaced values ("0:1:11"). Every combination of the axes is run.

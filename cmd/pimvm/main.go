@@ -4,17 +4,24 @@
 // Usage:
 //
 //	pimvm [flags] program.pasm
+//	pimvm [flags] -builtin gups|treesum|ping|triad
 //
 // Flags:
 //
-//	-nodes N     number of PIM nodes (default 4)
-//	-mem W       words of memory per node (default 65536)
-//	-latency L   inter-node parcel latency in cycles (default 200)
-//	-entry LBL   entry label (default "main"), started on node 0
-//	-threads T   initial threads at the entry point (default 1)
-//	-max C       cycle budget (default 10,000,000)
-//	-dis         print the disassembly and exit
-//	-stats       print per-node statistics after the run
+//	-nodes N      number of PIM nodes (default 4)
+//	-mem W        words of memory per node (default 65536)
+//	-latency L    inter-node parcel latency in cycles (default 200);
+//	              per-hop cost when -topology is set
+//	-topology T   parcel routing: flat (default), ring, mesh, torus,
+//	              hypercube (mesh/torus need a square node count,
+//	              hypercube a power of two)
+//	-entry LBL    entry label (default "main"), started on node 0
+//	-threads T    initial threads at the entry point (default 1)
+//	-max C        cycle budget (default 10,000,000)
+//	-builtin P    run a reference program from internal/isa instead of a
+//	              file (gups, treesum, ping, triad)
+//	-dis          print the disassembly and exit
+//	-stats        print per-node statistics after the run
 package main
 
 import (
@@ -23,7 +30,9 @@ import (
 	"os"
 
 	"repro/internal/isa"
+	"repro/internal/network"
 	"repro/internal/report"
+	"repro/internal/rng"
 )
 
 func main() {
@@ -33,39 +42,173 @@ func main() {
 	}
 }
 
+// builtinProgram assembles one of the internal/isa reference programs and
+// returns it with its entry label, a start function, and whether the
+// program honors -threads (only gups fans the flag out; the others define
+// their own thread structure).
+func builtinProgram(name string, nodes int) (*isa.Program, string, func(m *isa.Machine, threads int) error, bool, error) {
+	switch name {
+	case "gups":
+		prog, err := isa.GUPSProgram(isa.DefaultGUPSLayout())
+		if err != nil {
+			return nil, "", nil, false, err
+		}
+		start := func(m *isa.Machine, threads int) error {
+			entry, err := prog.Entry("main")
+			if err != nil {
+				return err
+			}
+			sm := rng.SplitMix64{State: 2004}
+			for _, n := range m.Nodes {
+				for t := 0; t < threads; t++ {
+					n.StartThread(entry, sm.Next(), 0)
+				}
+			}
+			return nil
+		}
+		return prog, "main", start, true, nil
+	case "treesum":
+		layout := isa.DefaultTreeSumLayout()
+		prog, err := isa.TreeSumProgram(nodes, layout)
+		if err != nil {
+			return nil, "", nil, false, err
+		}
+		start := func(m *isa.Machine, threads int) error {
+			for i, n := range m.Nodes {
+				for k := 0; k < layout.DataWords; k++ {
+					n.Mem[layout.DataBase+uint64(k)] = uint64(i*layout.DataWords + k)
+				}
+			}
+			entry, err := prog.Entry("main")
+			if err != nil {
+				return err
+			}
+			m.Nodes[0].StartThread(entry, 0, 0)
+			return nil
+		}
+		return prog, "main", start, false, nil
+	case "ping":
+		if nodes < 2 {
+			return nil, "", nil, false, fmt.Errorf("-builtin ping needs at least 2 nodes")
+		}
+		layout := isa.DefaultPingLayout()
+		layout.Peer = nodes / 2
+		const rounds = 64
+		prog, err := isa.PingProgram(layout, rounds)
+		if err != nil {
+			return nil, "", nil, false, err
+		}
+		start := func(m *isa.Machine, threads int) error {
+			entry, err := prog.Entry("ping")
+			if err != nil {
+				return err
+			}
+			m.Nodes[0].StartThread(entry, rounds, 0)
+			return nil
+		}
+		return prog, "ping", start, false, nil
+	case "triad":
+		layout := isa.DefaultTriadLayout()
+		prog, err := isa.StreamTriadProgram(layout)
+		if err != nil {
+			return nil, "", nil, false, err
+		}
+		start := func(m *isa.Machine, threads int) error {
+			for _, n := range m.Nodes {
+				for k := 0; k < layout.Words; k++ {
+					n.Mem[layout.A+uint64(k)] = uint64(k)
+					n.Mem[layout.B+uint64(k)] = uint64(2 * k)
+				}
+			}
+			entry, err := prog.Entry("main")
+			if err != nil {
+				return err
+			}
+			for _, n := range m.Nodes {
+				n.StartThread(entry, 0, 0)
+			}
+			return nil
+		}
+		return prog, "main", start, false, nil
+	default:
+		return nil, "", nil, false, fmt.Errorf("unknown -builtin %q (want gups, treesum, ping, triad)", name)
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("pimvm", flag.ContinueOnError)
 	nodes := fs.Int("nodes", 4, "number of PIM nodes")
 	mem := fs.Int("mem", 65536, "words of memory per node")
-	latency := fs.Int64("latency", 200, "inter-node parcel latency (cycles)")
+	latency := fs.Int64("latency", 200, "inter-node parcel latency (cycles; per hop with -topology)")
+	topology := fs.String("topology", "flat", "parcel routing: flat, ring, mesh, torus, hypercube")
 	entry := fs.String("entry", "main", "entry label")
 	threads := fs.Int("threads", 1, "initial threads at the entry point")
 	maxCycles := fs.Int64("max", 10_000_000, "cycle budget")
+	builtin := fs.String("builtin", "", "run a reference program: gups, treesum, ping, triad")
 	dis := fs.Bool("dis", false, "disassemble and exit")
 	stats := fs.Bool("stats", false, "print per-node statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: pimvm [flags] program.pasm")
-	}
-	src, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	prog, err := isa.Assemble(string(src))
-	if err != nil {
-		return err
+
+	var prog *isa.Program
+	var start func(m *isa.Machine, threads int) error
+	switch {
+	case *builtin != "":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-builtin takes no program file")
+		}
+		var honorsThreads bool
+		var err error
+		prog, _, start, honorsThreads, err = builtinProgram(*builtin, *nodes)
+		if err != nil {
+			return err
+		}
+		if *threads != 1 && !honorsThreads {
+			return fmt.Errorf("-builtin %s defines its own thread structure; -threads applies only to gups (and .pasm programs)", *builtin)
+		}
+		if *entry != "main" {
+			return fmt.Errorf("-builtin %s starts at its own entry point; -entry applies only to .pasm programs", *builtin)
+		}
+	case fs.NArg() == 1:
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		prog, err = isa.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		start = func(m *isa.Machine, threads int) error {
+			addr, err := prog.Entry(*entry)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < threads; i++ {
+				m.Nodes[0].StartThread(addr, uint64(i), 0)
+			}
+			return nil
+		}
+	default:
+		return fmt.Errorf("usage: pimvm [flags] program.pasm | pimvm [flags] -builtin <name>")
 	}
 	if *dis {
 		fmt.Print(isa.Disassemble(prog))
 		return nil
 	}
+
 	timing := isa.DefaultTiming()
 	timing.NetLatency = *latency
 	m, err := isa.NewMachine(*nodes, *mem, timing)
 	if err != nil {
 		return err
+	}
+	topo, err := network.ByName(*topology, *nodes)
+	if err != nil {
+		return err
+	}
+	if topo != nil {
+		m.NetDelay = network.HopDelay(topo, float64(*latency))
 	}
 	if err := m.LoadAll(prog); err != nil {
 		return err
@@ -74,12 +217,8 @@ func run(args []string) error {
 		fmt.Printf("node %d: %d\n", node, v)
 	}
 	m.MaxCycles = *maxCycles
-	addr, err := prog.Entry(*entry)
-	if err != nil {
+	if err := start(m, *threads); err != nil {
 		return err
-	}
-	for i := 0; i < *threads; i++ {
-		m.Nodes[0].StartThread(addr, uint64(i), 0)
 	}
 	cycles, err := m.Run()
 	if err != nil {

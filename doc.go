@@ -9,7 +9,10 @@
 // studies; internal/analytic holds the closed forms; internal/scenario is
 // the declarative layer above them all — one Scenario value (machine +
 // workload) runs on every model backend (analytic, queueing/MVA, the DES
-// simulation, the hybrid composition) through a common interface, with
+// simulation, the hybrid composition, and the execution-driven machine
+// backend, which assembles ISA programs from internal/isa and runs them
+// on the multi-node VM with internal/dram row-buffer timing and
+// internal/network parcel topologies) through a common interface, with
 // named presets and a cross-backend agreement validator; internal/core
 // registers one runnable experiment per table and figure (including the
 // scenarios cross-validation); internal/engine executes any set of
@@ -26,7 +29,12 @@
 // artifact suite and the substrate micro-benchmarks and appends a
 // machine-readable BENCH_<n>.json snapshot (ns/op, allocs/op, suite
 // wall-clock, git SHA), which CI compares against the committed baseline
-// as a perf regression gate.
+// as a perf regression gate. Native Go fuzz targets guard the parcel wire
+// codec (FuzzParcelCodec: round trip plus checksum/truncation corruption
+// rejection), the assembler (FuzzAsmRoundTrip: assemble -> disassemble ->
+// assemble fixed point), and the interpreter (FuzzMachineExecute: random
+// images fault cleanly, never panic); CI runs each for a few seconds per
+// push.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.

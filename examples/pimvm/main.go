@@ -1,10 +1,13 @@
 // pimvm example: message-driven computation in PIM assembly. A
-// divide-and-conquer tree sum across all nodes: node 0 spawns a worker on
-// every node (parcel-style remote thread creation), each worker reduces
-// its local vector with row-buffer-wide vsum instructions and AMO-adds its
-// partial into node 0's accumulator; node 0 spins until all partials have
-// arrived. The same experiment is then repeated with a sweep of network
-// latencies to show the multithreaded nodes hiding parcel latency.
+// divide-and-conquer tree sum across all nodes (the reference
+// isa.TreeSumProgram): node 0 spawns a worker on every node (parcel-style
+// remote thread creation), each worker reduces its local vector with
+// row-buffer-wide vsum instructions and AMO-adds its partial into node
+// 0's accumulator; node 0 spins until all partials have arrived. The
+// experiment is repeated over a sweep of network latencies to show the
+// multithreaded nodes hiding parcel latency, then over the
+// internal/network topologies (ring, mesh, hypercube) at a fixed per-hop
+// cost — the flat-latency assumption the paper makes, stress-tested.
 package main
 
 import (
@@ -12,141 +15,90 @@ import (
 	"log"
 
 	"repro/internal/isa"
+	"repro/internal/network"
 )
 
-// program computes: each node sums dataWords words starting at `data` and
-// AMO-adds the result into node 0's mem[acc]; node 0 counts completions.
-const program = `
-; memory map (per node)
-;   9000: accumulator (node 0 only)
-;   9001: completion counter (node 0 only)
-;   8192: local data vector (256 words)
+const nodes = 16
 
-main:                      ; runs on node 0
-    addi r3, r0, 0         ; node cursor
-    addi r4, r0, nodes
-    addi r5, r0, worker
-fan:
-    spawn r0, r3, r5       ; start worker on node r3
-    addi r3, r3, 1
-    bne  r3, r4, fan
-    ; wait for all partials
-    addi r6, r0, 9001
-wait:
-    ld   r7, r6, 0
-    bne  r7, r4, wait
-    ; print the grand total
-    addi r8, r0, 9000
-    ld   r9, r8, 0
-    print r9
-    halt
-
-worker:                    ; runs on every node
-    addi r3, r0, 8192      ; vector base
-    addi r4, r0, 0         ; partial sum
-    addi r5, r0, 32        ; 256 words / 8-wide vsum = 32 chunks
-chunk:
-    vsum r6, r3
-    add  r4, r4, r6
-    addi r3, r3, 8
-    addi r5, r5, -1
-    bne  r5, r0, chunk
-    ; send the partial home: spawn an accumulate thread on node 0
-    addi r7, r0, 0         ; destination node 0
-    addi r8, r0, accum
-    spawn r4, r7, r8       ; r1 at the far end = partial
-    halt
-
-accum:                     ; runs on node 0, once per worker
-    addi r3, r0, 9000
-    amoadd r5, r3, r1      ; fold the partial in
-    addi r3, r0, 9001
-    addi r4, r0, 1
-    amoadd r5, r3, r4      ; completion count
-    halt
-
-nodes: .word 0             ; patched below (label used as constant via ld)
-`
-
-func main() {
-	const nodes = 8
-	const dataWords = 256
-
-	// The assembly references `nodes` as an immediate label constant; the
-	// label resolves to its address, so instead we patch the instruction
-	// stream by assembling with the count inlined.
-	prog, err := isa.Assemble(replaceNodesConstant(program, nodes))
+// runTreeSum executes the tree sum once and returns (total cycles, sum
+// correct).
+func runTreeSum(latency int64, topo network.Topology) (int64, bool) {
+	layout := isa.DefaultTreeSumLayout()
+	prog, err := isa.TreeSumProgram(nodes, layout)
 	if err != nil {
 		log.Fatal(err)
 	}
+	timing := isa.DefaultTiming()
+	timing.NetLatency = latency
+	m, err := isa.NewMachine(nodes, 16384, timing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if topo != nil {
+		m.NetDelay = network.HopDelay(topo, float64(latency))
+	}
+	if err := m.LoadAll(prog); err != nil {
+		log.Fatal(err)
+	}
+	// Fill each node's vector: node i holds values i*words+k.
+	want := uint64(0)
+	for i, n := range m.Nodes {
+		for k := 0; k < layout.DataWords; k++ {
+			v := uint64(i*layout.DataWords + k)
+			n.Mem[layout.DataBase+uint64(k)] = v
+			want += v
+		}
+	}
+	var got uint64
+	m.Output = func(node int, v uint64) { got = v }
+	entry, err := prog.Entry("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Nodes[0].StartThread(entry, 0, 0)
+	m.MaxCycles = 10_000_000
+	cycles, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cycles, got == want
+}
 
+func main() {
+	fmt.Println("latency sweep (flat network):")
 	for _, latency := range []int64{10, 200, 2000} {
-		timing := isa.DefaultTiming()
-		timing.NetLatency = latency
-		m, err := isa.NewMachine(nodes, 16384, timing)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := m.LoadAll(prog); err != nil {
-			log.Fatal(err)
-		}
-		// Fill each node's vector: node i holds values i*dataWords+k.
-		want := uint64(0)
-		for i, n := range m.Nodes {
-			for k := 0; k < dataWords; k++ {
-				v := uint64(i*dataWords + k)
-				n.Mem[8192+k] = v
-				want += v
-			}
-		}
-		var got uint64
-		m.Output = func(node int, v uint64) { got = v }
-		entry, err := prog.Entry("main")
-		if err != nil {
-			log.Fatal(err)
-		}
-		m.Nodes[0].StartThread(entry, 0, 0)
-		m.MaxCycles = 10_000_000
-		cycles, err := m.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
+		cycles, ok := runTreeSum(latency, nil)
 		status := "ok"
-		if got != want {
-			status = fmt.Sprintf("WRONG (want %d)", want)
+		if !ok {
+			status = "WRONG SUM"
 		}
-		fmt.Printf("latency %4d: tree sum = %10d  [%s]  in %6d cycles, %d instructions\n",
-			latency, got, status, cycles, m.TotalInstructions())
+		fmt.Printf("  latency %4d: [%s] %7d cycles\n", latency, status, cycles)
 	}
 	fmt.Println("\nnote: total cycles grow far slower than latency — the fan-out of")
 	fmt.Println("worker parcels overlaps flight time with computation (the paper's §4).")
-}
 
-// replaceNodesConstant rewrites `addi r4, r0, nodes` to use the literal
-// node count (the assembler treats bare identifiers as label addresses, so
-// a true constant must be inlined).
-func replaceNodesConstant(src string, nodes int) string {
-	out := ""
-	for _, line := range splitLines(src) {
-		if line == "    addi r4, r0, nodes" {
-			line = fmt.Sprintf("    addi r4, r0, %d", nodes)
-		}
-		out += line + "\n"
+	fmt.Println("\ntopology sweep (200 cycles per hop vs 200 flat):")
+	topos := []struct {
+		name string
+		topo network.Topology
+	}{
+		{"flat", nil},
+		{"hypercube", network.Hypercube{Dim: 4}},
+		{"mesh", network.Mesh2D{W: 4, H: 4}},
+		{"ring", network.Ring{N: nodes}},
 	}
-	return out
-}
-
-func splitLines(s string) []string {
-	var lines []string
-	cur := ""
-	for _, r := range s {
-		if r == '\n' {
-			lines = append(lines, cur)
-			cur = ""
-			continue
+	for _, tc := range topos {
+		cycles, ok := runTreeSum(200, tc.topo)
+		status := "ok"
+		if !ok {
+			status = "WRONG SUM"
 		}
-		cur += string(r)
+		diameter := "-"
+		if tc.topo != nil {
+			diameter = fmt.Sprint(tc.topo.Diameter())
+		}
+		fmt.Printf("  %-10s [%s] %7d cycles (diameter %s)\n", tc.name, status, cycles, diameter)
 	}
-	lines = append(lines, cur)
-	return lines
+	fmt.Println("\nthe ring pays its diameter on every parcel; the hypercube (the")
+	fmt.Println("EXECUBE interconnect the paper cites) stays within 2x of flat.")
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/hostpim"
+	"repro/internal/isa"
 	"repro/internal/parcelsys"
 	"repro/internal/queueing"
 	"repro/internal/rng"
@@ -165,5 +166,49 @@ func ParcelSysRun(b *testing.B) {
 		if _, err := parcelsys.Run(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// MachineGUPS measures the execution-driven backend's substrate: the ISA
+// interpreter running the GUPS random-update kernel on an 8-node machine
+// with 4 threads per node. One Machine is Reset and re-driven per
+// iteration, so the ns/op tracks the stepping loop's cost and allocs/op
+// pins its slab discipline (steady state: 0).
+func MachineGUPS(b *testing.B) {
+	layout := isa.DefaultGUPSLayout()
+	layout.Updates = 256
+	prog, err := isa.GUPSProgram(layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes, threads = 8, 4
+	m, err := isa.NewMachine(nodes, 16384, isa.DefaultTiming())
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry, err := prog.Entry("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm := rng.SplitMix64{State: 2004}
+	run := func() {
+		m.Reset()
+		if err := m.LoadAll(prog); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < nodes; i++ {
+			for t := 0; t < threads; t++ {
+				m.Nodes[i].StartThread(entry, sm.Next(), 0)
+			}
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the slabs outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
 	}
 }

@@ -1,0 +1,120 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzAsmRoundTrip feeds arbitrary text to the assembler. Anything that
+// assembles must disassemble and re-assemble to the identical image:
+// assemble(src) -> listing -> assemble(listing) == canonical image. The
+// canonical form re-encodes decodable words so that junk in the unused
+// instruction bits (possible via .word) doesn't count as a difference.
+func FuzzAsmRoundTrip(f *testing.F) {
+	seeds := []string{
+		"main:\n    addi r1, r0, 42\n    halt\n",
+		"main:\n    addi r1, r0, 3\nloop:\n    addi r1, r1, -1\n    bne r1, r0, loop\n    halt\n",
+		"    jmp main\n    .org 10\ndata:\n    .word 7\n    .word data\n    .org 20\nmain:\n    halt\n",
+		"main:\n    lui r2, 255\n    ld r3, r2, -8\n    st r3, r2, 0\n    vadd r1, r2, r3\n    vsum r4, r1\n    halt\n",
+		"main:\n    nodeid r3\n    addi r5, r0, main\n    spawn r0, r3, r5\n    print r3\n    halt\n",
+		"a: b: c: halt ; many labels\n.word 0x5851f42d4c957f2d\n",
+		".org 100\nx:\n    amoadd r5, r3, r4\n    jr r5\n    beq r1, r2, x\n    blt r1, r2, x\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Assemble(src)
+		if err != nil {
+			return // rejected inputs just must not panic / OOM
+		}
+		// Disassemble must render every program without panicking.
+		if Disassemble(p1) == "" && len(p1.Words) > 0 {
+			t.Fatal("empty disassembly of a non-empty program")
+		}
+		listing := reassemblableListing(p1)
+		p2, err := Assemble(listing)
+		if err != nil {
+			t.Fatalf("listing does not re-assemble: %v\n--- source ---\n%s\n--- listing ---\n%s", err, src, listing)
+		}
+		if p2.Origin != p1.Origin {
+			t.Fatalf("origin changed: %d -> %d", p1.Origin, p2.Origin)
+		}
+		if len(p2.Words) != len(p1.Words) {
+			t.Fatalf("image length changed: %d -> %d", len(p1.Words), len(p2.Words))
+		}
+		for i := range p1.Words {
+			if p2.Words[i] != canonicalWord(p1.Words[i]) {
+				t.Fatalf("word %d changed: %#x -> %#x (canonical %#x)\n--- listing ---\n%s",
+					i, p1.Words[i], p2.Words[i], canonicalWord(p1.Words[i]), listing)
+			}
+		}
+	})
+}
+
+// reassemblableListing renders a program as assembler input: one
+// instruction or .word directive per line, prefixed by the origin. (The
+// human-facing Disassemble listing carries address prefixes, so it is not
+// itself valid input.)
+func reassemblableListing(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".org %d\n", p.Origin)
+	for _, w := range p.Words {
+		if in, err := DecodeInstr(w); err == nil {
+			fmt.Fprintf(&b, "%s\n", in)
+		} else {
+			fmt.Fprintf(&b, ".word %d\n", w)
+		}
+	}
+	return b.String()
+}
+
+// canonicalWord re-encodes decodable words, zeroing the unused bits the
+// textual rendering cannot carry.
+func canonicalWord(w uint64) uint64 {
+	if in, err := DecodeInstr(w); err == nil {
+		return in.Canonical().Encode()
+	}
+	return w
+}
+
+// FuzzMachineExecute runs arbitrary words as a program image: whatever the
+// bytes, the interpreter must fault cleanly (error) or halt, never panic
+// or run away past MaxCycles.
+func FuzzMachineExecute(f *testing.F) {
+	good, _ := Assemble("main:\n addi r1, r0, 9\n st r1, r0, 100\n halt\n")
+	if good != nil {
+		var bs []byte
+		for _, w := range good.Words {
+			for i := 0; i < 8; i++ {
+				bs = append(bs, byte(w>>(8*i)))
+			}
+		}
+		f.Add(bs)
+	}
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 8*512 {
+			return
+		}
+		words := make([]uint64, (len(raw)+7)/8)
+		for i, b := range raw {
+			words[i/8] |= uint64(b) << (8 * (i % 8))
+		}
+		m, err := NewMachine(2, 1024, DefaultTiming())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := &Program{Words: words, Origin: 0}
+		if err := m.LoadAll(prog); err != nil {
+			t.Fatal(err)
+		}
+		m.Nodes[0].StartThread(0, 0, 0)
+		m.MaxCycles = 5000
+		if _, err := m.Run(); err == nil {
+			// Fine: the random program halted cleanly.
+			return
+		}
+	})
+}

@@ -80,6 +80,11 @@ const (
 // The paper's 2048-bit row with 256-bit page words gives 8.
 const WideWords = 8
 
+// MaxImageWords bounds the assembled image span (max address − min
+// address). A stray .org far from the rest of the program would otherwise
+// make pass 2 allocate the whole gap.
+const MaxImageWords = 1 << 22
+
 // opInfo describes an opcode's assembly syntax.
 type opInfo struct {
 	name string
@@ -145,7 +150,11 @@ func (in Instr) Encode() uint64 {
 		imm
 }
 
-// DecodeInstr unpacks an instruction word. Unknown opcodes error.
+// DecodeInstr unpacks an instruction word with fixed shift/mask
+// extraction (it sits on the interpreter's per-cycle hot path). Fields
+// outside the opcode's operand syntax are don't-cares on the wire and
+// come back as raw bits; Canonical zeroes them when fidelity matters
+// (disassembly round trips).
 func DecodeInstr(w uint64) (Instr, error) {
 	op := Op(w >> 56)
 	if op == OpInvalid || op >= numOps {
@@ -159,6 +168,27 @@ func DecodeInstr(w uint64) (Instr, error) {
 		Rb:  uint8(w>>44) & 0xf,
 		Imm: imm,
 	}, nil
+}
+
+// Canonical returns the instruction with every field outside its
+// opcode's operand syntax zeroed — the form the textual rendering
+// preserves, so canonical(w).Encode() round-trips through the
+// disassembler exactly.
+func (in Instr) Canonical() Instr {
+	out := Instr{Op: in.Op}
+	for _, k := range opTable[in.Op].operands {
+		switch k {
+		case 'd':
+			out.Rd = in.Rd
+		case 'a':
+			out.Ra = in.Ra
+		case 'b':
+			out.Rb = in.Rb
+		case 'i':
+			out.Imm = in.Imm
+		}
+	}
+	return out
 }
 
 // String disassembles the instruction.
@@ -264,6 +294,9 @@ func Assemble(src string) (*Program, error) {
 			if err != nil {
 				return nil, fmt.Errorf("isa: line %d: %v", lineNo+1, err)
 			}
+			if v < 0 || v > MaxImageWords {
+				return nil, fmt.Errorf("isa: line %d: .org %d out of [0, %d]", lineNo+1, v, MaxImageWords)
+			}
 			lc = uint64(v)
 			continue
 		case ".word":
@@ -336,6 +369,9 @@ func Assemble(src string) (*Program, error) {
 		if it.addr+1 > end {
 			end = it.addr + 1
 		}
+	}
+	if end-origin > MaxImageWords {
+		return nil, fmt.Errorf("isa: image spans %d words (max %d)", end-origin, MaxImageWords)
 	}
 	words := make([]uint64, end-origin)
 	for _, it := range items {

@@ -16,7 +16,13 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			Imm: (immRaw << 8) >> 8, // 24-bit signed
 		}
 		out, err := DecodeInstr(in.Encode())
-		return err == nil && out == in
+		if err != nil || out != in {
+			return false
+		}
+		// Canonical zeroes exactly the fields outside the operand
+		// syntax and is idempotent.
+		c := out.Canonical()
+		return c.Canonical() == c && c.Encode() == c.Canonical().Encode()
 	}, &quick.Config{MaxCount: 1000})
 	if err != nil {
 		t.Error(err)

@@ -34,7 +34,9 @@ func (t Timing) Validate() error {
 	return nil
 }
 
-// Thread is one hardware thread context.
+// Thread is one hardware thread context. Threads live in a per-node value
+// slab (no per-thread heap allocation); finished contexts are recycled
+// through a free list, so steady-state spawn/halt churn allocates nothing.
 type Thread struct {
 	PC   uint64
 	Regs [NumRegs]uint64
@@ -56,8 +58,11 @@ type flight struct {
 type NodeState struct {
 	ID  int
 	Mem []uint64
-	// threads holds live thread contexts; issue is round-robin.
-	threads []*Thread
+	// threads is the thread-context slab; issue is round-robin over it.
+	// free holds recycled (halted) slots, live counts unfinished threads.
+	threads []Thread
+	free    []int32
+	live    int
 	next    int
 
 	// Counters.
@@ -80,30 +85,32 @@ func (n *NodeState) Load(p *Program) error {
 	return nil
 }
 
-// StartThread creates a thread at entry with r1 = arg, r2 = src.
-func (n *NodeState) StartThread(entry, arg, src uint64) *Thread {
-	t := &Thread{PC: entry}
+// StartThread creates a thread at entry with r1 = arg, r2 = src, reusing a
+// recycled context slot when one is free.
+func (n *NodeState) StartThread(entry, arg, src uint64) {
+	var t *Thread
+	if k := len(n.free); k > 0 {
+		idx := n.free[k-1]
+		n.free = n.free[:k-1]
+		t = &n.threads[idx]
+		*t = Thread{}
+	} else {
+		n.threads = append(n.threads, Thread{})
+		t = &n.threads[len(n.threads)-1]
+	}
+	t.PC = entry
 	t.Regs[1] = arg
 	t.Regs[2] = src
-	n.threads = append(n.threads, t)
-	return t
+	n.live++
 }
 
 // LiveThreads returns the number of unfinished threads.
-func (n *NodeState) LiveThreads() int {
-	c := 0
-	for _, t := range n.threads {
-		if !t.done {
-			c++
-		}
-	}
-	return c
-}
+func (n *NodeState) LiveThreads() int { return n.live }
 
 // Machine is a deterministic cycle-driven multi-node PIM interpreter: one
 // instruction issue per node per cycle from the round-robin ready thread
 // (fine-grain multithreading), memory/wide/parcel costs modeled as thread
-// stalls, parcels delivered after a flat network latency.
+// stalls, parcels delivered after a network latency.
 type Machine struct {
 	Nodes  []*NodeState
 	Timing Timing
@@ -112,6 +119,16 @@ type Machine struct {
 	// Trace, when non-nil, observes every issued instruction before it
 	// executes — the debugger/profiler hook.
 	Trace func(cycle int64, node int, pc uint64, in Instr)
+	// NetDelay, when non-nil, supplies the parcel flight time between
+	// distinct nodes instead of the flat Timing.NetLatency — the hook a
+	// topology-aware interconnect (internal/network) plugs into.
+	// Node-local spawns never consult it and stay free.
+	NetDelay func(src, dst int) int64
+	// MemDelay, when non-nil, supplies the cost of one memory operation
+	// instead of the flat Timing.MemCycles/WideMemCycles — the hook a
+	// row-buffer timing model (internal/dram) plugs into. Costs below one
+	// cycle are clamped to one.
+	MemDelay func(node int, addr uint64, wide bool) int64
 	// MaxCycles bounds Run (0 = no bound).
 	MaxCycles int64
 
@@ -147,6 +164,24 @@ func (m *Machine) LoadAll(p *Program) error {
 	return nil
 }
 
+// Reset returns the machine to cycle zero — no threads, no parcels in
+// flight, zeroed memory and counters — while keeping every allocated slab
+// (thread contexts, flight queue, node memory), so a caller can re-load
+// and re-run without reallocating.
+func (m *Machine) Reset() {
+	m.cycle = 0
+	m.inFlight = m.inFlight[:0]
+	for _, n := range m.Nodes {
+		clear(n.Mem)
+		n.threads = n.threads[:0]
+		n.free = n.free[:0]
+		n.live = 0
+		n.next = 0
+		n.Instructions, n.MemOps, n.WideOps, n.Spawns = 0, 0, 0, 0
+		n.BusyCycles, n.IdleCycles, n.Completed = 0, 0, 0
+	}
+}
+
 // Run executes until no threads are live and no parcels are in flight, or
 // until MaxCycles. It returns the cycle count and an error for execution
 // faults (bad opcode, out-of-range memory) or cycle exhaustion.
@@ -154,7 +189,7 @@ func (m *Machine) Run() (int64, error) {
 	for {
 		live := false
 		for _, n := range m.Nodes {
-			if n.LiveThreads() > 0 {
+			if n.live > 0 {
 				live = true
 				break
 			}
@@ -192,43 +227,43 @@ func (m *Machine) Step() error {
 	return nil
 }
 
-// compact drops finished thread contexts once they dominate the list, so
-// long-running nodes don't scan dead threads forever.
+// compact drops finished thread contexts once they dominate the slab, so
+// a node that fanned out a burst of threads doesn't scan their dead slots
+// forever after the burst drains. (The free list bounds slab growth under
+// steady churn; this bounds the scan after a one-off spike.) The kept
+// contexts stay in issue order and the backing array is reused, so both
+// determinism and the zero-alloc discipline survive.
 func (n *NodeState) compact() {
-	if len(n.threads) < 64 {
-		return
-	}
-	live := 0
-	for _, t := range n.threads {
-		if !t.done {
-			live++
-		}
-	}
-	if live*2 > len(n.threads) {
+	if len(n.threads) < 64 || n.live*2 > len(n.threads) {
 		return
 	}
 	kept := n.threads[:0]
-	for _, t := range n.threads {
-		if !t.done {
-			kept = append(kept, t)
+	for i := range n.threads {
+		if !n.threads[i].done {
+			kept = append(kept, n.threads[i])
 		}
 	}
 	n.threads = kept
+	n.free = n.free[:0]
 	n.next = 0
 }
 
 // stepNode issues at most one instruction on node n.
 func (m *Machine) stepNode(n *NodeState) error {
-	n.compact()
-	// Find the next ready thread round-robin; stalled threads tick down.
-	nThreads := len(n.threads)
-	if nThreads == 0 {
+	if n.live == 0 {
 		n.IdleCycles++
 		return nil
 	}
-	var chosen *Thread
+	n.compact()
+	// Find the next ready thread round-robin; stalled threads tick down.
+	nThreads := len(n.threads)
+	chosen := -1
 	for i := 0; i < nThreads; i++ {
-		t := n.threads[(n.next+i)%nThreads]
+		idx := n.next + i
+		if idx >= nThreads {
+			idx -= nThreads
+		}
+		t := &n.threads[idx]
 		if t.done {
 			continue
 		}
@@ -236,27 +271,42 @@ func (m *Machine) stepNode(n *NodeState) error {
 			t.stall--
 			continue
 		}
-		if chosen == nil {
-			chosen = t
-			n.next = (n.next + i + 1) % nThreads
+		if chosen < 0 {
+			chosen = idx
+			n.next = idx + 1
+			if n.next >= nThreads {
+				n.next = 0
+			}
 		}
 	}
-	if chosen == nil {
-		// All threads done or stalled; stalled memory cycles count busy
-		// (the bank is working), pure-done means idle.
-		if n.LiveThreads() > 0 {
-			n.BusyCycles++
-		} else {
-			n.IdleCycles++
-		}
+	// All live threads stalled counts busy (the bank is working).
+	n.BusyCycles++
+	if chosen < 0 {
 		return nil
 	}
-	n.BusyCycles++
 	return m.execute(n, chosen)
 }
 
-// execute runs one instruction on thread t of node n.
-func (m *Machine) execute(n *NodeState, t *Thread) error {
+// memCost returns the cycle cost of one memory operation.
+func (m *Machine) memCost(n *NodeState, addr uint64, wide bool) int64 {
+	var c int64
+	switch {
+	case m.MemDelay != nil:
+		c = m.MemDelay(n.ID, addr, wide)
+	case wide:
+		c = m.Timing.WideMemCycles
+	default:
+		c = m.Timing.MemCycles
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// execute runs one instruction on thread slot ti of node n.
+func (m *Machine) execute(n *NodeState, ti int) error {
+	t := &n.threads[ti]
 	if t.PC >= uint64(len(n.Mem)) {
 		return fmt.Errorf("isa: node %d: PC %d out of memory", n.ID, t.PC)
 	}
@@ -288,7 +338,9 @@ func (m *Machine) execute(n *NodeState, t *Thread) error {
 	switch in.Op {
 	case OpHalt:
 		t.done = true
+		n.live--
 		n.Completed++
+		n.free = append(n.free, int32(ti))
 		return nil
 	case OpAdd:
 		set(in.Rd, ra()+rb())
@@ -317,7 +369,7 @@ func (m *Machine) execute(n *NodeState, t *Thread) error {
 			return err
 		}
 		set(in.Rd, v)
-		t.stall = m.Timing.MemCycles - 1
+		t.stall = m.memCost(n, addr, false) - 1
 		n.MemOps++
 	case OpSt:
 		addr := ra() + uint64(int64(in.Imm))
@@ -325,7 +377,7 @@ func (m *Machine) execute(n *NodeState, t *Thread) error {
 			return err
 		}
 		n.Mem[addr] = rd()
-		t.stall = m.Timing.MemCycles - 1
+		t.stall = m.memCost(n, addr, false) - 1
 		n.MemOps++
 	case OpBeq:
 		if ra() == rb() {
@@ -351,7 +403,7 @@ func (m *Machine) execute(n *NodeState, t *Thread) error {
 		}
 		n.Mem[addr] = v + rb()
 		set(in.Rd, v)
-		t.stall = m.Timing.MemCycles - 1
+		t.stall = m.memCost(n, addr, false) - 1
 		n.MemOps++
 	case OpVAdd:
 		d, a, b := rd(), ra(), rb()
@@ -367,7 +419,7 @@ func (m *Machine) execute(n *NodeState, t *Thread) error {
 		for i := uint64(0); i < WideWords; i++ {
 			n.Mem[d+i] = n.Mem[a+i] + n.Mem[b+i]
 		}
-		t.stall = m.Timing.WideMemCycles - 1
+		t.stall = m.memCost(n, d, true) - 1
 		n.WideOps++
 	case OpVSum:
 		a := ra()
@@ -379,7 +431,7 @@ func (m *Machine) execute(n *NodeState, t *Thread) error {
 			s += n.Mem[a+i]
 		}
 		set(in.Rd, s)
-		t.stall = m.Timing.WideMemCycles - 1
+		t.stall = m.memCost(n, a, true) - 1
 		n.WideOps++
 	case OpSpawn:
 		dst := int(ra())
@@ -389,7 +441,11 @@ func (m *Machine) execute(n *NodeState, t *Thread) error {
 		}
 		lat := int64(0)
 		if dst != n.ID {
-			lat = m.Timing.NetLatency
+			if m.NetDelay != nil {
+				lat = m.NetDelay(n.ID, dst)
+			} else {
+				lat = m.Timing.NetLatency
+			}
 		}
 		m.inFlight = append(m.inFlight, flight{
 			arrive: m.cycle + lat + 1,
@@ -433,4 +489,16 @@ func (m *Machine) Utilization(i int) float64 {
 		return 0
 	}
 	return float64(n.BusyCycles) / float64(total)
+}
+
+// MeanUtilization returns the busy fraction averaged over all nodes.
+func (m *Machine) MeanUtilization() float64 {
+	if len(m.Nodes) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range m.Nodes {
+		s += m.Utilization(i)
+	}
+	return s / float64(len(m.Nodes))
 }

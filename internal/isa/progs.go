@@ -194,6 +194,73 @@ maskw: .word 0xffffff
 	return Assemble(src)
 }
 
+// PingLayout names the locations used by PingProgram.
+type PingLayout struct {
+	// CountAddr (node 0) counts completed round trips.
+	CountAddr uint64
+	// Peer is the node the parcel bounces off.
+	Peer int
+}
+
+// DefaultPingLayout counts round trips at 9000 against node 1.
+func DefaultPingLayout() PingLayout {
+	return PingLayout{CountAddr: 9000, Peer: 1}
+}
+
+// PingProgram builds a parcel ping-pong: a single logical thread migrates
+// from node 0 to Peer and back `rounds` times by SPAWNing itself across
+// the interconnect (the paper's §4.1 message-driven round trip), bumping
+// CountAddr on node 0 once per completed round trip. Start one thread at
+// label "ping" on node 0 with r1 = rounds. The run's critical path is two
+// one-way flights per round plus a fixed instruction overhead, so the
+// total cycle count has the exact closed form in PingTotalCycles — the
+// machine's cross-backend validation anchor.
+func PingProgram(layout PingLayout, rounds int) (*Program, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("isa: PingProgram with %d rounds", rounds)
+	}
+	if layout.Peer <= 0 {
+		return nil, fmt.Errorf("isa: PingProgram peer %d (must be a non-zero node)", layout.Peer)
+	}
+	src := fmt.Sprintf(`
+ping:                      ; on node 0: send the count out (r1 = remaining)
+    addi r4, r0, %d        ; peer node
+    addi r5, r0, pong
+    spawn r1, r4, r5
+    halt
+pong:                      ; on the peer: bounce back to the source (r2)
+    addi r5, r0, back
+    spawn r1, r2, r5
+    halt
+back:                      ; on node 0: count the round trip, go again
+    addi r3, r0, %d        ; round-trip counter
+    addi r4, r0, 1
+    amoadd r5, r3, r4
+    addi r6, r1, -1
+    beq  r6, r0, done
+    addi r4, r0, %d        ; peer node
+    addi r5, r0, pong
+    spawn r6, r4, r5
+    halt
+done:
+    halt
+`, layout.Peer, layout.CountAddr, layout.Peer)
+	return Assemble(src)
+}
+
+// PingTotalCycles is the exact cycle count of a PingProgram run on an
+// otherwise idle machine with one-way latency latency between node 0 and
+// the peer and mem-op cost memCycles: each round trip costs two flights
+// (latency+1 delivery each) plus the block's fixed instruction overhead,
+// and the final round ends at the `done` halt instead of a re-spawn. The
+// form assumes the spawner's SpawnCycles-long tail is hidden under the
+// flight it launched (true whenever SpawnCycles <= 2*latency+memCycles+8,
+// which holds for every sane timing).
+func PingTotalCycles(rounds int, latency, memCycles int64) int64 {
+	perRound := 2*latency + memCycles + 9
+	return int64(rounds-1)*perRound + 2*latency + memCycles + 10
+}
+
 // GUPSLayout names the locations used by GUPSProgram.
 type GUPSLayout struct {
 	// TableBase is the update table base; TableWords its length (power of

@@ -10,6 +10,7 @@ package network
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 )
@@ -193,6 +194,71 @@ func (h Hypercube) Diameter() int { return h.Dim }
 
 // Name identifies the topology.
 func (h Hypercube) Name() string { return fmt.Sprintf("hypercube(%d)", h.Dim) }
+
+// ByName builds the named topology over n nodes: "ring", "mesh",
+// "torus" (square node counts), or "hypercube" (power-of-two node
+// counts). "" and "flat" return nil — the caller's cue to use a flat
+// latency instead of hop routing.
+func ByName(name string, n int) (Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("network: ByName(%q, %d)", name, n)
+	}
+	switch name {
+	case "", "flat":
+		return nil, nil
+	case "ring":
+		return Ring{N: n}, nil
+	case "mesh", "torus":
+		w := intSqrt(n)
+		if w*w != n {
+			return nil, fmt.Errorf("network: %s needs a square node count, got %d", name, n)
+		}
+		if name == "mesh" {
+			return Mesh2D{W: w, H: w}, nil
+		}
+		return Torus2D{W: w, H: w}, nil
+	case "hypercube":
+		d := 0
+		for 1<<d < n {
+			d++
+		}
+		if 1<<d != n {
+			return nil, fmt.Errorf("network: hypercube needs a power-of-two node count, got %d", n)
+		}
+		return Hypercube{Dim: d}, nil
+	default:
+		return nil, fmt.Errorf("network: unknown topology %q (known: %v)", name, TopologyNames())
+	}
+}
+
+// TopologyNames returns the names ByName accepts (besides ""), in
+// flat-first presentation order.
+func TopologyNames() []string {
+	return []string{"flat", "ring", "mesh", "torus", "hypercube"}
+}
+
+// HopDelay returns an integer-cycle delay function over the topology at
+// perHop cycles per hop — the adapter a cycle-driven machine (e.g.
+// isa.Machine.NetDelay) plugs its parcel routing into.
+func HopDelay(t Topology, perHop float64) func(src, dst int) int64 {
+	h := NewHop(t, perHop, 0)
+	return func(src, dst int) int64 {
+		return int64(math.Round(h.Latency(src, dst)))
+	}
+}
+
+// intSqrt returns floor(sqrt(n)) exactly (float sqrt can land one off at
+// perfect squares near precision limits).
+func intSqrt(n int) int {
+	r := int(math.Sqrt(float64(n)))
+	for r*r > n {
+		r--
+	}
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
 
 // MeanHops returns the average hop count over all ordered pairs with
 // src != dst; used to compare topologies against a flat latency.

@@ -209,3 +209,40 @@ func TestLinkUtilization(t *testing.T) {
 		t.Errorf("utilization = %g, want 0.25", u)
 	}
 }
+
+func TestByName(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		n     int
+		wants string // expected Topology.Name(), "" = nil (flat)
+		ok    bool
+	}{
+		{"", 4, "", true},
+		{"flat", 4, "", true},
+		{"ring", 5, "ring(5)", true},
+		{"mesh", 16, "mesh(4x4)", true},
+		{"torus", 9, "torus(3x3)", true},
+		{"hypercube", 8, "hypercube(3)", true},
+		{"mesh", 10, "", false},
+		{"torus", 12, "", false},
+		{"hypercube", 12, "", false},
+		{"pretzel", 4, "", false},
+		{"ring", 0, "", false},
+	} {
+		topo, err := ByName(c.name, c.n)
+		if c.ok != (err == nil) {
+			t.Errorf("ByName(%q, %d): err = %v, want ok=%v", c.name, c.n, err, c.ok)
+			continue
+		}
+		got := ""
+		if topo != nil {
+			got = topo.Name()
+		}
+		if got != c.wants {
+			t.Errorf("ByName(%q, %d) = %q, want %q", c.name, c.n, got, c.wants)
+		}
+	}
+	if len(TopologyNames()) != 5 {
+		t.Errorf("TopologyNames = %v", TopologyNames())
+	}
+}

@@ -1,0 +1,104 @@
+package parcel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedParcels is the seed corpus: representative parcels spanning the
+// action set, operand counts, and field extremes.
+func fuzzSeedParcels() []*Parcel {
+	return []*Parcel{
+		{DestNode: 1, DestAddr: 0x1000, Action: ActionRead, SrcNode: 0, ContAddr: 0x2000, Seq: 1},
+		{DestNode: 3, DestAddr: 42, Action: ActionWrite, Operands: []uint64{7}, SrcNode: 2, Seq: 9},
+		{DestNode: 0, DestAddr: 8, Action: ActionAMOAdd, Operands: []uint64{1}, SrcNode: 5, ContAddr: 16, Seq: 77},
+		{DestNode: 9, DestAddr: 64, Action: ActionAMOCas, Operands: []uint64{0, ^uint64(0)}, SrcNode: 1, Seq: 2},
+		{DestNode: 2, DestAddr: 128, Action: ActionInvoke, MethodID: 31, Operands: []uint64{1, 2, 3, 4, 5}, SrcNode: 3, ContAddr: 256, Seq: 3},
+		{DestNode: 7, DestAddr: ^uint64(0), Action: ActionReply, Operands: []uint64{0xdeadbeef}, SrcNode: ^uint32(0), ContAddr: ^uint64(0), Seq: ^uint64(0)},
+	}
+}
+
+// FuzzParcelCodec drives the wire codec with raw bytes: any input that
+// decodes must re-encode to a byte-identical buffer and survive a second
+// decode, every single-byte corruption of a valid frame must be rejected
+// (the CRC32 covers the whole header+payload, the trailer is the CRC
+// itself), and every truncation must be rejected.
+func FuzzParcelCodec(f *testing.F) {
+	for _, p := range fuzzSeedParcels() {
+		buf, err := p.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x91, 0x42, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		// Round trip: decode -> encode -> decode must be a fixed point.
+		buf, err := p.Encode()
+		if err != nil {
+			t.Fatalf("decoded parcel does not re-encode: %v (%+v)", err, p)
+		}
+		if !bytes.Equal(buf, data[:p.EncodedSize()]) {
+			t.Fatalf("re-encode differs from wire bytes:\n  in:  %x\n  out: %x", data[:p.EncodedSize()], buf)
+		}
+		p2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-encoded parcel does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the parcel:\n%+v\nvs\n%+v", p, p2)
+		}
+		// Corruption: flipping any single byte of the frame must be caught
+		// (sample large frames to bound the quadratic CRC work).
+		total := len(buf)
+		stride := 1
+		if total > 256 {
+			stride = total / 256
+		}
+		for i := 0; i < total; i += stride {
+			corrupt := append([]byte(nil), buf...)
+			corrupt[i] ^= 0x40
+			if _, err := Decode(corrupt); err == nil {
+				t.Fatalf("byte %d corruption accepted", i)
+			}
+		}
+		// Truncation: every strict prefix must be rejected.
+		for _, cut := range []int{0, 1, headerLen - 1, headerLen, total - trailerLen, total - 1} {
+			if cut < 0 || cut >= total {
+				continue
+			}
+			if _, err := Decode(buf[:cut]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes accepted", cut, total)
+			}
+		}
+	})
+}
+
+// TestCodecRejectsCorruption is the deterministic (non-fuzz) face of the
+// corruption property, so `go test` exercises it even without -fuzz.
+func TestCodecRejectsCorruption(t *testing.T) {
+	for _, p := range fuzzSeedParcels() {
+		buf, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			corrupt := append([]byte(nil), buf...)
+			corrupt[i] ^= 0x01
+			if _, err := Decode(corrupt); err == nil {
+				t.Errorf("action %v: single-bit corruption at byte %d accepted", p.Action, i)
+			}
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := Decode(buf[:cut]); err == nil {
+				t.Errorf("action %v: truncation to %d bytes accepted", p.Action, cut)
+			}
+		}
+	}
+}

@@ -14,7 +14,7 @@ import (
 // Config).
 type Backend interface {
 	// Name identifies the backend ("analytic", "queueing", "sim",
-	// "hybrid").
+	// "hybrid", "machine").
 	Name() string
 	// Supports reports whether the backend's model covers the scenario.
 	Supports(Scenario) bool
@@ -29,6 +29,7 @@ var backends = []Backend{
 	queueingBackend{},
 	simBackend{},
 	hybridBackend{},
+	machineBackend{},
 }
 
 // Backends returns all backends in presentation order.
@@ -86,9 +87,20 @@ type analyticBackend struct{}
 func (analyticBackend) Name() string { return "analytic" }
 
 // Supports: the closed form assumes perfectly partitioned LWP threads, so
-// any scenario without inter-PIM communication qualifies.
+// any scenario without inter-PIM communication qualifies. Of the
+// execution-driven scenarios it claims exactly the ping program, whose
+// round-trip chain has an exact closed form under the paper's
+// flat-network, flat-memory assumption (machinePingAnalytic) — the claim
+// deliberately ignores Topology/PagePolicy, so the cross-backend
+// validator catches a VM whose real timing has drifted from the model.
 func (analyticBackend) Supports(s Scenario) bool {
-	return s.Validate() == nil && s.Workload.RemoteFrac == 0
+	if s.Validate() != nil {
+		return false
+	}
+	if s.Kind() == KindMachine {
+		return s.Workload.Program == "ping"
+	}
+	return s.Workload.RemoteFrac == 0
 }
 
 // analyticMemo caches the closed forms per parameter point: replicated
@@ -97,6 +109,9 @@ func (analyticBackend) Supports(s Scenario) bool {
 var analyticMemo = newMemoCache[hostpim.Params, [3]float64](4096)
 
 func (analyticBackend) Run(s Scenario, cfg Config) (Result, error) {
+	if s.Kind() == KindMachine {
+		return machinePingAnalytic(s, cfg)
+	}
 	p, err := s.HostParams(cfg)
 	if err != nil {
 		return Result{}, err
@@ -219,8 +234,11 @@ type simBackend struct{}
 
 func (simBackend) Name() string { return "sim" }
 
-// Supports: simulation is the reference model — every valid scenario runs.
-func (simBackend) Supports(s Scenario) bool { return s.Validate() == nil }
+// Supports: simulation is the reference model for every statistical
+// scenario; execution-driven scenarios belong to the machine backend.
+func (simBackend) Supports(s Scenario) bool {
+	return s.Validate() == nil && s.Kind() != KindMachine
+}
 
 func (b simBackend) Run(s Scenario, cfg Config) (Result, error) {
 	if s.Kind() == KindStudy1 {

@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/network"
 )
 
 // Field is one numerically sweepable scenario knob, addressable by name —
@@ -70,6 +72,21 @@ var fields = []Field{
 	{"kernelweight", "op-weight of the named kernel in the application mix",
 		func(s *Scenario, v float64) { s.Workload.KernelWeight = v },
 		func(s Scenario) float64 { return s.Workload.KernelWeight }},
+	{"updates", "machine-program work per thread (updates/round trips/words)",
+		func(s *Scenario, v float64) { s.Workload.Updates = int(v) },
+		func(s Scenario) float64 { return float64(s.Workload.Updates) }},
+	{"memwords", "per-node VM memory size in words (machine backend)",
+		func(s *Scenario, v float64) { s.Machine.MemWords = int(v) },
+		func(s Scenario) float64 { return float64(s.Machine.MemWords) }},
+	{"spawncycles", "VM parcel-launch cost in cycles (machine backend)",
+		func(s *Scenario, v float64) { s.Machine.SpawnCycles = v },
+		func(s Scenario) float64 { return s.Machine.SpawnCycles }},
+	{"pagepolicy", "VM DRAM timing: 0 = flat MemCycles, 1 = open page, 2 = closed page",
+		func(s *Scenario, v float64) { s.Machine.PagePolicy = pagePolicyName(int(v)) },
+		func(s Scenario) float64 { return float64(pagePolicyIndex(s.Machine.PagePolicy)) }},
+	{"topology", "VM interconnect: 0 flat, 1 ring, 2 mesh, 3 torus, 4 hypercube",
+		func(s *Scenario, v float64) { s.Machine.Topology = topologyName(int(v)) },
+		func(s Scenario) float64 { return float64(topologyIndex(s.Machine.Topology)) }},
 	{"overlap", "overlap HWP and LWP phases (non-zero = on)",
 		func(s *Scenario, v float64) { s.Overlap = v != 0 },
 		func(s Scenario) float64 { return b2f(s.Overlap) }},
@@ -83,6 +100,50 @@ func b2f(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// pagePolicyName/Index map the numeric sweep axis onto the PagePolicy
+// string (out-of-range values map to an invalid name so Validate rejects
+// the point instead of silently running flat).
+var pagePolicyNames = []string{"", "open", "closed"}
+
+func pagePolicyName(i int) string {
+	if i < 0 || i >= len(pagePolicyNames) {
+		return fmt.Sprintf("pagepolicy(%d)", i)
+	}
+	return pagePolicyNames[i]
+}
+
+func pagePolicyIndex(name string) int {
+	for i, n := range pagePolicyNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// topologyName/Index map the numeric sweep axis onto the Topology string
+// (the flat-first order of network.TopologyNames).
+var topologyNames = network.TopologyNames()
+
+func topologyName(i int) string {
+	if i < 0 || i >= len(topologyNames) {
+		return fmt.Sprintf("topology(%d)", i)
+	}
+	return topologyNames[i]
+}
+
+func topologyIndex(name string) int {
+	if name == "" {
+		return 0
+	}
+	for i, n := range topologyNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // Fields returns the sweepable-field registry in presentation order.

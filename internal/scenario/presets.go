@@ -75,6 +75,20 @@ func hybridScenario(name, about string, pctWL float64, n, par int, remote, laten
 	return s
 }
 
+// machineScenario builds an execution-driven preset: the named ISA
+// program on an n-node VM with the Table-1-derived LWP timing (memory 6
+// cycles, hardware-assisted spawn) and a flat interconnect.
+func machineScenario(name, about, program string, n, par, updates int, latency float64) Scenario {
+	s := Scenario{Name: name, About: about, Machine: table1Machine(), Workload: table1Workload()}
+	s.Machine.N = n
+	s.Machine.MemCycles = 6
+	s.Machine.Latency = latency
+	s.Workload.Program = program
+	s.Workload.Parallelism = par
+	s.Workload.Updates = updates
+	return s
+}
+
 // kernelScenario builds a preset whose workload parameters are fitted from
 // a named internal/workload kernel.
 func kernelScenario(kernel string, n int, weight float64) Scenario {
@@ -128,6 +142,29 @@ var presets = []Scenario{
 	kernelScenario("pointer-chase", 32, 0.6),
 	kernelScenario("stencil", 32, 0.6),
 	kernelScenario("histogram", 32, 0.6),
+	machineScenario("machine-gups",
+		"execution-driven GUPS: LCG random updates, 16 VM nodes x 4 threads",
+		"gups", 16, 4, 512, 200),
+	machineScenario("machine-treesum",
+		"parcel-fanout tree sum in PIM assembly across 8 VM nodes",
+		"treesum", 8, 1, 256, 200),
+	func() Scenario {
+		s := machineScenario("machine-ping",
+			"flat-network parcel ping 0<->8: exact closed form cross-validates the VM",
+			"ping", 16, 1, 64, 200)
+		// The analytic counterpart is cycle-exact on the flat network, so
+		// pin the agreement tight: any VM timing drift must trip it.
+		s.Tol = map[string]float64{MetricTotal: 0.001}
+		return s
+	}(),
+	func() Scenario {
+		s := machineScenario("machine-dram",
+			"wide-word stream triad over per-node DRAM row-buffer timing (open page)",
+			"triad", 4, 1, 1024, 200)
+		s.Machine.MemWords = 32768
+		s.Machine.PagePolicy = "open"
+		return s
+	}(),
 }
 
 // Presets returns all named scenarios in presentation order. The slice is

@@ -49,10 +49,32 @@ type Machine struct {
 	PmissLow float64
 	// MemCycles is the local memory access time of a parcel-study node
 	// (study 2's PIM-like 10 cycles). Only parcel scenarios use it;
-	// hybrid scenarios use TML for the LWP phase instead.
+	// hybrid scenarios use TML for the LWP phase instead. The machine
+	// backend uses it as the VM's flat LD/ST/AMO cost in LWP cycles.
 	MemCycles float64
-	// Latency is the flat one-way inter-PIM latency in cycles.
+	// Latency is the flat one-way inter-PIM latency in cycles. On a hop
+	// Topology the machine backend reads it as the per-hop cost instead.
 	Latency float64
+
+	// The remaining fields parameterize the execution-driven machine
+	// backend only (Workload.Program != "").
+
+	// MemWords is the per-node memory size of the VM in 64-bit words
+	// (0 = 16384).
+	MemWords int
+	// SpawnCycles is the VM's local parcel-launch cost (0 = the
+	// hardware-assisted 2 cycles).
+	SpawnCycles float64
+	// Topology selects the VM's parcel interconnect: "" or "flat" is the
+	// paper's fixed-delay network; "ring", "mesh", "torus", and
+	// "hypercube" route parcels over internal/network hop topologies
+	// with Latency cycles per hop. Mesh and torus need a square node
+	// count, hypercube a power of two.
+	Topology string
+	// PagePolicy, when non-empty ("open" or "closed"), times every VM
+	// memory operation through a per-node internal/dram row-buffer bank
+	// instead of the flat MemCycles.
+	PagePolicy string
 }
 
 // Workload describes the work offered to the machine.
@@ -82,6 +104,15 @@ type Workload struct {
 	// remainder is host-resident work at the Table 1 miss rate
 	// (0 means the default 0.6).
 	KernelWeight float64
+	// Program, when non-empty, makes this an execution-driven scenario:
+	// the machine backend assembles and runs the named ISA program
+	// (internal/isa) on the VM instead of evaluating a statistical
+	// model. Known programs: gups, treesum, ping, triad.
+	Program string
+	// Updates is the program's per-thread work parameter: random updates
+	// per thread (gups), round trips (ping), or vector words (treesum,
+	// triad). Zero selects the program's default.
+	Updates int
 }
 
 // Scenario is one fully described design point: a machine, a workload, and
@@ -124,6 +155,7 @@ type Config struct {
 const (
 	quickMaxW       = 1e6
 	quickMaxHorizon = 20000
+	quickMaxUpdates = 64
 	measureOpsFull  = 200000
 	measureOpsQuick = 40000
 )
@@ -179,6 +211,10 @@ const (
 	// KindHybrid composes both: the LWP phase includes a remote-access
 	// fraction over the PIM interconnect.
 	KindHybrid
+	// KindMachine is execution-driven: an assembled ISA program runs on
+	// the multi-node VM (the machine backend) instead of a statistical
+	// model being evaluated.
+	KindMachine
 )
 
 func (k Kind) String() string {
@@ -189,6 +225,8 @@ func (k Kind) String() string {
 		return "parcel"
 	case KindHybrid:
 		return "hybrid"
+	case KindMachine:
+		return "machine"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -196,6 +234,9 @@ func (k Kind) String() string {
 
 // Kind classifies the scenario from its workload fields.
 func (s Scenario) Kind() Kind {
+	if s.Workload.Program != "" {
+		return KindMachine
+	}
 	if s.Workload.RemoteFrac > 0 {
 		if s.Workload.PctWL > 0 || s.Workload.Kernel != "" {
 			return KindHybrid
@@ -233,6 +274,9 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: unknown kernel %q (known: %v)",
 				s.Name, w.Kernel, KernelNames())
 		}
+	}
+	if s.Kind() == KindMachine {
+		return s.validateMachine()
 	}
 	if s.Kind() != KindParcel && w.W <= 0 {
 		return fmt.Errorf("scenario %s: W = %g", s.Name, w.W)
@@ -272,6 +316,20 @@ func (s Scenario) effectiveHorizon(cfg Config) float64 {
 		return quickMaxHorizon
 	}
 	return s.Workload.Horizon
+}
+
+// effectiveUpdates resolves the machine-program work parameter: the
+// program default when unset, quick-clamped (to a WideWords multiple, for
+// the vector programs) in quick mode.
+func (s Scenario) effectiveUpdates(cfg Config) int {
+	u := s.Workload.Updates
+	if u == 0 {
+		u = machinePrograms[s.Workload.Program].defaultUpdates
+	}
+	if cfg.Quick && u > quickMaxUpdates {
+		u = quickMaxUpdates
+	}
+	return u
 }
 
 // HostParams maps the scenario onto the study-1 parameter struct. Named

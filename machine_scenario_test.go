@@ -1,0 +1,140 @@
+package repro
+
+// Engine-level regression tests for the execution-driven machine backend:
+// the same guarantees PR 1 pinned for the statistical backends — every
+// run a pure function of (ID, Config), and the concurrent engine
+// reproducing the serial byte stream exactly — must hold for scenarios
+// that execute ISA programs on the VM. These run in Quick mode and stay
+// in the -short pass: they are the CI smoke for the machine presets.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/scenario"
+)
+
+// machineExperiments wraps every machine preset as an engine experiment
+// on the machine backend, plus the cross-validated ping on "all".
+func machineExperiments(t *testing.T) []*core.Experiment {
+	t.Helper()
+	var exps []*core.Experiment
+	for _, s := range scenario.Presets() {
+		if s.Kind() != scenario.KindMachine {
+			continue
+		}
+		e, err := core.ScenarioExperiment(s.Name, "machine")
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	if len(exps) < 4 {
+		t.Fatalf("want >= 4 machine presets, have %d", len(exps))
+	}
+	e, err := core.ScenarioExperiment("machine-ping", "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(exps, e)
+}
+
+func TestMachineScenarioExperimentsDeterministic(t *testing.T) {
+	cfg := core.Config{Seed: 2004, Quick: true}
+	for _, e := range machineExperiments(t) {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			run := func() (*core.Outcome, []byte) {
+				var buf bytes.Buffer
+				o, err := e.Run(cfg, &buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return o, buf.Bytes()
+			}
+			o1, out1 := run()
+			o2, out2 := run()
+			if !bytes.Equal(out1, out2) {
+				t.Errorf("%s: rendered output differs between identical runs", e.ID)
+			}
+			if !reflect.DeepEqual(o1.Metrics, o2.Metrics) {
+				t.Errorf("%s: metrics differ between identical runs", e.ID)
+			}
+			for _, c := range o1.Failed() {
+				t.Errorf("%s: failed check %s (%s)", e.ID, c.Name, c.Detail)
+			}
+		})
+	}
+}
+
+func TestMachineScenarioEngineParallelMatchesSerial(t *testing.T) {
+	// The engine fanning machine experiments across 8 workers must
+	// reproduce the serial pass byte for byte — the backend holds the
+	// repo's "byte-identical parallel reruns" guarantee.
+	cfg := core.Config{Seed: 2004, Quick: true}
+	exps := machineExperiments(t)
+
+	var serialOut bytes.Buffer
+	serial := make(map[string]*core.Outcome, len(exps))
+	for _, e := range exps {
+		serialOut.WriteString(core.Banner(e.ID, e.Title))
+		o, err := e.Run(cfg, &serialOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[e.ID] = o
+		core.RenderChecks(o, &serialOut)
+	}
+
+	results, err := engine.New(engine.Options{Workers: 8}).Run(cfg, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engineOut bytes.Buffer
+	if err := engine.WriteResults(&engineOut, results, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOut.Bytes(), engineOut.Bytes()) {
+		t.Error("engine rendered stream differs from serial pass over machine scenarios")
+	}
+	for _, r := range results {
+		want := serial[r.ID]
+		if !reflect.DeepEqual(r.Outcome.Metrics, want.Metrics) {
+			t.Errorf("%s: engine metrics differ from serial run", r.ID)
+		}
+		if !reflect.DeepEqual(r.Outcome.Checks, want.Checks) {
+			t.Errorf("%s: engine checks differ from serial run", r.ID)
+		}
+	}
+}
+
+func TestMachineScenarioReplicatedAggregates(t *testing.T) {
+	// Replication through the engine: derived seeds per replicate, and
+	// the deterministic VM makes every replicate's total identical at a
+	// fixed seed, so the CI width must be zero for seed-independent
+	// metrics... the VM's cycle count depends only on the program path,
+	// which for ping is seed-free: mean == each replicate, CI == 0.
+	e, err := core.ScenarioExperiment("machine-ping", "machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Seed: 7, Quick: true}
+	results, err := engine.New(engine.Options{Replications: 3}).Run(cfg, []*core.Experiment{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	agg, ok := r.Aggregates["machine/total"]
+	if !ok {
+		t.Fatalf("no machine/total aggregate; keys: %d", len(r.Aggregates))
+	}
+	if agg.CI != 0 {
+		t.Errorf("ping total varies across replicates: CI = %g", agg.CI)
+	}
+	if agg.Mean <= 0 {
+		t.Errorf("ping total mean = %g", agg.Mean)
+	}
+}
