@@ -165,3 +165,4 @@ func BenchmarkMM1Simulation(b *testing.B)   { benches.MM1Simulation(b) }
 func BenchmarkHostPIMSimulate(b *testing.B) { benches.HostPIMSimulate(b) }
 func BenchmarkParcelSysRun(b *testing.B)    { benches.ParcelSysRun(b) }
 func BenchmarkMachineGUPS(b *testing.B)     { benches.MachineGUPS(b) }
+func BenchmarkMachineDecode(b *testing.B)   { benches.MachineDecode(b) }

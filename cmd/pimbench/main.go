@@ -307,6 +307,7 @@ var microBenchmarks = []struct {
 	{"hostpim_simulate", benches.HostPIMSimulate},
 	{"parcelsys_run", benches.ParcelSysRun},
 	{"machine_gups", benches.MachineGUPS},
+	{"machine_decode", benches.MachineDecode},
 }
 
 // measureMicros runs the substrate micro-benchmarks through

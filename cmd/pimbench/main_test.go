@@ -123,6 +123,7 @@ func TestMicroBenchNamesStable(t *testing.T) {
 		"hostpim_simulate",
 		"parcelsys_run",
 		"machine_gups",
+		"machine_decode",
 	}
 	if len(microBenchmarks) != len(want) {
 		t.Fatalf("micro suite has %d benchmarks, want %d — extend this pin, never rename", len(microBenchmarks), len(want))

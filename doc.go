@@ -11,8 +11,11 @@
 // workload) runs on every model backend (analytic, queueing/MVA, the DES
 // simulation, the hybrid composition, and the execution-driven machine
 // backend, which assembles ISA programs from internal/isa and runs them
-// on the multi-node VM with internal/dram row-buffer timing and
-// internal/network parcel topologies) through a common interface, with
+// on the multi-node VM — programs are pre-decoded into per-node slabs
+// for direct dispatch with superinstruction fusion and a
+// self-modification guard, with the per-cycle interpretive path kept as
+// a differential-testing oracle — with internal/dram row-buffer timing
+// and internal/network parcel topologies) through a common interface, with
 // named presets and a cross-backend agreement validator; internal/core
 // registers one runnable experiment per table and figure (including the
 // scenarios cross-validation); internal/engine executes any set of

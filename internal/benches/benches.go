@@ -212,3 +212,54 @@ func MachineGUPS(b *testing.B) {
 		run()
 	}
 }
+
+// MachineDecode measures the pre-decoded dispatch layer in isolation: a
+// register-only countdown kernel on one node and one thread, so no
+// memory stalls break the issue stream and the superinstruction fuser
+// sees its single-ready-thread precondition every cycle. The ns/op is
+// (nearly) pure decode-and-issue cost; allocs/op pins the decoded slab's
+// reuse across Reset/Load (steady state: 0).
+func MachineDecode(b *testing.B) {
+	prog, err := isa.Assemble(`
+main:
+    addi r1, r0, 4096
+    lui  r2, 1
+loop:
+    xor r3, r1, r2
+    add r4, r3, r1
+    shr r5, r4, r2
+    and r6, r5, r3
+    or  r7, r6, r1
+    sub r2, r7, r6
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := isa.NewMachine(1, 2048, isa.DefaultTiming())
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry, err := prog.Entry("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		m.Reset()
+		if err := m.LoadAll(prog); err != nil {
+			b.Fatal(err)
+		}
+		m.Nodes[0].StartThread(entry, 0, 0)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the slabs outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

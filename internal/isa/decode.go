@@ -1,0 +1,373 @@
+package isa
+
+import "fmt"
+
+// This file is the pre-decoded dispatch layer. Load/LoadAll translate the
+// program image into a dense slab of decoded-op structs (one decop per
+// image word, operands unpacked, immediates pre-converted) so the
+// per-cycle hot path switches on a dense opcode instead of re-running
+// DecodeInstr on the instruction word every issued cycle. Execution
+// semantics stay bit-identical to the interpretive path (executeInterp in
+// machine.go, reachable via Machine.ForceInterpret or a PC outside the
+// decoded span): same cycle counts, same counters, same faults, same
+// Trace stream — the decoded-vs-interpretive property tests are the
+// oracle.
+//
+// Two exact accelerations sit on top of the slab:
+//
+//   - Superinstructions: at pre-decode time every non-stalling ALU op
+//     (add..shr, addi, lui, nodeid) with an in-span successor is marked
+//     as a fusible head. When the dispatching thread is the only thread
+//     that can issue this cycle *and* the next (sole ready thread, every
+//     other live thread stalled for >= 2 more cycles, no parcel in
+//     flight, no Trace hook), the head and its successor execute in one
+//     dispatch and the thread is charged a 1-cycle stall for the hidden
+//     issue slot — the schedule any cycle-by-cycle run would produce.
+//     This fuses the dominant pairs of the gups/treesum/triad inner
+//     loops (addi+ld, add+ld, xor+st, addi+bne back-edges) without a
+//     pattern table.
+//
+//   - Self-modification guard: every ST/AMO/VADD that lands inside the
+//     node's program span re-decodes the patched word (NodeState.patch),
+//     so stores into code are visible to the very next fetch, exactly as
+//     in the interpretive path. Writes to NodeState.Mem made directly by
+//     host code (staging input data) must stay outside the program span
+//     or be followed by a re-Load.
+
+// decop is one pre-decoded instruction, packed to 16 bytes so a typical
+// inner loop's slab spans two cache lines. imm is the op-specific
+// pre-converted immediate: the sign-extended addend for addi/ld/st, the
+// pre-shifted result for lui, the absolute target for branches/jmp. The
+// architectural immediate is not kept — the cold paths that need it
+// (Trace, fault re-derivation) re-run DecodeInstr on the memory word.
+type decop struct {
+	op         Op
+	rd, ra, rb uint8
+	// fuse marks a fusible superinstruction head: a non-stalling ALU op
+	// with a successor inside the decoded span.
+	fuse bool
+	imm  uint64
+}
+
+// decodeOp pre-decodes one memory word. Undecodable words become
+// OpInvalid entries; executing one re-derives the interpretive fault.
+func decodeOp(w uint64) decop {
+	op := Op(w >> 56)
+	if op == OpInvalid || op >= numOps {
+		return decop{op: OpInvalid}
+	}
+	raw := int32(uint32(w&0xffffff)<<8) >> 8 // sign-extend 24 bits
+	d := decop{
+		op: op,
+		rd: uint8(w>>52) & 0xf,
+		ra: uint8(w>>48) & 0xf,
+		rb: uint8(w>>44) & 0xf,
+	}
+	switch op {
+	case OpAddi, OpLd, OpSt:
+		d.imm = uint64(int64(raw))
+	case OpLui:
+		// Mask to the architectural 24 bits before shifting: a negative
+		// immediate's sign-extension must not leak into bits 48-55.
+		d.imm = uint64(uint32(raw)&0xffffff) << 24
+	case OpBeq, OpBne, OpBlt, OpJmp:
+		d.imm = uint64(raw) // sign-extends, matching the interpretive path
+	}
+	return d
+}
+
+// fusibleHead reports whether op can head a superinstruction pair: it
+// must be non-stalling, non-branching, non-faulting, and touch nothing
+// but one destination register, so executing its successor in the same
+// dispatch cannot change any observable schedule.
+func fusibleHead(op Op) bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpAddi, OpLui, OpNodeID:
+		return true
+	}
+	return false
+}
+
+// predecode (re)builds the decoded slab for the span [base, base+span)
+// of node memory, reusing the slab's backing array so Reset+Load re-runs
+// allocate nothing once warm.
+func (n *NodeState) predecode(base, span uint64) {
+	n.progBase = base
+	if uint64(cap(n.decoded)) < span {
+		n.decoded = make([]decop, span)
+	} else {
+		n.decoded = n.decoded[:span]
+	}
+	for i := uint64(0); i < span; i++ {
+		d := decodeOp(n.Mem[base+i])
+		d.fuse = fusibleHead(d.op) && i+1 < span
+		n.decoded[i] = d
+	}
+}
+
+// patch re-decodes one word after a VM store into the program span — the
+// self-modification guard. Addresses outside the span are a single
+// compare (the unsigned subtraction wraps below progBase).
+func (n *NodeState) patch(addr uint64) {
+	off := addr - n.progBase
+	if off >= uint64(len(n.decoded)) {
+		return
+	}
+	d := decodeOp(n.Mem[addr])
+	d.fuse = fusibleHead(d.op) && off+1 < uint64(len(n.decoded))
+	n.decoded[off] = d
+}
+
+// patchWide applies the self-modification guard to a wide store over
+// [base, base+WideWords).
+func (n *NodeState) patchWide(base uint64) {
+	if base >= n.progBase+uint64(len(n.decoded)) || base+WideWords <= n.progBase {
+		return
+	}
+	for i := uint64(0); i < WideWords; i++ {
+		n.patch(base + i)
+	}
+}
+
+// wideCheck bounds-checks a wide access [base, base+WideWords) without
+// the base+WideWords-1 overflow wrap a near-max base would hit.
+func (n *NodeState) wideCheck(pc, base uint64) error {
+	if base >= uint64(len(n.Mem)) || WideWords > uint64(len(n.Mem))-base {
+		return fmt.Errorf("isa: node %d pc %d: wide access [%d, +%d) out of %d",
+			n.ID, pc, base, WideWords, len(n.Mem))
+	}
+	return nil
+}
+
+// execDecoded executes the pre-decoded op *d at t.PC. The caller
+// guarantees d = &n.decoded[t.PC-n.progBase] and t = &n.threads[ti] —
+// both already in hand on the hot paths, so the prologue re-indexes
+// nothing. fusible is stepNode's proof that this thread also owns the
+// next issue slot, enabling superinstruction pairs.
+func (m *Machine) execDecoded(n *NodeState, t *Thread, d *decop, ti int, fusible bool) error {
+	if d.op == OpInvalid {
+		// Re-derive the interpretive fault (before Trace or counters,
+		// exactly like a failing DecodeInstr).
+		_, err := DecodeInstr(n.Mem[t.PC])
+		return fmt.Errorf("isa: node %d pc %d: %w", n.ID, t.PC, err)
+	}
+	if m.Trace != nil {
+		// Re-decode the memory word so the hook sees the exact Instr the
+		// interpretive decoder produces (decop drops the raw immediate).
+		in, _ := DecodeInstr(n.Mem[t.PC])
+		m.Trace(m.cycle, n.ID, t.PC, in)
+		fusible = false // the hook must see both halves at their own cycles
+	}
+	n.Instructions++
+	pcNext := t.PC + 1
+	regs := &t.Regs
+
+	switch d.op {
+	case OpHalt:
+		t.done = true
+		n.live--
+		n.Completed++
+		n.free = append(n.free, int32(ti))
+		return nil
+	case OpAdd:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] + regs[d.rb]
+		}
+	case OpSub:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] - regs[d.rb]
+		}
+	case OpMul:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] * regs[d.rb]
+		}
+	case OpAnd:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] & regs[d.rb]
+		}
+	case OpOr:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] | regs[d.rb]
+		}
+	case OpXor:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] ^ regs[d.rb]
+		}
+	case OpShl:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] << (regs[d.rb] & 63)
+		}
+	case OpShr:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] >> (regs[d.rb] & 63)
+		}
+	case OpAddi:
+		if d.rd != 0 {
+			regs[d.rd] = regs[d.ra] + d.imm
+		}
+	case OpLui:
+		if d.rd != 0 {
+			regs[d.rd] = d.imm
+		}
+	case OpLd:
+		addr := regs[d.ra] + d.imm
+		if addr >= uint64(len(n.Mem)) {
+			return memFault(n, t.PC, addr)
+		}
+		if d.rd != 0 {
+			regs[d.rd] = n.Mem[addr]
+		}
+		t.stall = m.memCost(n, addr, false) - 1
+		n.MemOps++
+	case OpSt:
+		addr := regs[d.ra] + d.imm
+		if addr >= uint64(len(n.Mem)) {
+			return memFault(n, t.PC, addr)
+		}
+		n.Mem[addr] = regs[d.rd]
+		n.patch(addr)
+		t.stall = m.memCost(n, addr, false) - 1
+		n.MemOps++
+	case OpBeq:
+		if regs[d.ra] == regs[d.rb] {
+			pcNext = d.imm
+		}
+	case OpBne:
+		if regs[d.ra] != regs[d.rb] {
+			pcNext = d.imm
+		}
+	case OpBlt:
+		if regs[d.ra] < regs[d.rb] {
+			pcNext = d.imm
+		}
+	case OpJmp:
+		pcNext = d.imm
+	case OpJr:
+		pcNext = regs[d.ra]
+	case OpAmoAdd:
+		addr := regs[d.ra]
+		if addr >= uint64(len(n.Mem)) {
+			return memFault(n, t.PC, addr)
+		}
+		v := n.Mem[addr]
+		n.Mem[addr] = v + regs[d.rb]
+		n.patch(addr)
+		if d.rd != 0 {
+			regs[d.rd] = v
+		}
+		t.stall = m.memCost(n, addr, false) - 1
+		n.MemOps++
+	case OpVAdd:
+		dst, a, b := regs[d.rd], regs[d.ra], regs[d.rb]
+		if err := n.wideCheck(t.PC, dst); err != nil {
+			return err
+		}
+		if err := n.wideCheck(t.PC, a); err != nil {
+			return err
+		}
+		if err := n.wideCheck(t.PC, b); err != nil {
+			return err
+		}
+		for i := uint64(0); i < WideWords; i++ {
+			n.Mem[dst+i] = n.Mem[a+i] + n.Mem[b+i]
+		}
+		n.patchWide(dst)
+		t.stall = m.memCost(n, dst, true) - 1
+		n.WideOps++
+	case OpVSum:
+		a := regs[d.ra]
+		if err := n.wideCheck(t.PC, a); err != nil {
+			return err
+		}
+		var s uint64
+		for i := uint64(0); i < WideWords; i++ {
+			s += n.Mem[a+i]
+		}
+		if d.rd != 0 {
+			regs[d.rd] = s
+		}
+		t.stall = m.memCost(n, a, true) - 1
+		n.WideOps++
+	case OpSpawn:
+		dst := int(regs[d.ra])
+		if dst < 0 || dst >= len(m.Nodes) {
+			return fmt.Errorf("isa: node %d pc %d: spawn to node %d of %d",
+				n.ID, t.PC, dst, len(m.Nodes))
+		}
+		lat := int64(0)
+		if dst != n.ID {
+			if m.NetDelay != nil {
+				lat = m.NetDelay(n.ID, dst)
+			} else {
+				lat = m.Timing.NetLatency
+			}
+		}
+		m.inFlight = append(m.inFlight, flight{
+			arrive: m.cycle + lat + 1,
+			node:   dst,
+			entry:  regs[d.rb],
+			arg:    regs[d.rd],
+			src:    uint64(n.ID),
+		})
+		t.stall = m.Timing.SpawnCycles - 1
+		if t.stall < 0 {
+			t.stall = 0
+		}
+		n.Spawns++
+	case OpNodeID:
+		if d.rd != 0 {
+			regs[d.rd] = uint64(n.ID)
+		}
+	case OpPrint:
+		if m.Output != nil {
+			m.Output(n.ID, regs[d.ra])
+		}
+	default:
+		return fmt.Errorf("isa: node %d pc %d: unimplemented op %v", n.ID, t.PC, d.op)
+	}
+	t.PC = pcNext
+
+	// Superinstruction head: this thread owns the next issue slot too
+	// (sole ready thread, every other live thread stalled past the next
+	// cycle), so queue the successor to run in the same dispatch. The
+	// tail executes at the end of the machine cycle, once every node has
+	// stepped — only then is it known that no same-cycle spawn can
+	// deliver a competing thread on the next cycle.
+	if fusible && d.fuse {
+		m.fusePending = append(m.fusePending, fuseRef{n: n, ti: int32(ti)})
+	}
+	return nil
+}
+
+// execFusedTail runs the queued successor of a fused pair, charging the
+// thread a 1-cycle stall for the hidden issue slot. Halt would end the
+// run a cycle early, spawn would stamp the wrong launch cycle, and print
+// would reorder the output stream across nodes, so those stay unfused; a
+// faulting successor is un-issued again and replays, interpretively
+// identical, at its own cycle.
+func (m *Machine) execFusedTail(n *NodeState, ti int32) {
+	t := &n.threads[ti]
+	off := t.PC - n.progBase
+	if off >= uint64(len(n.decoded)) {
+		return
+	}
+	d := &n.decoded[off]
+	switch d.op {
+	case OpHalt, OpSpawn, OpPrint, OpInvalid:
+		return
+	}
+	before := n.Instructions
+	if err := m.execDecoded(n, t, d, int(ti), false); err != nil {
+		n.Instructions = before
+		return
+	}
+	t.stall++
+}
+
+// memFault is the out-of-range memory access fault, shared by both
+// execution paths.
+func memFault(n *NodeState, pc, addr uint64) error {
+	return fmt.Errorf("isa: node %d pc %d: memory access %d out of %d",
+		n.ID, pc, addr, len(n.Mem))
+}

@@ -20,6 +20,10 @@ func FuzzAsmRoundTrip(f *testing.F) {
 		"main:\n    nodeid r3\n    addi r5, r0, main\n    spawn r0, r3, r5\n    print r3\n    halt\n",
 		"a: b: c: halt ; many labels\n.word 0x5851f42d4c957f2d\n",
 		".org 100\nx:\n    amoadd r5, r3, r4\n    jr r5\n    beq r1, r2, x\n    blt r1, r2, x\n",
+		// Negative LUI immediate: the sign-extension-leak reproducer. The
+		// listing fixed point is what pins the encoding (Imm renders as
+		// -1, re-assembles to the same masked word).
+		"main:\n    lui r1, -1\n    halt\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -94,6 +98,18 @@ func FuzzMachineExecute(f *testing.F) {
 		f.Add(bs)
 	}
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	// The wide-op bounds-wrap reproducer: a near-max base used to slip
+	// past the base+WideWords-1 overflow and panic the VM.
+	wrap, _ := Assemble("main:\n addi r1, r0, -1\n vsum r2, r1\n halt\n")
+	if wrap != nil {
+		var bs []byte
+		for _, w := range wrap.Words {
+			for i := 0; i < 8; i++ {
+				bs = append(bs, byte(w>>(8*i)))
+			}
+		}
+		f.Add(bs)
+	}
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		if len(raw) == 0 || len(raw) > 8*512 {
 			return

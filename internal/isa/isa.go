@@ -9,7 +9,11 @@
 // The package provides the instruction encoding, a two-pass assembler for
 // a textual assembly language, a disassembler, and (in machine.go) a
 // deterministic cycle-driven multi-node interpreter with the Table 1
-// timing parameters.
+// timing parameters. Loaded program images are pre-decoded into per-node
+// slabs (decode.go) for direct dispatch — with superinstruction fusion of
+// fusible pairs and a self-modification guard that re-decodes entries
+// clobbered by in-span stores — while Machine.ForceInterpret keeps the
+// per-cycle decode path alive as a differential-testing oracle.
 package isa
 
 import (

@@ -2,6 +2,7 @@ package isa
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Timing parameterizes the cycle costs of the interpreter, in LWP cycles.
@@ -65,6 +66,13 @@ type NodeState struct {
 	live    int
 	next    int
 
+	// decoded is the pre-decoded program slab covering node memory
+	// [progBase, progBase+len(decoded)): built by Load, kept coherent
+	// with VM stores by patch/patchWide, dropped by Reset. PCs outside
+	// the span fall back to per-cycle DecodeInstr.
+	progBase uint64
+	decoded  []decop
+
 	// Counters.
 	Instructions int64
 	MemOps       int64
@@ -75,33 +83,44 @@ type NodeState struct {
 	Completed    int64
 }
 
-// Load copies a program image into node memory.
+// Load copies a program image into node memory and pre-decodes it into
+// the node's decoded-op slab (see decode.go). Host code that pokes
+// NodeState.Mem directly inside the program span afterwards must re-Load
+// for the patch to be visible to the decoded dispatch.
 func (n *NodeState) Load(p *Program) error {
 	if p.Origin+uint64(len(p.Words)) > uint64(len(n.Mem)) {
 		return fmt.Errorf("isa: program [%d, %d) exceeds node memory %d",
 			p.Origin, p.Origin+uint64(len(p.Words)), len(n.Mem))
 	}
 	copy(n.Mem[p.Origin:], p.Words)
+	n.predecode(p.Origin, uint64(len(p.Words)))
 	return nil
 }
 
 // StartThread creates a thread at entry with r1 = arg, r2 = src, reusing a
 // recycled context slot when one is free.
 func (n *NodeState) StartThread(entry, arg, src uint64) {
-	var t *Thread
+	n.startThread(entry, arg, src)
+}
+
+// startThread is StartThread returning the slot index the thread landed
+// in, for callers tracking readiness by slot (runNodeWindowFast).
+func (n *NodeState) startThread(entry, arg, src uint64) int {
+	var idx int
 	if k := len(n.free); k > 0 {
-		idx := n.free[k-1]
+		idx = int(n.free[k-1])
 		n.free = n.free[:k-1]
-		t = &n.threads[idx]
-		*t = Thread{}
+		n.threads[idx] = Thread{}
 	} else {
+		idx = len(n.threads)
 		n.threads = append(n.threads, Thread{})
-		t = &n.threads[len(n.threads)-1]
 	}
+	t := &n.threads[idx]
 	t.PC = entry
 	t.Regs[1] = arg
 	t.Regs[2] = src
 	n.live++
+	return idx
 }
 
 // LiveThreads returns the number of unfinished threads.
@@ -131,9 +150,25 @@ type Machine struct {
 	MemDelay func(node int, addr uint64, wide bool) int64
 	// MaxCycles bounds Run (0 = no bound).
 	MaxCycles int64
+	// ForceInterpret disables the pre-decoded dispatch: every issued
+	// cycle re-decodes the instruction word, as the VM did before the
+	// decoded slab existed. The two paths are semantically identical —
+	// this switch is the differential-testing oracle and the debugging
+	// escape hatch.
+	ForceInterpret bool
 
 	cycle    int64
 	inFlight []flight
+	// fusePending holds the superinstruction tails queued this cycle;
+	// they run once every node has stepped, and only if no parcel is in
+	// flight (see decode.go). The slab is reused cycle to cycle.
+	fusePending []fuseRef
+}
+
+// fuseRef names a thread whose fused successor is pending this cycle.
+type fuseRef struct {
+	n  *NodeState
+	ti int32
 }
 
 // NewMachine creates n nodes with memWords words of memory each.
@@ -171,10 +206,13 @@ func (m *Machine) LoadAll(p *Program) error {
 func (m *Machine) Reset() {
 	m.cycle = 0
 	m.inFlight = m.inFlight[:0]
+	m.fusePending = m.fusePending[:0]
 	for _, n := range m.Nodes {
 		clear(n.Mem)
 		n.threads = n.threads[:0]
 		n.free = n.free[:0]
+		n.decoded = n.decoded[:0]
+		n.progBase = 0
 		n.live = 0
 		n.next = 0
 		n.Instructions, n.MemOps, n.WideOps, n.Spawns = 0, 0, 0, 0
@@ -185,7 +223,24 @@ func (m *Machine) Reset() {
 // Run executes until no threads are live and no parcels are in flight, or
 // until MaxCycles. It returns the cycle count and an error for execution
 // faults (bad opcode, out-of-range memory) or cycle exhaustion.
+//
+// Run fast-forwards through cycles in which nothing can issue: when a
+// cycle goes by without a single issued instruction, every live thread
+// is stalled and the next possible issue is the minimum of the stall
+// expiries and the next parcel arrival, so the intervening cycles are
+// pure bookkeeping and are applied in bulk. Cycle counts, counters, and
+// faults are identical to per-cycle stepping (the Step API still
+// advances one exact cycle at a time).
 func (m *Machine) Run() (int64, error) {
+	// Node-major windowed execution (see runWindowed) needs every
+	// cross-node interaction bounded and unobserved: a flat network
+	// latency (NetDelay nil), flat memory timing (MemDelay hooks may
+	// carry cross-call state), and no per-cycle observers (Trace,
+	// Output). ForceInterpret keeps the full pre-decode-era loop as the
+	// differential-testing oracle.
+	if m.Trace == nil && m.Output == nil && m.NetDelay == nil && m.MemDelay == nil && !m.ForceInterpret {
+		return m.runWindowed()
+	}
 	for {
 		live := false
 		for _, n := range m.Nodes {
@@ -200,14 +255,26 @@ func (m *Machine) Run() (int64, error) {
 		if m.MaxCycles > 0 && m.cycle >= m.MaxCycles {
 			return m.cycle, fmt.Errorf("isa: exceeded %d cycles (livelock or unfinished work)", m.MaxCycles)
 		}
-		if err := m.Step(); err != nil {
+		issued, err := m.step()
+		if err != nil {
 			return m.cycle, err
+		}
+		if !issued {
+			m.fastForward()
 		}
 	}
 }
 
 // Step advances the machine one cycle.
 func (m *Machine) Step() error {
+	_, err := m.step()
+	return err
+}
+
+// step advances one cycle and reports whether any node issued an
+// instruction (false means every live thread is stalled — the
+// fast-forward trigger).
+func (m *Machine) step() (bool, error) {
 	m.cycle++
 	// Deliver parcels due this cycle (in send order: deterministic).
 	kept := m.inFlight[:0]
@@ -219,12 +286,706 @@ func (m *Machine) Step() error {
 		}
 	}
 	m.inFlight = kept
+	issued := false
 	for _, n := range m.Nodes {
-		if err := m.stepNode(n); err != nil {
-			return err
+		ok, err := m.stepNode(n, true)
+		if err != nil {
+			return issued, err
+		}
+		issued = issued || ok
+	}
+	// Fused superinstruction tails run once the whole cycle has stepped:
+	// only now is it known that no spawn issued this cycle, so no parcel
+	// can deliver a competing thread on the (pre-claimed) next cycle.
+	if len(m.fusePending) > 0 {
+		if len(m.inFlight) == 0 {
+			for _, p := range m.fusePending {
+				m.execFusedTail(p.n, p.ti)
+			}
+		}
+		m.fusePending = m.fusePending[:0]
+	}
+	return issued, nil
+}
+
+// fastForward bulk-applies the cycles up to (but not including) the next
+// cycle on which anything can issue: stall expiries tick down, busy/idle
+// counters advance, the clock jumps. Callers guarantee the current cycle
+// issued nothing, so every skipped cycle would have been an exact no-op
+// scan. The jump is capped at MaxCycles so exhaustion faults at the same
+// cycle a per-cycle run would report.
+func (m *Machine) fastForward() {
+	const never = int64(^uint64(0) >> 1)
+	next := never
+	for _, f := range m.inFlight {
+		if f.arrive < next {
+			next = f.arrive
 		}
 	}
-	return nil
+	for _, n := range m.Nodes {
+		if n.live == 0 {
+			continue
+		}
+		for i := range n.threads {
+			t := &n.threads[i]
+			if t.done {
+				continue
+			}
+			if c := m.cycle + t.stall + 1; c < next {
+				next = c
+			}
+		}
+	}
+	if next == never {
+		return
+	}
+	delta := next - m.cycle - 1
+	if m.MaxCycles > 0 && m.cycle+delta > m.MaxCycles {
+		delta = m.MaxCycles - m.cycle
+	}
+	if delta <= 0 {
+		return
+	}
+	m.cycle += delta
+	for _, n := range m.Nodes {
+		if n.live == 0 {
+			n.IdleCycles += delta
+			continue
+		}
+		n.BusyCycles += delta
+		for i := range n.threads {
+			t := &n.threads[i]
+			if !t.done && t.stall > 0 {
+				t.stall -= delta
+			}
+		}
+	}
+}
+
+// runWindowed executes the machine node-major in windows of
+// NetLatency+1 cycles: each node runs a whole window over its own
+// threads and memory before the next node starts. Within one window the
+// nodes cannot interact — a cross-node parcel launched at cycle c
+// arrives no earlier than c+NetLatency+1, past the window's last cycle —
+// so per-node execution over the same cycle range is exactly the serial
+// interleaving, while the round-robin scan and the node's memory stay
+// cache-hot across the whole window instead of being evicted by seven
+// other nodes every cycle. Node-local parcels (latency zero) are
+// delivered inside the window by scanning the flights the node itself
+// appended. Cycle counts, counters, memory, and faults are identical to
+// the per-cycle loop; Run gates entry on the conditions that make the
+// proof hold (no Trace/Output observers ordering events across nodes
+// within a cycle, no NetDelay/MemDelay hooks).
+func (m *Machine) runWindowed() (int64, error) {
+	window := m.Timing.NetLatency + 1
+	for {
+		live := false
+		for _, n := range m.Nodes {
+			if n.live > 0 {
+				live = true
+				break
+			}
+		}
+		if !live && len(m.inFlight) == 0 {
+			return m.cycle, nil
+		}
+		if m.MaxCycles > 0 && m.cycle >= m.MaxCycles {
+			return m.cycle, fmt.Errorf("isa: exceeded %d cycles (livelock or unfinished work)", m.MaxCycles)
+		}
+		wstart := m.cycle + 1
+		wend := wstart + window - 1
+		if m.MaxCycles > 0 && wend > m.MaxCycles {
+			wend = m.MaxCycles
+		}
+		// The first fault in (cycle, node) order wins, as in the serial
+		// loop. Later-ordered nodes may have run past the fault cycle
+		// when it is reported; post-fault machine state is best-effort
+		// either way.
+		var (
+			firstErr      error
+			firstErrCycle int64
+			lastIssue     int64
+		)
+		for _, n := range m.Nodes {
+			last, errCycle, err := m.runNodeWindow(n, wstart, wend)
+			if err != nil && (firstErr == nil || errCycle < firstErrCycle) {
+				firstErr, firstErrCycle = err, errCycle
+			}
+			if last > lastIssue {
+				lastIssue = last
+			}
+		}
+		if firstErr != nil {
+			m.cycle = firstErrCycle
+			return m.cycle, firstErr
+		}
+		// Drop delivered flights (tombstoned by runNodeWindow); append
+		// order — and so same-cycle delivery order — is preserved.
+		kept := m.inFlight[:0]
+		for _, f := range m.inFlight {
+			if f.node >= 0 {
+				kept = append(kept, f)
+			}
+		}
+		m.inFlight = kept
+		m.cycle = wend
+		// If the machine finished inside the window, the run ended at
+		// the final halt: the serial loop stops there, so roll back the
+		// idle cycles each node charged past it.
+		if len(m.inFlight) == 0 {
+			done := true
+			for _, n := range m.Nodes {
+				if n.live > 0 {
+					done = false
+					break
+				}
+			}
+			if done {
+				for _, n := range m.Nodes {
+					n.IdleCycles -= wend - lastIssue
+				}
+				m.cycle = lastIssue
+				return m.cycle, nil
+			}
+		}
+	}
+}
+
+// runNodeWindow runs node n alone over cycles [wstart, wend], returning
+// the last cycle at which it issued an instruction and, on an execution
+// fault, the cycle it faulted. Delivered flights are tombstoned
+// (node = -1) in place so the shared slice stays index-stable for the
+// nodes that have not run their window yet.
+func (m *Machine) runNodeWindow(n *NodeState, wstart, wend int64) (lastIssue, errCycle int64, err error) {
+	c := wstart
+	if len(n.threads) < 64 {
+		var resume int64
+		lastIssue, resume, errCycle, err = m.runNodeWindowFast(n, wstart, wend)
+		if err != nil || resume == 0 {
+			return lastIssue, errCycle, err
+		}
+		// The thread slab outgrew the 64-slot readiness mask mid-window
+		// (a delivery burst); finish the window generically.
+		c = resume
+	}
+	for c <= wend {
+		m.cycle = c
+		if len(m.inFlight) > 0 {
+			for i := range m.inFlight {
+				f := &m.inFlight[i]
+				if f.node == n.ID && f.arrive <= c {
+					n.StartThread(f.entry, f.arg, f.src)
+					f.node = -1
+				}
+			}
+		}
+		if n.live == 0 {
+			// Idle until the node's next parcel arrival, or out the
+			// window if none is due.
+			next := wend + 1
+			for i := range m.inFlight {
+				f := &m.inFlight[i]
+				if f.node == n.ID && f.arrive < next {
+					next = f.arrive
+				}
+			}
+			n.IdleCycles += next - c
+			c = next
+			continue
+		}
+		issued, serr := m.stepNode(n, c < wend)
+		if serr != nil {
+			return lastIssue, c, serr
+		}
+		// Drain the fused tail this node may have queued: within its
+		// window the node owns the next cycle's slot outright (stepNode
+		// only marks fusion fusible away from the window edge, and an
+		// empty flight queue at issue time rules out a competing
+		// delivery), so the tail runs here instead of at the end of a
+		// global cycle.
+		if len(m.fusePending) > 0 {
+			if len(m.inFlight) == 0 {
+				for _, p := range m.fusePending {
+					m.execFusedTail(p.n, p.ti)
+				}
+			}
+			m.fusePending = m.fusePending[:0]
+		}
+		if issued {
+			lastIssue = c
+			c++
+			continue
+		}
+		// Every live thread is stalled: jump to the next stall expiry
+		// or parcel arrival, mirroring fastForward node-locally.
+		next := wend + 1
+		for i := range n.threads {
+			t := &n.threads[i]
+			if !t.done {
+				if w := c + t.stall + 1; w < next {
+					next = w
+				}
+			}
+		}
+		for i := range m.inFlight {
+			f := &m.inFlight[i]
+			if f.node == n.ID && f.arrive > c && f.arrive < next {
+				next = f.arrive
+			}
+		}
+		if delta := next - c - 1; delta > 0 {
+			n.BusyCycles += delta
+			for i := range n.threads {
+				t := &n.threads[i]
+				if !t.done && t.stall > 0 {
+					t.stall -= delta
+				}
+			}
+		}
+		c = next
+	}
+	return lastIssue, 0, nil
+}
+
+// runNodeWindowFast is runNodeWindow's event-driven inner loop for nodes
+// whose thread slab fits a 64-bit readiness mask. The per-cycle
+// round-robin scan — O(threads) loads and stall decrements every cycle —
+// collapses to O(1): ready threads live in a bitmask (first-set-bit from
+// the rotating issue pointer is exactly the serial scan's choice),
+// stalled threads carry absolute wake cycles instead of countdowns (so
+// nothing ticks), and the next wake/arrival is a single compare per
+// cycle. State is local to the window — masks are rebuilt from the slab
+// on entry and flushed back (wake minus resume cycle = countdown) on
+// every exit — so the slab representation, and with it the generic and
+// per-cycle paths, stay untouched. Returns resume == 0 when the window
+// completed, or the cycle the generic loop must take over from when a
+// delivery pushed the slab past the mask width.
+func (m *Machine) runNodeWindowFast(n *NodeState, wstart, wend int64) (lastIssue, resume, errCycle int64, err error) {
+	const never = int64(^uint64(0) >> 1)
+	var readyM, stalledM uint64
+	var wake [64]int64
+	minWake := never
+	for i := range n.threads {
+		t := &n.threads[i]
+		if t.done {
+			continue
+		}
+		if t.stall > 0 {
+			stalledM |= 1 << uint(i)
+			w := wstart + t.stall
+			wake[i] = w
+			if w < minWake {
+				minWake = w
+			}
+		} else {
+			readyM |= 1 << uint(i)
+		}
+	}
+	// MemDelay is nil on this path (the runWindowed gate checked), so
+	// every scalar memory op stalls the same fixed cost — hoist it.
+	memC := m.Timing.MemCycles
+	if memC < 1 {
+		memC = 1
+	}
+	// Hot node state hoisted to locals: the stores below (node memory,
+	// fuse queue, counters) would otherwise force a reload of every
+	// n-field on each iteration. The slab headers are stable inside a
+	// window except threads, which parcel delivery can grow — refreshed
+	// there. Instruction/memop counts accumulate locally and flush once;
+	// execDecoded still bumps the n-fields directly, and the sums commute.
+	mem := n.Mem
+	prog := n.decoded
+	progBase := n.progBase
+	threads := n.threads
+	var instr, memOps int64
+	nextArr := never
+	for i := range m.inFlight {
+		f := &m.inFlight[i]
+		if f.node == n.ID && f.arrive < nextArr {
+			nextArr = f.arrive
+		}
+	}
+	next := n.next
+	if next >= len(n.threads) {
+		next = 0
+	}
+	var busy, idle int64
+	c := wstart
+	for c <= wend {
+		if nextArr <= c {
+			// Deliver this node's due parcels in flight order.
+			for i := range m.inFlight {
+				f := &m.inFlight[i]
+				if f.node == n.ID && f.arrive <= c {
+					idx := n.startThread(f.entry, f.arg, f.src)
+					f.node = -1
+					if idx >= 64 {
+						// Mask exhausted: hand the rest of the window
+						// (and any still-undelivered parcels) to the
+						// generic loop.
+						resume = c
+						goto flush
+					}
+					readyM |= 1 << uint(idx)
+				}
+			}
+			// startThread may have grown the slab.
+			threads = n.threads
+			nextArr = never
+			for i := range m.inFlight {
+				f := &m.inFlight[i]
+				if f.node == n.ID && f.arrive < nextArr {
+					nextArr = f.arrive
+				}
+			}
+		}
+		if minWake <= c {
+			// Move expired stalls to the ready mask, tracking the next
+			// wake among the remainder.
+			mw := never
+			for sm := stalledM; sm != 0; sm &= sm - 1 {
+				i := bits.TrailingZeros64(sm)
+				if wake[i] <= c {
+					stalledM &^= 1 << uint(i)
+					readyM |= 1 << uint(i)
+					// Clear the slab countdown too: the post-execute
+					// check below reads t.stall to detect a fresh stall,
+					// so a stale positive value would re-stall the
+					// thread for a ghost cycle.
+					threads[i].stall = 0
+				} else if wake[i] < mw {
+					mw = wake[i]
+				}
+			}
+			minWake = mw
+		}
+		if readyM == 0 {
+			if n.live == 0 {
+				to := nextArr
+				if to > wend {
+					to = wend + 1
+				}
+				idle += to - c
+				c = to
+				continue
+			}
+			// Every live thread is stalled: jump to the next wake or
+			// arrival (all-stalled cycles count busy, as in stepNode).
+			to := minWake
+			if nextArr < to {
+				to = nextArr
+			}
+			if to > wend {
+				to = wend + 1
+			}
+			busy += to - c
+			c = to
+			continue
+		}
+		// Choose: first ready slot at or after the issue pointer,
+		// wrapping — the serial round-robin scan's pick.
+		r := readyM &^ (1<<uint(next) - 1)
+		var idx int
+		if r != 0 {
+			idx = bits.TrailingZeros64(r)
+		} else {
+			idx = bits.TrailingZeros64(readyM)
+		}
+		nT := len(threads)
+		i0 := idx - next
+		if i0 < 0 {
+			i0 += nT
+		}
+		next = idx + 1
+		if next >= nT {
+			next = 0
+		}
+		// stepNode's scan recomputes its index from n.next, which moves
+		// when a thread is chosen mid-scan: with q = min(i0, nT-2-i0) and
+		// i0 the chosen slot's distance from the scan start, the q+1 slots
+		// after the chosen one are not visited this cycle (their stalls do
+		// not tick) and the q slots before it are visited twice (their
+		// stalls tick twice, not below zero). Reproduce that schedule
+		// exactly on the wake array.
+		if q := min(i0, nT-2-i0); q >= 0 && stalledM != 0 {
+			// A pushed-out wake only invalidates minWake if it held it.
+			recompute := false
+			for k := 1; k <= q+1; k++ {
+				s := idx + k
+				if s >= nT {
+					s -= nT
+				}
+				if stalledM&(1<<uint(s)) != 0 {
+					if wake[s] == minWake {
+						recompute = true
+					}
+					wake[s]++
+				}
+			}
+			for k := 1; k <= q; k++ {
+				s := idx - k
+				if s < 0 {
+					s += nT
+				}
+				if stalledM&(1<<uint(s)) != 0 {
+					if w := wake[s] - 1; w > c {
+						wake[s] = w
+						if w < minWake {
+							minWake = w
+						}
+					}
+				}
+			}
+			if recompute {
+				mw := never
+				for sm := stalledM; sm != 0; sm &= sm - 1 {
+					if i := bits.TrailingZeros64(sm); wake[i] < mw {
+						mw = wake[i]
+					}
+				}
+				minWake = mw
+			}
+		}
+		busy++
+		// Dispatch inline (ForceInterpret is false on this path — the
+		// runWindowed gate checked — so only the span check remains). The
+		// common op classes — ALU (OpAdd..OpLui), control (OpBeq..OpJr),
+		// and scalar LD/ST — execute right here, mirroring execDecoded
+		// without the call: none can halt, spawn, or trace on this path,
+		// none reads m.cycle, and the fixed memory cost is hoisted above.
+		// Everything else (wide, amo, spawn, halt, print, invalid) goes
+		// through execDecoded behind an m.cycle store and spawn tracking.
+		//
+		// The superinstruction precondition, evaluated only where a fuse
+		// head can act on it and sharpened to what the node can see: sole
+		// ready thread, chosen at the scan's last slot (i0 == nT-1, the
+		// only case stepNode's double-visit of the chosen slot cannot
+		// inflate its ready count past one), no stall expiring into cycle
+		// c+1, and no parcel arriving here by c+1 (cross-node parcels from
+		// this window land past wend, and c < wend keeps the tail's slot
+		// inside the window, so nextArr covers every candidate).
+		t := &threads[idx]
+		var serr error
+		if off := t.PC - progBase; off < uint64(len(prog)) {
+			d := &prog[off]
+			if d.op >= OpAdd && d.op <= OpLui {
+				// ALU ops cannot fault, halt, or stall, so they skip the
+				// shared epilogue entirely; only a drained fused tail can
+				// change the thread's scheduling state, handled inline.
+				instr++
+				regs := &t.Regs
+				var v uint64
+				switch d.op {
+				case OpAdd:
+					v = regs[d.ra] + regs[d.rb]
+				case OpSub:
+					v = regs[d.ra] - regs[d.rb]
+				case OpMul:
+					v = regs[d.ra] * regs[d.rb]
+				case OpAnd:
+					v = regs[d.ra] & regs[d.rb]
+				case OpOr:
+					v = regs[d.ra] | regs[d.rb]
+				case OpXor:
+					v = regs[d.ra] ^ regs[d.rb]
+				case OpShl:
+					v = regs[d.ra] << (regs[d.rb] & 63)
+				case OpShr:
+					v = regs[d.ra] >> (regs[d.rb] & 63)
+				case OpAddi:
+					v = regs[d.ra] + d.imm
+				case OpLui:
+					v = d.imm
+				}
+				if d.rd != 0 {
+					regs[d.rd] = v
+				}
+				t.PC++
+				lastIssue = c
+				if d.fuse && c < wend && readyM == 1<<uint(idx) && i0 == nT-1 &&
+					minWake != c+1 && nextArr > c+1 {
+					// Conditions proven, so the tail runs right here (no
+					// queue round-trip). It cannot halt — execFusedTail
+					// skips terminal ops — so only a fresh stall (the
+					// tail's own cost, or a memory tail's) can result.
+					m.execFusedTail(n, int32(idx))
+					if st := t.stall; st > 0 {
+						readyM &^= 1 << uint(idx)
+						stalledM |= 1 << uint(idx)
+						w := c + st + 1
+						wake[idx] = w
+						if w < minWake {
+							minWake = w
+						}
+					}
+				}
+				c++
+				continue
+			}
+			if d.op >= OpBeq && d.op <= OpJr {
+				// Control ops only move the PC: no fault, no stall, no
+				// fusion (branches are never fuse heads) — skip the
+				// epilogue.
+				instr++
+				regs := &t.Regs
+				pc := t.PC + 1
+				switch d.op {
+				case OpBeq:
+					if regs[d.ra] == regs[d.rb] {
+						pc = d.imm
+					}
+				case OpBne:
+					if regs[d.ra] != regs[d.rb] {
+						pc = d.imm
+					}
+				case OpBlt:
+					if regs[d.ra] < regs[d.rb] {
+						pc = d.imm
+					}
+				case OpJmp:
+					pc = d.imm
+				case OpJr:
+					pc = regs[d.ra]
+				}
+				t.PC = pc
+				lastIssue = c
+				c++
+				continue
+			}
+			if d.op == OpLd {
+				instr++
+				regs := &t.Regs
+				addr := regs[d.ra] + d.imm
+				if addr >= uint64(len(mem)) {
+					errCycle, err = c, memFault(n, t.PC, addr)
+					goto flush
+				}
+				if d.rd != 0 {
+					regs[d.rd] = mem[addr]
+				}
+				memOps++
+				t.PC++
+				lastIssue = c
+				// The stall cost is known statically, so move the thread
+				// straight to the stalled mask (the slab countdown stays
+				// untouched — flush rewrites it from wake). memC == 1
+				// means no stall: the thread stays ready.
+				if memC > 1 {
+					readyM &^= 1 << uint(idx)
+					stalledM |= 1 << uint(idx)
+					w := c + memC
+					wake[idx] = w
+					if w < minWake {
+						minWake = w
+					}
+				}
+				c++
+				continue
+			}
+			if d.op == OpSt {
+				instr++
+				regs := &t.Regs
+				addr := regs[d.ra] + d.imm
+				if addr >= uint64(len(mem)) {
+					errCycle, err = c, memFault(n, t.PC, addr)
+					goto flush
+				}
+				mem[addr] = regs[d.rd]
+				if addr-progBase < uint64(len(prog)) {
+					n.patch(addr)
+				}
+				memOps++
+				t.PC++
+				lastIssue = c
+				if memC > 1 {
+					readyM &^= 1 << uint(idx)
+					stalledM |= 1 << uint(idx)
+					w := c + memC
+					wake[idx] = w
+					if w < minWake {
+						minWake = w
+					}
+				}
+				c++
+				continue
+			}
+			{
+				m.cycle = c
+				flightsBefore := len(m.inFlight)
+				fusible := c < wend && readyM == 1<<uint(idx) && i0 == nT-1 &&
+					minWake != c+1 && nextArr > c+1
+				serr = m.execDecoded(n, t, d, idx, fusible)
+				if len(m.inFlight) > flightsBefore {
+					// A spawn launched: only a node-local parcel can land
+					// inside the window, but track it either way.
+					for i := flightsBefore; i < len(m.inFlight); i++ {
+						f := &m.inFlight[i]
+						if f.node == n.ID && f.arrive < nextArr {
+							nextArr = f.arrive
+						}
+					}
+				}
+			}
+		} else {
+			m.cycle = c
+			flightsBefore := len(m.inFlight)
+			serr = m.executeInterp(n, idx)
+			if len(m.inFlight) > flightsBefore {
+				for i := flightsBefore; i < len(m.inFlight); i++ {
+					f := &m.inFlight[i]
+					if f.node == n.ID && f.arrive < nextArr {
+						nextArr = f.arrive
+					}
+				}
+			}
+		}
+		if serr != nil {
+			errCycle, err = c, serr
+			goto flush
+		}
+		lastIssue = c
+		if len(m.fusePending) > 0 {
+			// Conditions were proven at queue time and nothing else has
+			// run since, so the tail executes unconditionally here.
+			for _, p := range m.fusePending {
+				m.execFusedTail(p.n, p.ti)
+			}
+			m.fusePending = m.fusePending[:0]
+		}
+		if t.done {
+			readyM &^= 1 << uint(idx)
+		} else if t.stall > 0 {
+			readyM &^= 1 << uint(idx)
+			stalledM |= 1 << uint(idx)
+			w := c + t.stall + 1
+			wake[idx] = w
+			if w < minWake {
+				minWake = w
+			}
+		}
+		c++
+	}
+flush:
+	// Convert wake cycles back to countdowns relative to the first cycle
+	// this loop did not execute, restoring the slab representation the
+	// generic/per-cycle paths (and the next window) expect.
+	for sm := stalledM; sm != 0; sm &= sm - 1 {
+		i := bits.TrailingZeros64(sm)
+		s := wake[i] - c
+		if s < 0 {
+			s = 0
+		}
+		n.threads[i].stall = s
+	}
+	for rm := readyM; rm != 0; rm &= rm - 1 {
+		n.threads[bits.TrailingZeros64(rm)].stall = 0
+	}
+	n.next = next
+	n.Instructions += instr
+	n.MemOps += memOps
+	n.BusyCycles += busy
+	n.IdleCycles += idle
+	return lastIssue, resume, errCycle, err
 }
 
 // compact drops finished thread contexts once they dominate the slab, so
@@ -248,16 +1009,26 @@ func (n *NodeState) compact() {
 	n.next = 0
 }
 
-// stepNode issues at most one instruction on node n.
-func (m *Machine) stepNode(n *NodeState) error {
+// stepNode issues at most one instruction on node n, reporting whether
+// one issued. The single round-robin scan batch-services every thread of
+// the node: stalled threads tick down, the issue slot goes to the next
+// ready thread, and the scan proves (or disproves) that the chosen
+// thread also owns the *next* cycle's slot — the superinstruction
+// precondition (sole ready thread, every other live thread stalled
+// beyond the next cycle, no parcel arrival pending). fuseOK lets the
+// caller veto fusion when it cannot vouch for the next cycle's slot
+// (a windowed run at its window's last cycle).
+func (m *Machine) stepNode(n *NodeState, fuseOK bool) (bool, error) {
 	if n.live == 0 {
 		n.IdleCycles++
-		return nil
+		return false, nil
 	}
 	n.compact()
 	// Find the next ready thread round-robin; stalled threads tick down.
 	nThreads := len(n.threads)
 	chosen := -1
+	ready := 0
+	nextReady := false
 	for i := 0; i < nThreads; i++ {
 		idx := n.next + i
 		if idx >= nThreads {
@@ -269,8 +1040,12 @@ func (m *Machine) stepNode(n *NodeState) error {
 		}
 		if t.stall > 0 {
 			t.stall--
+			if t.stall == 0 {
+				nextReady = true
+			}
 			continue
 		}
+		ready++
 		if chosen < 0 {
 			chosen = idx
 			n.next = idx + 1
@@ -282,9 +1057,10 @@ func (m *Machine) stepNode(n *NodeState) error {
 	// All live threads stalled counts busy (the bank is working).
 	n.BusyCycles++
 	if chosen < 0 {
-		return nil
+		return false, nil
 	}
-	return m.execute(n, chosen)
+	fusible := fuseOK && ready == 1 && !nextReady && len(m.inFlight) == 0
+	return true, m.execute(n, chosen, fusible)
 }
 
 // memCost returns the cycle cost of one memory operation.
@@ -304,8 +1080,22 @@ func (m *Machine) memCost(n *NodeState, addr uint64, wide bool) int64 {
 	return c
 }
 
-// execute runs one instruction on thread slot ti of node n.
-func (m *Machine) execute(n *NodeState, ti int) error {
+// execute runs one instruction on thread slot ti of node n, dispatching
+// through the pre-decoded slab when the PC is inside the program span
+// (the hot path) and falling back to per-cycle decode otherwise.
+func (m *Machine) execute(n *NodeState, ti int, fusible bool) error {
+	if off := n.threads[ti].PC - n.progBase; off < uint64(len(n.decoded)) && !m.ForceInterpret {
+		return m.execDecoded(n, &n.threads[ti], &n.decoded[off], ti, fusible)
+	}
+	return m.executeInterp(n, ti)
+}
+
+// executeInterp is the interpretive path: decode the instruction word at
+// t.PC and execute it. Semantically identical to execDecoded — it serves
+// PCs outside the decoded span, the ForceInterpret differential-testing
+// mode, and documents the reference semantics the decoded path must
+// preserve.
+func (m *Machine) executeInterp(n *NodeState, ti int) error {
 	t := &n.threads[ti]
 	if t.PC >= uint64(len(n.Mem)) {
 		return fmt.Errorf("isa: node %d: PC %d out of memory", n.ID, t.PC)
@@ -361,7 +1151,10 @@ func (m *Machine) execute(n *NodeState, ti int) error {
 	case OpAddi:
 		set(in.Rd, ra()+uint64(int64(in.Imm)))
 	case OpLui:
-		set(in.Rd, uint64(uint32(in.Imm))<<24)
+		// Mask the immediate to its architectural 24 bits before
+		// shifting: Imm is sign-extended at decode, and the extension
+		// bits must not leak into result bits 48-55.
+		set(in.Rd, uint64(uint32(in.Imm)&0xffffff)<<24)
 	case OpLd:
 		addr := ra() + uint64(int64(in.Imm))
 		v, err := mem(addr)
@@ -377,6 +1170,7 @@ func (m *Machine) execute(n *NodeState, ti int) error {
 			return err
 		}
 		n.Mem[addr] = rd()
+		n.patch(addr)
 		t.stall = m.memCost(n, addr, false) - 1
 		n.MemOps++
 	case OpBeq:
@@ -402,28 +1196,33 @@ func (m *Machine) execute(n *NodeState, ti int) error {
 			return err
 		}
 		n.Mem[addr] = v + rb()
+		n.patch(addr)
 		set(in.Rd, v)
 		t.stall = m.memCost(n, addr, false) - 1
 		n.MemOps++
 	case OpVAdd:
 		d, a, b := rd(), ra(), rb()
-		if _, err := mem(d + WideWords - 1); err != nil {
+		// wideCheck rather than mem(x+WideWords-1): the latter wraps
+		// for near-uint64-max bases and would let the element loop
+		// index out of range.
+		if err := n.wideCheck(t.PC, d); err != nil {
 			return err
 		}
-		if _, err := mem(a + WideWords - 1); err != nil {
+		if err := n.wideCheck(t.PC, a); err != nil {
 			return err
 		}
-		if _, err := mem(b + WideWords - 1); err != nil {
+		if err := n.wideCheck(t.PC, b); err != nil {
 			return err
 		}
 		for i := uint64(0); i < WideWords; i++ {
 			n.Mem[d+i] = n.Mem[a+i] + n.Mem[b+i]
 		}
+		n.patchWide(d)
 		t.stall = m.memCost(n, d, true) - 1
 		n.WideOps++
 	case OpVSum:
 		a := ra()
-		if _, err := mem(a + WideWords - 1); err != nil {
+		if err := n.wideCheck(t.PC, a); err != nil {
 			return err
 		}
 		var s uint64

@@ -49,6 +49,12 @@ const lwpCycleNS = 5.0
 // exceeds it (livelock, runaway sweep point) errors instead of hanging.
 const machineMaxCycles = 100_000_000
 
+// machineForceInterpret routes every machine-backend run through the VM's
+// interpretive (per-cycle re-decode) path instead of the pre-decoded
+// dispatch. The two are semantically identical; tests flip this to prove
+// the backend's metrics do not depend on the dispatch strategy.
+var machineForceInterpret = false
+
 // machineProgramInfo describes one runnable ISA program.
 type machineProgramInfo struct {
 	about          string
@@ -195,6 +201,7 @@ func runMachineScenario(s Scenario, cfg Config) (map[string]float64, error) {
 		return nil, err
 	}
 	m.MaxCycles = machineMaxCycles
+	m.ForceInterpret = machineForceInterpret
 
 	// Interconnect: hop topologies route each parcel over the network
 	// model at Latency cycles per hop; flat keeps Timing.NetLatency.

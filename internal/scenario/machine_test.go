@@ -282,3 +282,35 @@ func TestMachineSubCycleMemRejectedEarly(t *testing.T) {
 		t.Errorf("MemCycles=0.6 rejected: %v", err)
 	}
 }
+
+func TestMachineMetricsDispatchInvariant(t *testing.T) {
+	// The VM's pre-decoded dispatch (with superinstruction fusion and
+	// windowed execution) must be invisible in every metric: each machine
+	// preset, swept across interconnect topologies and DRAM page policies,
+	// produces the identical metric map with ForceInterpret flipped on.
+	run := func(s Scenario, force bool) map[string]float64 {
+		t.Helper()
+		machineForceInterpret = force
+		defer func() { machineForceInterpret = false }()
+		r, err := Run(s, "machine", Config{Seed: 2004, Quick: true})
+		if err != nil {
+			t.Fatalf("%s force=%v: %v", s.Name, force, err)
+		}
+		return r.Metrics
+	}
+	for _, name := range machinePresetNames(t) {
+		for _, topo := range []string{"", "ring"} {
+			for _, policy := range []string{"", "closed"} {
+				s := MustFind(name)
+				s.Machine.Topology = topo
+				s.Machine.PagePolicy = policy
+				decoded := run(s, false)
+				interp := run(s, true)
+				if !reflect.DeepEqual(decoded, interp) {
+					t.Errorf("%s topo=%q policy=%q: dispatch strategy leaks into metrics:\ndecoded:     %v\ninterpreted: %v",
+						name, topo, policy, decoded, interp)
+				}
+			}
+		}
+	}
+}
