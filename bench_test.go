@@ -165,4 +165,6 @@ func BenchmarkMM1Simulation(b *testing.B)   { benches.MM1Simulation(b) }
 func BenchmarkHostPIMSimulate(b *testing.B) { benches.HostPIMSimulate(b) }
 func BenchmarkParcelSysRun(b *testing.B)    { benches.ParcelSysRun(b) }
 func BenchmarkMachineGUPS(b *testing.B)     { benches.MachineGUPS(b) }
+func BenchmarkMachineGUPS256(b *testing.B)  { benches.MachineGUPS256(b) }
+func BenchmarkMachineGUPSPar(b *testing.B)  { benches.MachineGUPSPar(b) }
 func BenchmarkMachineDecode(b *testing.B)   { benches.MachineDecode(b) }

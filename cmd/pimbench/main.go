@@ -307,6 +307,8 @@ var microBenchmarks = []struct {
 	{"hostpim_simulate", benches.HostPIMSimulate},
 	{"parcelsys_run", benches.ParcelSysRun},
 	{"machine_gups", benches.MachineGUPS},
+	{"machine_gups_256", benches.MachineGUPS256},
+	{"machine_gups_par", benches.MachineGUPSPar},
 	{"machine_decode", benches.MachineDecode},
 }
 

@@ -123,6 +123,8 @@ func TestMicroBenchNamesStable(t *testing.T) {
 		"hostpim_simulate",
 		"parcelsys_run",
 		"machine_gups",
+		"machine_gups_256",
+		"machine_gups_par",
 		"machine_decode",
 	}
 	if len(microBenchmarks) != len(want) {

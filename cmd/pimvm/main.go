@@ -20,6 +20,12 @@
 //	-max C        cycle budget (default 10,000,000)
 //	-builtin P    run a reference program from internal/isa instead of a
 //	              file (gups, treesum, ping, triad)
+//	-parallel P   execute the run on P workers via the VM's conservative
+//	              time-windowed PDES (default 1 = serial). Results are
+//	              byte-identical to serial for any P; OUT output is
+//	              unavailable in parallel mode.
+//	-fingerprint  print a determinism fingerprint (cycles, counters, and
+//	              an FNV-64a hash of every node's memory) after the run
 //	-dis          print the disassembly and exit
 //	-stats        print per-node statistics after the run
 package main
@@ -27,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 
 	"repro/internal/isa"
@@ -135,6 +142,30 @@ func builtinProgram(name string, nodes int) (*isa.Program, string, func(m *isa.M
 	}
 }
 
+// machineFingerprint condenses a finished run into one comparable line:
+// the cycle count, every node's execution counters, and an FNV-64a hash of
+// all node memories folded into a single hash. Two runs of the same
+// program agree on this line exactly iff they agree on every counter and
+// every memory word — the CI smoke test compares it across -parallel
+// settings to hold the PDES determinism guarantee.
+func machineFingerprint(m *isa.Machine, cycles int64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "cycles=%d\n", cycles)
+	for _, n := range m.Nodes {
+		fmt.Fprintf(h, "node %d: instr=%d mem=%d wide=%d spawn=%d busy=%d idle=%d done=%d\n",
+			n.ID, n.Instructions, n.MemOps, n.WideOps, n.Spawns,
+			n.BusyCycles, n.IdleCycles, n.Completed)
+		var raw [8]byte
+		for _, w := range n.Mem {
+			for i := range raw {
+				raw[i] = byte(w >> (8 * i))
+			}
+			h.Write(raw[:])
+		}
+	}
+	return fmt.Sprintf("fingerprint=%#016x", h.Sum64())
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("pimvm", flag.ContinueOnError)
 	nodes := fs.Int("nodes", 4, "number of PIM nodes")
@@ -145,6 +176,8 @@ func run(args []string) error {
 	threads := fs.Int("threads", 1, "initial threads at the entry point")
 	maxCycles := fs.Int64("max", 10_000_000, "cycle budget")
 	builtin := fs.String("builtin", "", "run a reference program: gups, treesum, ping, triad")
+	parallel := fs.Int("parallel", 1, "PDES workers for the run (1 = serial; results identical)")
+	fingerprint := fs.Bool("fingerprint", false, "print a determinism fingerprint after the run")
 	dis := fs.Bool("dis", false, "disassemble and exit")
 	stats := fs.Bool("stats", false, "print per-node statistics")
 	if err := fs.Parse(args); err != nil {
@@ -209,12 +242,21 @@ func run(args []string) error {
 	}
 	if topo != nil {
 		m.NetDelay = network.HopDelay(topo, float64(*latency))
+		m.NetLookahead = network.HopLookahead(topo, float64(*latency))
 	}
 	if err := m.LoadAll(prog); err != nil {
 		return err
 	}
-	m.Output = func(node int, v uint64) {
-		fmt.Printf("node %d: %d\n", node, v)
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d: want at least 1", *parallel)
+	}
+	m.Parallelism = *parallel
+	if *parallel == 1 {
+		// An Output hook forces the observable per-cycle path, so only the
+		// serial mode streams OUT values; parallel runs leave OUT silent.
+		m.Output = func(node int, v uint64) {
+			fmt.Printf("node %d: %d\n", node, v)
+		}
 	}
 	m.MaxCycles = *maxCycles
 	if err := start(m, *threads); err != nil {
@@ -225,6 +267,9 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("completed in %d cycles, %d instructions\n", cycles, m.TotalInstructions())
+	if *fingerprint {
+		fmt.Println(machineFingerprint(m, cycles))
+	}
 	if *stats {
 		t := report.NewTable("per-node statistics",
 			"node", "instructions", "mem ops", "wide ops", "spawns", "threads done", "utilization")

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -76,5 +78,50 @@ func TestCycleBudgetExceeded(t *testing.T) {
 func TestNoArgs(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Fatal("missing program accepted")
+	}
+}
+
+// captureRun runs the CLI with stdout captured and returns its output.
+func captureRun(t *testing.T, args []string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run %v: %v", args, runErr)
+	}
+	return string(out)
+}
+
+func TestParallelFingerprintMatchesSerial(t *testing.T) {
+	// The CLI face of the PDES determinism guarantee: the gups builtin
+	// fingerprints identically on 1 and 4 workers, flat and hop-routed.
+	for _, topo := range []string{"flat", "torus"} {
+		base := []string{"-builtin", "gups", "-nodes", "16", "-threads", "2",
+			"-topology", topo, "-latency", "20", "-fingerprint"}
+		serial := captureRun(t, append([]string{"-parallel", "1"}, base...))
+		par := captureRun(t, append([]string{"-parallel", "4"}, base...))
+		if serial != par {
+			t.Errorf("%s: output differs across -parallel:\nserial:\n%s\nparallel:\n%s", topo, serial, par)
+		}
+		if !strings.Contains(serial, "fingerprint=0x") {
+			t.Errorf("%s: no fingerprint line in output:\n%s", topo, serial)
+		}
+	}
+}
+
+func TestParallelRejectsZeroWorkers(t *testing.T) {
+	if err := run([]string{"-parallel", "0", "-builtin", "gups"}); err == nil {
+		t.Fatal("-parallel 0 accepted")
 	}
 }

@@ -14,8 +14,10 @@
 // on the multi-node VM — programs are pre-decoded into per-node slabs
 // for direct dispatch with superinstruction fusion and a
 // self-modification guard, with the per-cycle interpretive path kept as
-// a differential-testing oracle — with internal/dram row-buffer timing
-// and internal/network parcel topologies) through a common interface, with
+// a differential-testing oracle, and one run can execute on several PDES
+// workers (Machine.RunParallel) via conservative time windows whose
+// results are byte-identical to serial — with internal/dram row-buffer
+// timing and internal/network parcel topologies) through a common interface, with
 // named presets and a cross-backend agreement validator; internal/core
 // registers one runnable experiment per table and figure (including the
 // scenarios cross-validation); internal/engine executes any set of

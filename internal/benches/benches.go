@@ -7,10 +7,12 @@
 package benches
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/hostpim"
 	"repro/internal/isa"
+	"repro/internal/network"
 	"repro/internal/parcelsys"
 	"repro/internal/queueing"
 	"repro/internal/rng"
@@ -212,6 +214,69 @@ func MachineGUPS(b *testing.B) {
 		run()
 	}
 }
+
+// machineGUPS256 drives the big-run workload behind both single-run
+// parallelism benchmarks: GUPS on 256 nodes x 4 threads over a 16x16
+// torus (the machine-gups-256 scenario preset's shape), executed on the
+// given PDES worker count. One driver for both names keeps the serial
+// baseline and the parallel run measuring the identical workload, so
+// their ratio is the single-run speedup and nothing else.
+func machineGUPS256(b *testing.B, parallelism int) {
+	layout := isa.DefaultGUPSLayout()
+	layout.Updates = 128
+	prog, err := isa.GUPSProgram(layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes, threads, perHop = 256, 4, 20.0
+	m, err := isa.NewMachine(nodes, 16384, isa.DefaultTiming())
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := network.ByName("torus", nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.NetDelay = network.HopDelay(topo, perHop)
+	m.NetLookahead = network.HopLookahead(topo, perHop)
+	m.Parallelism = parallelism
+	entry, err := prog.Entry("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm := rng.SplitMix64{State: 2004}
+	run := func() {
+		m.Reset()
+		if err := m.LoadAll(prog); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < nodes; i++ {
+			for t := 0; t < threads; t++ {
+				m.Nodes[i].StartThread(entry, sm.Next(), 0)
+			}
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the slabs (and worker plumbing) outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// MachineGUPS256 is the serial baseline of the big-run pair: the
+// machine-gups-256 workload on one worker.
+func MachineGUPS256(b *testing.B) { machineGUPS256(b, 1) }
+
+// MachineGUPSPar is the parallel side of the big-run pair: the identical
+// workload on GOMAXPROCS PDES workers. Its ns/op against MachineGUPS256's
+// is the single-run speedup; on a multi-core host with P >= 4 the
+// conservative windows are wide enough (one torus hop = 20 cycles) that
+// the partitions dominate the barrier cost.
+func MachineGUPSPar(b *testing.B) { machineGUPS256(b, runtime.GOMAXPROCS(0)) }
 
 // MachineDecode measures the pre-decoded dispatch layer in isolation: a
 // register-only countdown kernel on one node and one thread, so no

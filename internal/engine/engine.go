@@ -16,7 +16,10 @@
 // The engine parallelizes across experiments; each experiment's own
 // sweeps still honor core.Config.Workers. When running many experiments
 // concurrently on a loaded machine, set cfg.Workers = 1 to avoid
-// oversubscribing the host.
+// oversubscribing the host. When the runs themselves multithread — the
+// machine backend's per-run PDES workers (scenario Machine.RunParallel) —
+// declare it with Options.RunParallelism and the Workers default divides
+// the GOMAXPROCS budget accordingly.
 package engine
 
 import (
@@ -34,9 +37,17 @@ import (
 
 // Options configures an Engine.
 type Options struct {
-	// Workers bounds how many replicate runs execute concurrently
-	// (0 = GOMAXPROCS).
+	// Workers bounds how many replicate runs execute concurrently.
+	// 0 = GOMAXPROCS divided by RunParallelism: the engine and a backend
+	// that parallelizes single runs (the machine backend's RunParallel /
+	// isa.Machine.Parallelism) share one core budget, so the product of
+	// engine workers and per-run workers never oversubscribes the host.
 	Workers int
+	// RunParallelism declares how many OS threads each individual run
+	// uses internally (1 when unset). It only shapes the Workers default;
+	// it does not itself parallelize anything — set the backend's own
+	// knob (e.g. scenario Machine.RunParallel) for that.
+	RunParallelism int
 	// Replications is the number of runs per experiment (0 or 1 = one
 	// run). Replicate 0 uses the caller's seed; replicate i > 0 derives
 	// its seed from (base seed, i).
@@ -140,10 +151,18 @@ type Engine struct {
 	evmu sync.Mutex
 }
 
-// New creates an engine, applying option defaults.
+// New creates an engine, applying option defaults. The Workers default is
+// the shared-budget rule: GOMAXPROCS split between the engine's replicate
+// fan-out and each run's internal RunParallelism, never below one worker.
 func New(opts Options) *Engine {
+	if opts.RunParallelism < 1 {
+		opts.RunParallelism = 1
+	}
 	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+		opts.Workers = runtime.GOMAXPROCS(0) / opts.RunParallelism
+		if opts.Workers < 1 {
+			opts.Workers = 1
+		}
 	}
 	if opts.Replications <= 0 {
 		opts.Replications = 1

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -54,8 +55,29 @@ func fakes(n int) []*core.Experiment {
 func TestOptionDefaults(t *testing.T) {
 	e := New(Options{})
 	o := e.Options()
-	if o.Workers < 1 || o.Replications != 1 || o.Level != 0.95 {
+	if o.Workers < 1 || o.Replications != 1 || o.Level != 0.95 || o.RunParallelism != 1 {
 		t.Fatalf("defaults not applied: %+v", o)
+	}
+}
+
+func TestWorkersSharesBudgetWithRunParallelism(t *testing.T) {
+	// The Workers default divides the GOMAXPROCS budget by the declared
+	// per-run parallelism, clamped to at least one worker.
+	procs := runtime.GOMAXPROCS(0)
+	for _, c := range []struct{ runPar, want int }{
+		{0, procs},
+		{1, procs},
+		{2, max(1, procs/2)},
+		{procs * 4, 1},
+	} {
+		o := New(Options{RunParallelism: c.runPar}).Options()
+		if o.Workers != c.want {
+			t.Errorf("RunParallelism=%d: Workers=%d, want %d", c.runPar, o.Workers, c.want)
+		}
+	}
+	// An explicit Workers value always wins over the budget rule.
+	if o := New(Options{Workers: 3, RunParallelism: 8}).Options(); o.Workers != 3 {
+		t.Errorf("explicit Workers overridden: %+v", o)
 	}
 }
 

@@ -305,6 +305,7 @@ func (m *Machine) execDecoded(n *NodeState, t *Thread, d *decop, ti int, fusible
 		}
 		m.inFlight = append(m.inFlight, flight{
 			arrive: m.cycle + lat + 1,
+			sent:   m.cycle,
 			node:   dst,
 			entry:  regs[d.rb],
 			arg:    regs[d.rd],

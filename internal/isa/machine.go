@@ -46,9 +46,15 @@ type Thread struct {
 	done  bool
 }
 
-// flight is a parcel in transit.
+// flight is a parcel in transit. (sent, src) is a strict total order over
+// flights — a node issues at most one instruction per cycle and fused
+// tails never spawn — and it is exactly the order the per-cycle loop
+// appends (and therefore delivers) them in. Windowed and parallel
+// execution restore that order at every window barrier, so same-cycle
+// deliveries at one node always replay the serial schedule.
 type flight struct {
 	arrive int64 // cycle of delivery
+	sent   int64 // cycle the spawn issued
 	node   int
 	entry  uint64
 	arg    uint64
@@ -156,6 +162,34 @@ type Machine struct {
 	// this switch is the differential-testing oracle and the debugging
 	// escape hatch.
 	ForceInterpret bool
+	// Parallelism, when > 1, runs the windowed node-major schedule on
+	// that many workers under a conservative time-windowed protocol (see
+	// runParallel): node partitions advance in lockstep windows bounded
+	// by the network lookahead and exchange parcels only at window
+	// barriers, in canonical (sent, src) order. Every counter, memory
+	// word, fault, and cycle count is byte-identical to serial execution
+	// regardless of the worker count or partition assignment. Runs that
+	// install Trace/Output/MemDelay hooks, set ForceInterpret, or have no
+	// usable lookahead (see NetLookahead) ignore Parallelism and execute
+	// serially.
+	Parallelism int
+	// Partition optionally assigns node i to worker Partition[i] in
+	// [0, Parallelism); nil means contiguous balanced blocks. The
+	// assignment only shapes load balance, never results.
+	Partition []int
+	// NetLookahead is the caller's promise that NetDelay(src, dst) >=
+	// NetLookahead for every src != dst pair — the conservative lookahead
+	// that bounds the execution window when a topology hook is installed.
+	// 0 means unknown: the machine falls back to serial per-cycle
+	// execution rather than guess (a NetDelay below the promise is caught
+	// at the first window barrier and reported as an error). Ignored when
+	// NetDelay is nil (the flat Timing.NetLatency is its own lookahead).
+	// The function must be pure: parallel workers call it concurrently.
+	NetLookahead int64
+	// MaxWindow caps the synchronization window width in cycles so a
+	// huge lookahead cannot starve parcel-free runs of termination
+	// checks (0 = the 65536 default).
+	MaxWindow int64
 
 	cycle    int64
 	inFlight []flight
@@ -233,13 +267,25 @@ func (m *Machine) Reset() {
 // advances one exact cycle at a time).
 func (m *Machine) Run() (int64, error) {
 	// Node-major windowed execution (see runWindowed) needs every
-	// cross-node interaction bounded and unobserved: a flat network
-	// latency (NetDelay nil), flat memory timing (MemDelay hooks may
-	// carry cross-call state), and no per-cycle observers (Trace,
-	// Output). ForceInterpret keeps the full pre-decode-era loop as the
-	// differential-testing oracle.
-	if m.Trace == nil && m.Output == nil && m.NetDelay == nil && m.MemDelay == nil && !m.ForceInterpret {
-		return m.runWindowed()
+	// cross-node interaction bounded and unobserved: a network with a
+	// known minimum cross-node latency (the flat Timing.NetLatency, or a
+	// NetDelay hook with a declared NetLookahead), flat memory timing
+	// (MemDelay hooks may carry cross-call state), and no per-cycle
+	// observers (Trace, Output). ForceInterpret keeps the full
+	// pre-decode-era loop as the differential-testing oracle. With
+	// Parallelism > 1 and a positive lookahead the windows themselves run
+	// on multiple workers (runParallel), byte-identical to serial.
+	if m.Trace == nil && m.Output == nil && m.MemDelay == nil && !m.ForceInterpret {
+		if la, ok := m.lookahead(); ok {
+			window := la + 1
+			if maxW := m.maxWindow(); window > maxW || window < 1 {
+				window = maxW
+			}
+			if m.Parallelism > 1 && la > 0 && len(m.Nodes) > 1 {
+				return m.runParallel(window)
+			}
+			return m.runWindowed(window)
+		}
 	}
 	for {
 		live := false
@@ -362,11 +408,72 @@ func (m *Machine) fastForward() {
 	}
 }
 
-// runWindowed executes the machine node-major in windows of
-// NetLatency+1 cycles: each node runs a whole window over its own
+// lookahead returns the machine's conservative network lookahead — a
+// lower bound L on the flight latency of every cross-node parcel, so a
+// parcel sent at cycle c cannot arrive before c+L+1 — and whether one is
+// known. With the flat network the latency itself is the bound; with a
+// NetDelay hook the caller must declare one via NetLookahead (ok=false
+// otherwise, routing Run to the per-cycle loop).
+func (m *Machine) lookahead() (la int64, ok bool) {
+	if m.NetDelay == nil {
+		return m.Timing.NetLatency, true
+	}
+	if m.NetLookahead > 0 {
+		return m.NetLookahead, true
+	}
+	return 0, false
+}
+
+// defaultMaxWindow caps the synchronization window when MaxWindow is
+// unset: wide enough that every in-repo latency regime (<= 5000 cycles)
+// runs one barrier per lookahead, small enough that termination checks
+// and clock arithmetic stay sane for extreme NetLatency values.
+const defaultMaxWindow = 1 << 16
+
+func (m *Machine) maxWindow() int64 {
+	if m.MaxWindow > 0 {
+		return m.MaxWindow
+	}
+	return defaultMaxWindow
+}
+
+// sortNewFlights restores canonical (sent, src) send order over the
+// flights launched in the window that just ended. Node-major execution
+// appends them grouped by sending node rather than in issue order; the
+// flights already in the queue at window start (sent < wstart) are in
+// canonical order and precede every new one, so sorting the new tail —
+// insertion sort, alloc-free, tails are at most a handful of parcels —
+// re-establishes the global order the per-cycle loop would have produced.
+func sortNewFlights(fl []flight, wstart int64) {
+	b := len(fl)
+	for i := range fl {
+		if fl[i].sent >= wstart {
+			b = i
+			break
+		}
+	}
+	insertionSortFlights(fl[b:])
+}
+
+// insertionSortFlights sorts flights by (sent, src) — a strict total
+// order (one issue slot per node per cycle).
+func insertionSortFlights(fl []flight) {
+	for i := 1; i < len(fl); i++ {
+		f := fl[i]
+		j := i - 1
+		for j >= 0 && (fl[j].sent > f.sent || (fl[j].sent == f.sent && fl[j].src > f.src)) {
+			fl[j+1] = fl[j]
+			j--
+		}
+		fl[j+1] = f
+	}
+}
+
+// runWindowed executes the machine node-major in windows of at most
+// lookahead+1 cycles: each node runs a whole window over its own
 // threads and memory before the next node starts. Within one window the
 // nodes cannot interact — a cross-node parcel launched at cycle c
-// arrives no earlier than c+NetLatency+1, past the window's last cycle —
+// arrives no earlier than c+lookahead+1, past the window's last cycle —
 // so per-node execution over the same cycle range is exactly the serial
 // interleaving, while the round-robin scan and the node's memory stay
 // cache-hot across the whole window instead of being evicted by seven
@@ -375,9 +482,9 @@ func (m *Machine) fastForward() {
 // appended. Cycle counts, counters, memory, and faults are identical to
 // the per-cycle loop; Run gates entry on the conditions that make the
 // proof hold (no Trace/Output observers ordering events across nodes
-// within a cycle, no NetDelay/MemDelay hooks).
-func (m *Machine) runWindowed() (int64, error) {
-	window := m.Timing.NetLatency + 1
+// within a cycle, no MemDelay hook, and either a flat network or a
+// NetDelay hook with a declared NetLookahead).
+func (m *Machine) runWindowed(window int64) (int64, error) {
 	for {
 		live := false
 		for _, n := range m.Nodes {
@@ -419,15 +526,27 @@ func (m *Machine) runWindowed() (int64, error) {
 			m.cycle = firstErrCycle
 			return m.cycle, firstErr
 		}
-		// Drop delivered flights (tombstoned by runNodeWindow); append
-		// order — and so same-cycle delivery order — is preserved.
+		// Drop delivered flights (tombstoned by runNodeWindow) and restore
+		// canonical (sent, src) send order over the window's new parcels,
+		// so same-cycle deliveries at one node replay the serial schedule
+		// even when flight times differ per pair (NetDelay). Any surviving
+		// flight due inside the window means a cross-node latency undercut
+		// the declared lookahead — the window proof is void, so fault
+		// rather than silently diverge from per-cycle execution.
 		kept := m.inFlight[:0]
 		for _, f := range m.inFlight {
 			if f.node >= 0 {
+				if f.arrive <= wend {
+					m.cycle = wend
+					return m.cycle, fmt.Errorf(
+						"isa: parcel %d->%d due at cycle %d survived the window ending %d: NetDelay below NetLookahead %d",
+						f.src, f.node, f.arrive, wend, m.NetLookahead)
+				}
 				kept = append(kept, f)
 			}
 		}
 		m.inFlight = kept
+		sortNewFlights(m.inFlight, wstart)
 		m.cycle = wend
 		// If the machine finished inside the window, the run ended at
 		// the final halt: the serial loop stops there, so roll back the
@@ -1248,6 +1367,7 @@ func (m *Machine) executeInterp(n *NodeState, ti int) error {
 		}
 		m.inFlight = append(m.inFlight, flight{
 			arrive: m.cycle + lat + 1,
+			sent:   m.cycle,
 			node:   dst,
 			entry:  rb(),
 			arg:    rd(),

@@ -247,6 +247,20 @@ func HopDelay(t Topology, perHop float64) func(src, dst int) int64 {
 	}
 }
 
+// HopLookahead returns a lower bound on the HopDelay latency over all
+// remote pairs — the conservative lookahead a time-windowed executor
+// (isa.Machine.NetLookahead) can synchronize on. Topology hop counts are
+// graph distances, so whenever the topology has at least two nodes some
+// remote pair is adjacent and the minimum is one perHop, rounded exactly
+// as HopDelay rounds (math.Round is monotone, so rounding preserves the
+// bound for every longer route).
+func HopLookahead(t Topology, perHop float64) int64 {
+	if t == nil || t.Nodes() < 2 {
+		return 0
+	}
+	return int64(math.Round(perHop))
+}
+
 // intSqrt returns floor(sqrt(n)) exactly (float sqrt can land one off at
 // perfect squares near precision limits).
 func intSqrt(n int) int {

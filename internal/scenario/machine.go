@@ -110,6 +110,8 @@ func (s Scenario) validateMachine() error {
 		// Zero means "the hardware-assisted default"; a positive value
 		// that rounds to zero would silently make spawns free instead.
 		return fmt.Errorf("scenario %s: SpawnCycles = %g rounds below one VM cycle", s.Name, m.SpawnCycles)
+	case m.RunParallel < 0:
+		return fmt.Errorf("scenario %s: RunParallel = %d", s.Name, m.RunParallel)
 	}
 	if _, err := network.ByName(m.Topology, m.N); err != nil {
 		return fmt.Errorf("scenario %s: %v", s.Name, err)
@@ -202,6 +204,7 @@ func runMachineScenario(s Scenario, cfg Config) (map[string]float64, error) {
 	}
 	m.MaxCycles = machineMaxCycles
 	m.ForceInterpret = machineForceInterpret
+	m.Parallelism = s.Machine.RunParallel
 
 	// Interconnect: hop topologies route each parcel over the network
 	// model at Latency cycles per hop; flat keeps Timing.NetLatency.
@@ -211,6 +214,7 @@ func runMachineScenario(s Scenario, cfg Config) (map[string]float64, error) {
 	}
 	if topo != nil {
 		m.NetDelay = network.HopDelay(topo, s.Machine.Latency)
+		m.NetLookahead = network.HopLookahead(topo, s.Machine.Latency)
 	}
 
 	// Memory timing: a per-node DRAM bank with row-buffer state replaces

@@ -211,6 +211,7 @@ func TestMachineValidateRejects(t *testing.T) {
 		{"hypercube non-pow2", func(s *Scenario) { s.Machine.Topology = "hypercube"; s.Machine.N = 12 }},
 		{"unknown page policy", func(s *Scenario) { s.Machine.PagePolicy = "ajar" }},
 		{"ping one node", func(s *Scenario) { s.Workload.Program = "ping"; s.Machine.N = 1 }},
+		{"negative run parallel", func(s *Scenario) { s.Machine.RunParallel = -2 }},
 	}
 	for _, c := range cases {
 		s := base
@@ -230,13 +231,15 @@ func TestMachineFieldsSweepPrograms(t *testing.T) {
 		v     float64
 	}{
 		{"updates", 64}, {"pagepolicy", 2}, {"spawncycles", 10}, {"memwords", 40000},
+		{"runparallel", 3},
 	} {
 		if err := SetField(&s, c.field, c.v); err != nil {
 			t.Fatalf("%s: %v", c.field, err)
 		}
 	}
 	if s.Machine.PagePolicy != "closed" || s.Workload.Updates != 64 ||
-		s.Machine.SpawnCycles != 10 || s.Machine.MemWords != 40000 {
+		s.Machine.SpawnCycles != 10 || s.Machine.MemWords != 40000 ||
+		s.Machine.RunParallel != 3 {
 		t.Errorf("fields not applied: %+v %+v", s.Machine, s.Workload)
 	}
 	if _, err := Run(s, "machine", Config{Seed: 1, Quick: true}); err != nil {
@@ -280,6 +283,35 @@ func TestMachineSubCycleMemRejectedEarly(t *testing.T) {
 	s.Machine.MemCycles = 0.6 // rounds to 1: fine
 	if err := s.Validate(); err != nil {
 		t.Errorf("MemCycles=0.6 rejected: %v", err)
+	}
+}
+
+func TestMachineRunParallelInvariant(t *testing.T) {
+	// Per-run parallelism is a pure execution strategy: every machine
+	// preset produces the identical metric map for any worker count,
+	// serial included — the scenario-level face of the VM's conservative
+	// time-windowed PDES guarantee.
+	for _, name := range machinePresetNames(t) {
+		s := MustFind(name)
+		cfg := Config{Seed: 2004, Quick: true}
+		baseline := s
+		baseline.Machine.RunParallel = 0
+		want, err := Run(baseline, "machine", cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, p := range []int{1, 4, 7} {
+			sc := s
+			sc.Machine.RunParallel = p
+			got, err := Run(sc, "machine", cfg)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+				t.Errorf("%s: RunParallel=%d leaks into metrics:\nserial:   %v\nparallel: %v",
+					name, p, want.Metrics, got.Metrics)
+			}
+		}
 	}
 }
 

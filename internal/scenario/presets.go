@@ -158,6 +158,17 @@ var presets = []Scenario{
 		return s
 	}(),
 	func() Scenario {
+		s := machineScenario("machine-gups-256",
+			"the big run: GUPS on 256 VM nodes x 4 threads over a 16x16 torus",
+			"gups", 256, 4, 128, 20)
+		s.Machine.Topology = "torus"
+		// The parallel showcase: partitioned across 4 workers, with the
+		// conservative windows keeping the metrics byte-identical to a
+		// serial run (RunParallel 0) of the same point.
+		s.Machine.RunParallel = 4
+		return s
+	}(),
+	func() Scenario {
 		s := machineScenario("machine-dram",
 			"wide-word stream triad over per-node DRAM row-buffer timing (open page)",
 			"triad", 4, 1, 1024, 200)

@@ -75,6 +75,11 @@ type Machine struct {
 	// memory operation through a per-node internal/dram row-buffer bank
 	// instead of the flat MemCycles.
 	PagePolicy string
+	// RunParallel is the number of OS-level workers the VM uses to execute
+	// a single run (isa.Machine.Parallelism): the nodes are partitioned
+	// and advanced in conservative lookahead windows, with results
+	// byte-identical to the serial run for any value. 0 or 1 runs serially.
+	RunParallel int
 }
 
 // Workload describes the work offered to the machine.

@@ -44,7 +44,7 @@ func TestEventQueueMatchesContainerHeap(t *testing.T) {
 	err := quick.Check(func(seed uint64, sizeRaw uint16) bool {
 		n := 1 + int(sizeRaw%600)
 		st := rng.New(seed)
-		var q eventQueue
+		var q eventHeap
 		var ref refHeap
 		for i := 0; i < n; i++ {
 			// Coarse timestamps force plenty of (t, seq) ties.
@@ -75,7 +75,7 @@ func TestEventQueueInterleavedMatchesContainerHeap(t *testing.T) {
 	err := quick.Check(func(seed uint64, opsRaw uint16) bool {
 		ops := 10 + int(opsRaw%2000)
 		st := rng.New(seed)
-		var q eventQueue
+		var q eventHeap
 		var ref refHeap
 		now := Time(0)
 		seq := uint64(0)

@@ -67,14 +67,17 @@ type event struct {
 	gen  uint64 // incarnation counter, bumped on recycle
 }
 
-// eventQueue is a 4-ary min-heap on (t, seq) specialized to *event: the
+// eventHeap is a 4-ary min-heap on (t, seq) specialized to *event: the
 // comparisons are inlined and nothing is boxed, unlike container/heap's
 // interface-driven sift. The wider fan-out halves the tree depth of the
-// binary heap, which pays on the pop-heavy dispatch loop.
-type eventQueue []*event
+// binary heap, which pays on the pop-heavy dispatch loop. It is the
+// single-partition implementation of the eventQueue interface (see
+// queue.go); the Kernel uses it concretely so the hot paths keep their
+// devirtualized, inlinable calls.
+type eventHeap []*event
 
 // push inserts ev, sifting up with inlined (t, seq) comparisons.
-func (q *eventQueue) push(ev *event) {
+func (q *eventHeap) push(ev *event) {
 	a := append(*q, ev)
 	i := len(a) - 1
 	t, seq := ev.t, ev.seq
@@ -92,7 +95,7 @@ func (q *eventQueue) push(ev *event) {
 }
 
 // pop removes and returns the minimum event.
-func (q *eventQueue) pop() *event {
+func (q *eventHeap) pop() *event {
 	a := *q
 	n := len(a) - 1
 	top := a[0]
@@ -150,7 +153,7 @@ const (
 // the zero value is not usable.
 type Kernel struct {
 	now    Time
-	events eventQueue
+	events eventHeap
 	free   []*event // recycled events (see event)
 	seq    uint64
 

@@ -1,0 +1,110 @@
+package sim
+
+// This file factors the kernel's event ordering behind a small
+// eventQueue interface — the groundwork for conservative parallel
+// execution of a single run (ROADMAP item 1, the machine backend's
+// isa.runParallel counterpart for the DES kernel). partitionedQueue
+// holds one 4-ary eventHeap per partition and pops through a merge
+// front: the global minimum over the partition heads. Because (t, seq)
+// is a strict total order (seq is the kernel's unique schedule counter),
+// the merge front is deterministic and the pop sequence is byte-identical
+// to a single heap for every partition count and assignment function —
+// the property tests in queue_test.go are the proof. The Kernel itself
+// keeps the concrete eventHeap: the PR 3 hot-path overhaul de-interfaced
+// the ~33 ns Schedule path deliberately, and a partitioned kernel will
+// swap the field type, not re-virtualize the serial one.
+
+// eventQueue is the kernel's event-ordering contract: push any number of
+// events, pop them in strictly ascending (t, seq) order. pop on an empty
+// queue is the caller's error (the single heap panics; callers gate on
+// size). peek returns the next event without removing it, nil when
+// empty.
+type eventQueue interface {
+	push(*event)
+	pop() *event
+	peek() *event
+	size() int
+}
+
+var (
+	_ eventQueue = (*eventHeap)(nil)
+	_ eventQueue = (*partitionedQueue)(nil)
+)
+
+// peek returns the minimum event without removing it, nil when empty.
+func (q *eventHeap) peek() *event {
+	if len(*q) == 0 {
+		return nil
+	}
+	return (*q)[0]
+}
+
+// size returns the number of queued events.
+func (q *eventHeap) size() int { return len(*q) }
+
+// partitionedQueue distributes events over per-partition 4-ary heaps by
+// an assignment function (by processor, by node, by shard — any total
+// function of the event) and merges at pop time by scanning the
+// partition heads. Pops cost O(partitions + log(size/partitions));
+// pushes stay O(log(size/partitions)) and touch only the owning
+// partition — the property a parallel kernel needs so concurrent
+// partitions can schedule without contending on one heap.
+type partitionedQueue struct {
+	parts  []eventHeap
+	assign func(*event) int
+	n      int
+}
+
+// newPartitionedQueue creates a queue of the given partition count.
+// Assignment values outside [0, parts) are folded into partition 0 so
+// the queue stays total over every event.
+func newPartitionedQueue(parts int, assign func(*event) int) *partitionedQueue {
+	if parts < 1 {
+		parts = 1
+	}
+	return &partitionedQueue{parts: make([]eventHeap, parts), assign: assign}
+}
+
+func (q *partitionedQueue) push(ev *event) {
+	p := q.assign(ev)
+	if p < 0 || p >= len(q.parts) {
+		p = 0
+	}
+	q.parts[p].push(ev)
+	q.n++
+}
+
+// front returns the index of the partition holding the global (t, seq)
+// minimum, -1 when every partition is empty.
+func (q *partitionedQueue) front() int {
+	best := -1
+	var bt Time
+	var bseq uint64
+	for i := range q.parts {
+		h := q.parts[i]
+		if len(h) == 0 {
+			continue
+		}
+		ev := h[0]
+		if best < 0 || ev.t < bt || (ev.t == bt && ev.seq < bseq) {
+			best, bt, bseq = i, ev.t, ev.seq
+		}
+	}
+	return best
+}
+
+func (q *partitionedQueue) pop() *event {
+	i := q.front()
+	q.n--
+	return q.parts[i].pop()
+}
+
+func (q *partitionedQueue) peek() *event {
+	i := q.front()
+	if i < 0 {
+		return nil
+	}
+	return q.parts[i][0]
+}
+
+func (q *partitionedQueue) size() int { return q.n }

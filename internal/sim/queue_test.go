@@ -1,0 +1,148 @@
+package sim
+
+// Property tests of the partitioned event queue against the single
+// 4-ary heap: for arbitrary randomized schedules — duplicate
+// timestamps, interleaved pushes and pops — and for every partition
+// count and assignment function tried, both eventQueue implementations
+// must pop the identical event sequence. Together with heap_test.go
+// (single heap == container/heap) this chains the partitioned queue all
+// the way to the original reference ordering, so a future partitioned
+// kernel preserves byte-identical trajectories by construction.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// assigners is the partition-assignment corpus: by schedule order, by
+// coarse time bucket (so whole partitions go quiet and the merge front
+// skips them), hash-scattered, everything-in-one (degenerate), and
+// out-of-range (exercises the fold-to-zero clamp).
+func assigners(parts int) map[string]func(*event) int {
+	return map[string]func(*event) int{
+		"by-seq":  func(ev *event) int { return int(ev.seq) % parts },
+		"by-time": func(ev *event) int { return int(ev.t) % parts },
+		"hashed": func(ev *event) int {
+			sm := rng.SplitMix64{State: ev.seq*2654435761 + uint64(ev.t)}
+			return int(sm.Next() % uint64(parts))
+		},
+		"constant":     func(ev *event) int { return 0 },
+		"out-of-range": func(ev *event) int { return int(ev.seq)%parts + parts },
+	}
+}
+
+// TestPartitionedQueueMatchesSingleHeap: pushing one randomized schedule
+// into the single heap and into partitioned queues of several widths and
+// assignments, then draining, yields the identical pop sequence.
+func TestPartitionedQueueMatchesSingleHeap(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 5, 8} {
+		for name, assign := range assigners(parts) {
+			t.Run(fmt.Sprintf("p%d/%s", parts, name), func(t *testing.T) {
+				err := quick.Check(func(seed uint64, sizeRaw uint16) bool {
+					n := 1 + int(sizeRaw%400)
+					st := rng.New(seed)
+					var ref eventHeap
+					pq := newPartitionedQueue(parts, assign)
+					for i := 0; i < n; i++ {
+						// Coarse timestamps force plenty of (t, seq) ties.
+						ev := &event{t: Time(st.Intn(16)), seq: uint64(i)}
+						ref.push(ev)
+						pq.push(ev)
+					}
+					if pq.size() != ref.size() {
+						return false
+					}
+					for i := 0; i < n; i++ {
+						if pq.peek() != ref.peek() {
+							return false
+						}
+						if pq.pop() != ref.pop() {
+							return false
+						}
+					}
+					return pq.size() == 0 && pq.peek() == nil
+				}, &quick.Config{MaxCount: 60})
+				if err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionedQueueInterleaved: arbitrary interleavings of pushes and
+// pops — the dispatch loop's shape, where firing events schedule new
+// ones — agree with the single heap at every step.
+func TestPartitionedQueueInterleaved(t *testing.T) {
+	const parts = 4
+	for name, assign := range assigners(parts) {
+		t.Run(name, func(t *testing.T) {
+			err := quick.Check(func(seed uint64, opsRaw uint16) bool {
+				ops := 10 + int(opsRaw%1500)
+				st := rng.New(seed)
+				var ref eventHeap
+				pq := newPartitionedQueue(parts, assign)
+				now := Time(0)
+				seq := uint64(0)
+				for i := 0; i < ops; i++ {
+					if pq.size() != ref.size() {
+						return false
+					}
+					if ref.size() == 0 || st.Float64() < 0.55 {
+						// Causal schedule: never before the virtual clock.
+						ev := &event{t: now + Time(st.Intn(8)), seq: seq}
+						seq++
+						ref.push(ev)
+						pq.push(ev)
+						continue
+					}
+					want := ref.pop()
+					if got := pq.pop(); got != want {
+						return false
+					}
+					now = want.t
+				}
+				return true
+			}, &quick.Config{MaxCount: 40})
+			if err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestEventQueueInterfaceConformance drives both implementations through
+// the eventQueue interface itself, so the interface's contract — not
+// just the concrete methods — is what the ordering proof covers.
+func TestEventQueueInterfaceConformance(t *testing.T) {
+	drain := func(q eventQueue, n int, seed uint64) []uint64 {
+		st := rng.New(seed)
+		for i := 0; i < n; i++ {
+			q.push(&event{t: Time(st.Intn(12)), seq: uint64(i)})
+		}
+		var order []uint64
+		for q.size() > 0 {
+			p := q.peek()
+			ev := q.pop()
+			if p != ev {
+				t.Fatal("peek disagrees with pop")
+			}
+			order = append(order, ev.seq)
+		}
+		return order
+	}
+	const n, seed = 300, 99
+	single := drain(&eventHeap{}, n, seed)
+	part := drain(newPartitionedQueue(3, func(ev *event) int { return int(ev.seq) % 3 }), n, seed)
+	if len(single) != n || len(part) != n {
+		t.Fatalf("drained %d and %d of %d", len(single), len(part), n)
+	}
+	for i := range single {
+		if single[i] != part[i] {
+			t.Fatalf("pop %d: single heap seq %d, partitioned seq %d", i, single[i], part[i])
+		}
+	}
+}
