@@ -168,3 +168,5 @@ func BenchmarkMachineGUPS(b *testing.B)     { benches.MachineGUPS(b) }
 func BenchmarkMachineGUPS256(b *testing.B)  { benches.MachineGUPS256(b) }
 func BenchmarkMachineGUPSPar(b *testing.B)  { benches.MachineGUPSPar(b) }
 func BenchmarkMachineDecode(b *testing.B)   { benches.MachineDecode(b) }
+
+func BenchmarkMachineFaultTreeSum(b *testing.B) { benches.MachineFaultTreeSum(b) }

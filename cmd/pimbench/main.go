@@ -310,6 +310,7 @@ var microBenchmarks = []struct {
 	{"machine_gups_256", benches.MachineGUPS256},
 	{"machine_gups_par", benches.MachineGUPSPar},
 	{"machine_decode", benches.MachineDecode},
+	{"machine_fault_treesum", benches.MachineFaultTreeSum},
 }
 
 // measureMicros runs the substrate micro-benchmarks through

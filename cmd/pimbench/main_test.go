@@ -126,6 +126,7 @@ func TestMicroBenchNamesStable(t *testing.T) {
 		"machine_gups_256",
 		"machine_gups_par",
 		"machine_decode",
+		"machine_fault_treesum",
 	}
 	if len(microBenchmarks) != len(want) {
 		t.Fatalf("micro suite has %d benchmarks, want %d — extend this pin, never rename", len(microBenchmarks), len(want))

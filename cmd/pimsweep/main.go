@@ -45,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -116,6 +117,7 @@ type engineFlags struct {
 	parallel     *int
 	replications *int
 	jsonOut      *bool
+	runTimeout   *time.Duration
 }
 
 func addEngineFlags(fs *flag.FlagSet) *engineFlags {
@@ -126,6 +128,7 @@ func addEngineFlags(fs *flag.FlagSet) *engineFlags {
 		parallel:     fs.Int("parallel", 0, "replicated sweeps run concurrently (0 = GOMAXPROCS)"),
 		replications: fs.Int("replications", 1, "sweep repetitions with derived seeds"),
 		jsonOut:      fs.Bool("json", false, "emit structured JSON"),
+		runTimeout:   fs.Duration("runtimeout", 0, "wall-clock watchdog per sweep replicate (0 = none)"),
 	}
 }
 
@@ -151,7 +154,9 @@ func (s *sweepSpec) pointKey(p sweep.Point) string {
 	return pointKeyOf(s.axes, p)
 }
 
-// table renders one sweep's outcomes in point order.
+// table renders one sweep's outcomes in point order. Points that failed
+// (an injected crash, the livelock guard, the watchdog) render "-" in
+// every metric column instead of fabricated zeros.
 func (s *sweepSpec) table(outs []sweep.Outcome) *report.Table {
 	headers := make([]string, 0, len(s.axisHeaders)+len(s.metricHeaders))
 	headers = append(append(headers, s.axisHeaders...), s.metricHeaders...)
@@ -160,11 +165,41 @@ func (s *sweepSpec) table(outs []sweep.Outcome) *report.Table {
 	for _, o := range outs {
 		row = append(row[:0], s.axisCols(o.Point)...)
 		for _, m := range s.metrics {
-			row = append(row, o.Metrics[m])
+			if o.Err != nil {
+				row = append(row, "-")
+			} else {
+				row = append(row, o.Metrics[m])
+			}
 		}
 		t.AddRow(row...)
 	}
 	return t
+}
+
+// sweepErrors implements graceful per-point degradation: a sweep aborts
+// only when every point failed (returning that first error); otherwise the
+// failed count comes back and the surviving points carry the sweep.
+func sweepErrors(outs []sweep.Outcome) (int, error) {
+	failed := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+		}
+	}
+	if failed == len(outs) && failed > 0 {
+		return failed, sweep.FirstError(outs)
+	}
+	return failed, nil
+}
+
+// renderPointErrors appends the failure note after a degraded table.
+func renderPointErrors(w io.Writer, outs []sweep.Outcome, failed int) error {
+	if failed == 0 {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "%d of %d points failed; first: %v\n",
+		failed, len(outs), sweep.FirstError(outs))
+	return err
 }
 
 // aggregateTable lays the engine's per-point aggregates out as a table:
@@ -212,15 +247,22 @@ func (s *sweepSpec) experiment(baseSeed uint64, capture func(*report.Table)) *co
 				return nil, err
 			}
 			outs := g.Run(cfg.Workers, s.run)
-			if err := sweep.FirstError(outs); err != nil {
-				return nil, err
+			failed, err := sweepErrors(outs)
+			if err != nil {
+				return nil, fmt.Errorf("all %d sweep points failed: %w", len(outs), err)
 			}
 			t := s.table(outs)
 			if err := t.Render(w); err != nil {
 				return nil, err
 			}
+			if err := renderPointErrors(w, outs, failed); err != nil {
+				return nil, err
+			}
 			o := &core.Outcome{Metrics: make(map[string]float64, len(outs)*len(s.metrics))}
 			for _, out := range outs {
+				if out.Err != nil {
+					continue
+				}
 				key := s.pointKey(out.Point)
 				for _, m := range s.metrics {
 					o.Metrics[key+"/"+m] = out.Metrics[m]
@@ -261,7 +303,8 @@ func executeSweep(ef *engineFlags, spec *sweepSpec) error {
 func emitSweepResults(ef *engineFlags, exp *core.Experiment, baseTable func() *report.Table,
 	aggTable func(aggs map[string]engine.Aggregate, reps int, level float64) (*report.Table, error)) error {
 	cfg := core.Config{Seed: *ef.seed, Workers: *ef.workers}
-	eng := engine.New(engine.Options{Workers: *ef.parallel, Replications: *ef.replications})
+	eng := engine.New(engine.Options{Workers: *ef.parallel, Replications: *ef.replications,
+		RunTimeout: *ef.runTimeout})
 	// When replicated sweeps run concurrently, pin each sweep's inner pool
 	// to one worker (unless -workers was set explicitly) so total
 	// goroutines stay ~GOMAXPROCS instead of its square.
@@ -556,8 +599,9 @@ func runScenarioSweep(args []string) error {
 				}
 				return r.Metrics, nil
 			})
-			if err := sweep.FirstError(outs); err != nil {
-				return nil, err
+			failed, err := sweepErrors(outs)
+			if err != nil {
+				return nil, fmt.Errorf("all %d sweep points failed: %w", len(outs), err)
 			}
 			metrics := metricUnion(outs)
 			headers := make([]string, 0, len(axes)+len(metrics))
@@ -585,6 +629,9 @@ func runScenarioSweep(args []string) error {
 				t.AddRow(row...)
 			}
 			if err := t.Render(w); err != nil {
+				return nil, err
+			}
+			if err := renderPointErrors(w, outs, failed); err != nil {
 				return nil, err
 			}
 			if cfg.Seed == *ef.seed {

@@ -26,8 +26,20 @@
 //	              unavailable in parallel mode.
 //	-fingerprint  print a determinism fingerprint (cycles, counters, and
 //	              an FNV-64a hash of every node's memory) after the run
+//	-faultdrop P     parcel drop probability per attempt, [0, 1)
+//	-faultcorrupt P  parcel corruption probability per attempt, [0, 1)
+//	-faultdup P      parcel duplication probability per attempt, [0, 1)
+//	-faultjitter J   max extra parcel delivery delay in cycles
+//	-straggler F     deterministic straggler cost factor (0/1 = off)
+//	-faultseed S     fault-plan seed (plans are pure functions of the seed)
 //	-dis          print the disassembly and exit
 //	-stats        print per-node statistics after the run
+//
+// When any fault rate is nonzero the machine runs its seq/ack retransmit
+// protocol, a delivery summary follows the run, and the fingerprint
+// additionally covers the per-node parcel counters. Fault decisions are
+// keyed by parcel identity, never execution order, so fingerprints stay
+// byte-identical across -parallel settings even under injected faults.
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"hash/fnv"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/network"
 	"repro/internal/report"
@@ -155,6 +168,13 @@ func machineFingerprint(m *isa.Machine, cycles int64) string {
 		fmt.Fprintf(h, "node %d: instr=%d mem=%d wide=%d spawn=%d busy=%d idle=%d done=%d\n",
 			n.ID, n.Instructions, n.MemOps, n.WideOps, n.Spawns,
 			n.BusyCycles, n.IdleCycles, n.Completed)
+		if m.Fault != nil {
+			// Fault runs fold the resilience counters in too; fault-free
+			// fingerprints stay byte-compatible with earlier releases.
+			fmt.Fprintf(h, "node %d parcels: sent=%d drop=%d corrupt=%d dup=%d retry=%d deliver=%d lost=%d\n",
+				n.ID, n.ParcelsSent, n.ParcelDrops, n.ParcelCorrupts, n.ParcelDups,
+				n.ParcelRetries, n.ParcelsDelivered, n.ParcelsLost)
+		}
 		var raw [8]byte
 		for _, w := range n.Mem {
 			for i := range raw {
@@ -180,6 +200,12 @@ func run(args []string) error {
 	fingerprint := fs.Bool("fingerprint", false, "print a determinism fingerprint after the run")
 	dis := fs.Bool("dis", false, "disassemble and exit")
 	stats := fs.Bool("stats", false, "print per-node statistics")
+	faultDrop := fs.Float64("faultdrop", 0, "parcel drop probability per attempt, [0, 1)")
+	faultCorrupt := fs.Float64("faultcorrupt", 0, "parcel corruption probability per attempt, [0, 1)")
+	faultDup := fs.Float64("faultdup", 0, "parcel duplication probability per attempt, [0, 1)")
+	faultJitter := fs.Int64("faultjitter", 0, "max extra parcel delivery delay in cycles")
+	straggler := fs.Int64("straggler", 0, "deterministic straggler cost factor (0/1 = off)")
+	faultSeed := fs.Uint64("faultseed", 0x9142, "fault-plan seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -259,6 +285,29 @@ func run(args []string) error {
 		}
 	}
 	m.MaxCycles = *maxCycles
+	if *faultDrop != 0 || *faultCorrupt != 0 || *faultDup != 0 || *faultJitter != 0 || *straggler > 1 {
+		for _, r := range []struct {
+			name string
+			v    float64
+		}{{"-faultdrop", *faultDrop}, {"-faultcorrupt", *faultCorrupt}, {"-faultdup", *faultDup}} {
+			if r.v >= 1 {
+				return fmt.Errorf("%s %g: want [0, 1) — a certain fault would retransmit forever", r.name, r.v)
+			}
+		}
+		plan, err := fault.New(fault.Config{
+			Seed:            *faultSeed,
+			DropRate:        *faultDrop,
+			CorruptRate:     *faultCorrupt,
+			DupRate:         *faultDup,
+			JitterMax:       *faultJitter,
+			StragglerFactor: *straggler,
+		})
+		if err != nil {
+			return err
+		}
+		m.Fault = plan
+		m.Reliable = plan.NetEnabled()
+	}
 	if err := start(m, *threads); err != nil {
 		return err
 	}
@@ -267,6 +316,11 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("completed in %d cycles, %d instructions\n", cycles, m.TotalInstructions())
+	if m.Fault != nil {
+		st := m.DeliveryStats()
+		fmt.Printf("parcels: sent=%d delivered=%d lost=%d drops=%d corrupts=%d dups=%d retries=%d\n",
+			st.Sent, st.Delivered, st.Lost, st.Drops, st.Corrupts, st.Dups, st.Retries)
+	}
 	if *fingerprint {
 		fmt.Println(machineFingerprint(m, cycles))
 	}

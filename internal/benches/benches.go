@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/hostpim"
 	"repro/internal/isa"
 	"repro/internal/network"
@@ -315,6 +316,59 @@ loop:
 		m.Reset()
 		if err := m.LoadAll(prog); err != nil {
 			b.Fatal(err)
+		}
+		m.Nodes[0].StartThread(entry, 0, 0)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the slabs outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// MachineFaultTreeSum measures the resilient delivery path: the treesum
+// parcel fan-in on 16 nodes with the mixed fault plan armed (12% drop, 6%
+// corrupt, 10% dup, 8-cycle jitter) and the seq/ack retransmit protocol
+// on. Every spawn pays the injector's hash draws plus the analytic
+// retransmit planning, so the delta against a fault-free treesum prices
+// the whole fault layer; allocs/op pins that planning stays allocation-
+// free (steady state: 0).
+func MachineFaultTreeSum(b *testing.B) {
+	const nodes = 16
+	layout := isa.DefaultTreeSumLayout()
+	prog, err := isa.TreeSumProgram(nodes, layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := isa.NewMachine(nodes, 16384, isa.DefaultTiming())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := fault.New(fault.Config{
+		Seed: 0x9142, DropRate: 0.12, CorruptRate: 0.06, DupRate: 0.10, JitterMax: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Fault = plan
+	m.Reliable = true
+	entry, err := prog.Entry("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		m.Reset()
+		if err := m.LoadAll(prog); err != nil {
+			b.Fatal(err)
+		}
+		for i, n := range m.Nodes {
+			for k := 0; k < layout.DataWords; k++ {
+				n.Mem[layout.DataBase+uint64(k)] = uint64(i*layout.DataWords + k)
+			}
 		}
 		m.Nodes[0].StartThread(entry, 0, 0)
 		if _, err := m.Run(); err != nil {

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -61,6 +62,13 @@ type Options struct {
 	// updated after a successful run. A cache may be shared by several
 	// engines, including concurrently.
 	Cache *Cache
+	// RunTimeout, when positive, is a per-replicate wall-clock watchdog: a
+	// replicate that has not returned within the budget is abandoned and
+	// recorded as failed, so one hung backend (a livelocked VM, an injected
+	// crash loop) cannot wedge a whole study. The abandoned goroutine keeps
+	// running to completion in the background — Go cannot preempt it — but
+	// its buffer is private and its result is discarded.
+	RunTimeout time.Duration
 }
 
 // EventKind classifies a progress event.
@@ -124,15 +132,19 @@ type Result struct {
 	// ID and Title identify the experiment.
 	ID    string
 	Title string
-	// Outcome is replicate 0's outcome (the caller's seed).
+	// Outcome is replicate 0's outcome (the caller's seed), nil when
+	// replicate 0 itself failed.
 	Outcome *core.Outcome
 	// Output is replicate 0's rendered artifact.
 	Output []byte
-	// Aggregates summarizes each metric across all replicates, keyed like
-	// Outcome.Metrics. With one replication the aggregate collapses to
-	// the single observation (N = 1, infinite CI).
+	// Aggregates summarizes each metric across the replicates that
+	// succeeded, keyed like Outcome.Metrics. With one replication the
+	// aggregate collapses to the single observation (N = 1, infinite CI);
+	// when some replicates fail the aggregate covers the surviving subset
+	// (N < Replications) alongside Err.
 	Aggregates map[string]Aggregate
-	// Err is the first replicate failure, if any.
+	// Err is the first replicate failure, if any. A partial result — Err
+	// set and Aggregates over the surviving replicates — is still valid.
 	Err error
 	// FromCache reports whether the result was served from Options.Cache.
 	FromCache bool
@@ -232,25 +244,12 @@ func (e *Engine) Run(cfg core.Config, exps []*core.Experiment) ([]Result, error)
 				e.emit(Event{Kind: EventStart, ID: exp.ID, Replicate: t.rep, Replications: reps})
 				rcfg := cfg
 				rcfg.Seed = ReplicateSeed(cfg.Seed, t.rep)
-				var output []byte
-				var o *core.Outcome
-				var err error
 				if t.rep > 0 {
 					// Only the base replicate keeps rendered output and
 					// CSV artifacts; the others contribute metrics.
 					rcfg.CSVDir = ""
-					o, err = exp.Run(rcfg, io.Discard)
-				} else {
-					// Base replicate: render into a pooled buffer — the
-					// buffer (and its grown capacity) is reused across
-					// experiments and engine runs instead of reallocated
-					// per run.
-					buf := bufPool.Get().(*bytes.Buffer)
-					buf.Reset()
-					o, err = exp.Run(rcfg, buf)
-					output = append([]byte(nil), buf.Bytes()...)
-					bufPool.Put(buf)
 				}
+				o, output, err := e.runReplicate(exp, rcfg, t.rep == 0)
 				runs[t.exp][t.rep] = runOut{outcome: o, output: output, err: err}
 				if err != nil {
 					e.emit(Event{Kind: EventError, ID: exp.ID, Replicate: t.rep, Replications: reps, Err: err})
@@ -272,25 +271,89 @@ func (e *Engine) Run(cfg core.Config, exps []*core.Experiment) ([]Result, error)
 			continue
 		}
 		r := &results[i]
+		// Graceful degradation: a failed replicate (injected crash,
+		// livelock guard, watchdog) records the error but does not void
+		// the replicates that survived — the aggregate covers the
+		// successful subset.
+		var ok []runOut
 		for rep, ro := range runs[i] {
-			if ro.err != nil && r.Err == nil {
-				r.Err = fmt.Errorf("engine: %s (replicate %d): %w", exp.ID, rep, ro.err)
+			if ro.err != nil {
+				if r.Err == nil {
+					r.Err = fmt.Errorf("engine: %s (replicate %d): %w", exp.ID, rep, ro.err)
+				}
+				continue
 			}
+			ok = append(ok, ro)
 		}
 		if r.Err != nil {
 			errs = append(errs, r.Err)
-			continue
 		}
-		r.Outcome = runs[i][0].outcome
-		r.Output = runs[i][0].output
-		r.Aggregates = aggregate(runs[i], func(ro runOut) map[string]float64 {
-			return ro.outcome.Metrics
-		}, e.opts.Level)
-		if e.opts.Cache != nil {
+		if runs[i][0].err == nil {
+			r.Outcome = runs[i][0].outcome
+			r.Output = runs[i][0].output
+		}
+		if len(ok) > 0 {
+			r.Aggregates = aggregate(ok, func(ro runOut) map[string]float64 {
+				return ro.outcome.Metrics
+			}, e.opts.Level)
+		}
+		// Only fully successful results are cacheable: a partial result
+		// served from cache would hide that some replicates failed.
+		if r.Err == nil && e.opts.Cache != nil {
 			e.opts.Cache.put(cacheKey(exp.ID, cfg, reps, e.opts.Level), *r)
 		}
 	}
 	return results, errors.Join(errs...)
+}
+
+// runReplicate executes one replicate, honoring the RunTimeout watchdog.
+// keepOutput is true for replicate 0, whose rendered artifact the caller
+// keeps.
+func (e *Engine) runReplicate(exp *core.Experiment, rcfg core.Config, keepOutput bool) (*core.Outcome, []byte, error) {
+	if e.opts.RunTimeout <= 0 {
+		if !keepOutput {
+			o, err := exp.Run(rcfg, io.Discard)
+			return o, nil, err
+		}
+		// Base replicate: render into a pooled buffer — the buffer (and
+		// its grown capacity) is reused across experiments and engine
+		// runs instead of reallocated per run.
+		buf := bufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		o, err := exp.Run(rcfg, buf)
+		output := append([]byte(nil), buf.Bytes()...)
+		bufPool.Put(buf)
+		return o, output, err
+	}
+	// Watchdog path: the run gets a private, never-pooled buffer — an
+	// abandoned run keeps executing and may still write to it after the
+	// timeout fires.
+	var buf bytes.Buffer
+	var w io.Writer = io.Discard
+	if keepOutput {
+		w = &buf
+	}
+	type repResult struct {
+		o   *core.Outcome
+		err error
+	}
+	done := make(chan repResult, 1)
+	go func() {
+		o, err := exp.Run(rcfg, w)
+		done <- repResult{o, err}
+	}()
+	timer := time.NewTimer(e.opts.RunTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		var output []byte
+		if keepOutput {
+			output = append([]byte(nil), buf.Bytes()...)
+		}
+		return res.o, output, res.err
+	case <-timer.C:
+		return nil, nil, fmt.Errorf("run exceeded the %v RunTimeout watchdog: backend abandoned", e.opts.RunTimeout)
+	}
 }
 
 // aggregate folds per-replicate metric maps into per-metric Aggregates,

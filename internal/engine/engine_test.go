@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -517,5 +518,170 @@ func TestEngineRejectsBadConfig(t *testing.T) {
 	eng := New(Options{})
 	if _, err := eng.Run(core.Config{Workers: -1}, core.Registry()[:1]); err == nil {
 		t.Error("engine accepted a negative worker count")
+	}
+}
+
+// seedFailingExperiment fails only for the given replicate seeds,
+// succeeding everywhere else — the shape of an injected crash or livelock
+// guard tripping on some replicates of a study.
+func seedFailingExperiment(id string, err error, badSeeds ...uint64) *core.Experiment {
+	bad := map[uint64]bool{}
+	for _, s := range badSeeds {
+		bad[s] = true
+	}
+	return &core.Experiment{
+		ID: id, Title: "partial " + id, PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			if bad[cfg.Seed] {
+				return nil, err
+			}
+			fmt.Fprintf(w, "artifact %s seed=%d\n", id, cfg.Seed)
+			return &core.Outcome{Metrics: map[string]float64{
+				"seedval": float64(cfg.Seed % 1000),
+			}}, nil
+		},
+	}
+}
+
+func TestPartialReplicateAggregation(t *testing.T) {
+	// One replicate dying must not void the others: the result carries
+	// both the error and an aggregate over the surviving subset.
+	boom := errors.New("injected crash")
+	const reps = 5
+	cfg := core.Config{Seed: 41}
+	badSeed := ReplicateSeed(cfg.Seed, 2)
+	exp := seedFailingExperiment("flaky", boom, badSeed)
+	results, err := New(Options{Workers: 3, Replications: reps}).
+		Run(cfg, []*core.Experiment{exp})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("combined error = %v, want wrapped boom", err)
+	}
+	r := results[0]
+	if r.Err == nil || !errors.Is(r.Err, boom) || !strings.Contains(r.Err.Error(), "replicate 2") {
+		t.Errorf("Err = %v, want boom naming replicate 2", r.Err)
+	}
+	if r.Outcome == nil || r.Outcome.Metrics["seedval"] != float64(cfg.Seed%1000) {
+		t.Errorf("replicate 0 outcome lost: %+v", r.Outcome)
+	}
+	if len(r.Output) == 0 {
+		t.Error("replicate 0 output lost")
+	}
+	a, ok := r.Aggregates["seedval"]
+	if !ok || a.N != reps-1 {
+		t.Fatalf("aggregate over survivors = %+v (present %v), want N=%d", a, ok, reps-1)
+	}
+	var want stats.Sample
+	for rep := 0; rep < reps; rep++ {
+		if rep == 2 {
+			continue
+		}
+		want.Add(float64(ReplicateSeed(cfg.Seed, rep) % 1000))
+	}
+	if a.Mean != want.Mean() || a.Min != want.Min() || a.Max != want.Max() {
+		t.Errorf("survivor aggregate %+v, want mean=%g min=%g max=%g",
+			a, want.Mean(), want.Min(), want.Max())
+	}
+}
+
+func TestPartialReplicateZeroFails(t *testing.T) {
+	// When replicate 0 itself dies, Outcome/Output stay nil but the
+	// surviving replicates still aggregate.
+	boom := errors.New("boom")
+	cfg := core.Config{Seed: 9}
+	exp := seedFailingExperiment("rep0-dead", boom, ReplicateSeed(cfg.Seed, 0))
+	results, _ := New(Options{Workers: 2, Replications: 3}).
+		Run(cfg, []*core.Experiment{exp})
+	r := results[0]
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "replicate 0") {
+		t.Errorf("Err = %v, want replicate 0 failure", r.Err)
+	}
+	if r.Outcome != nil || r.Output != nil {
+		t.Errorf("failed replicate 0 left Outcome=%v Output=%q", r.Outcome, r.Output)
+	}
+	if a := r.Aggregates["seedval"]; a.N != 2 {
+		t.Errorf("survivor aggregate N = %d, want 2", a.N)
+	}
+}
+
+func TestPartialResultNotCached(t *testing.T) {
+	// A partial result must not poison the cache: the retry re-runs.
+	boom := errors.New("boom")
+	cfg := core.Config{Seed: 5}
+	calls := 0
+	exp := &core.Experiment{
+		ID: "heal", Title: "heal", PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			calls++
+			if calls == 1 {
+				return nil, boom
+			}
+			return &core.Outcome{Metrics: map[string]float64{"m": 1}}, nil
+		},
+	}
+	eng := New(Options{Workers: 1, Cache: NewCache()})
+	if _, err := eng.Run(cfg, []*core.Experiment{exp}); err == nil {
+		t.Fatal("first run should fail")
+	}
+	results, err := eng.Run(cfg, []*core.Experiment{exp})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if results[0].FromCache {
+		t.Error("failed result was served from cache")
+	}
+	if calls != 2 {
+		t.Errorf("experiment ran %d times, want 2", calls)
+	}
+}
+
+func TestRunTimeoutWatchdog(t *testing.T) {
+	// A hung backend is abandoned after RunTimeout instead of wedging the
+	// engine; healthy experiments in the same run still complete.
+	release := make(chan struct{})
+	defer close(release) // let the abandoned goroutine finish
+	hung := &core.Experiment{
+		ID: "hung", Title: "hung", PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			<-release
+			fmt.Fprintln(w, "late output into a private buffer")
+			return &core.Outcome{Metrics: map[string]float64{"m": 1}}, nil
+		},
+	}
+	exps := []*core.Experiment{fakeExperiment("ok"), hung}
+	results, err := New(Options{Workers: 2, RunTimeout: 20 * time.Millisecond}).
+		Run(core.Config{Seed: 1}, exps)
+	if err == nil || !strings.Contains(err.Error(), "RunTimeout watchdog") {
+		t.Fatalf("combined error = %v, want watchdog timeout", err)
+	}
+	if results[0].Err != nil || results[0].Outcome == nil {
+		t.Errorf("healthy experiment contaminated: %+v", results[0].Err)
+	}
+	r := results[1]
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "watchdog") {
+		t.Errorf("hung experiment Err = %v", r.Err)
+	}
+	if r.Outcome != nil || r.Output != nil || r.Aggregates != nil {
+		t.Errorf("abandoned run leaked results: %+v", r)
+	}
+}
+
+func TestRunTimeoutGenerousBudgetIsNoOp(t *testing.T) {
+	// With a budget the runs comfortably meet, the watchdog path must
+	// produce the same results as the pooled-buffer path.
+	exps := fakes(4)
+	cfg := core.Config{Seed: 77, Quick: true}
+	plain, err := New(Options{Workers: 2}).Run(cfg, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := New(Options{Workers: 2, RunTimeout: time.Minute}).Run(cfg, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i].Outcome, guarded[i].Outcome) ||
+			!bytes.Equal(plain[i].Output, guarded[i].Output) {
+			t.Errorf("%s: watchdog path changed the result", plain[i].ID)
+		}
 	}
 }

@@ -1,0 +1,78 @@
+package fault
+
+// CorruptMode names one way the injector mangles a wire frame. Each mode
+// is constructed so that, applied to a *valid* encoded parcel frame, the
+// result is guaranteed to be rejected by the internal/parcel codec —
+// never silently mis-decoded:
+//
+//   - BitFlip and ByteSmash change bytes inside the CRC-covered region or
+//     the CRC trailer itself, so Decode fails the checksum (or an earlier
+//     magic/version/length check);
+//   - Truncate produces a strict prefix, so the declared payload length
+//     no longer fits the buffer;
+//   - MagicGarble inverts the first magic byte, so framing fails outright.
+//
+// These are the shapes seeded into the FuzzParcelCodec corpus: whatever
+// the plan can emit, the codec's fuzz target has already chewed on.
+type CorruptMode int
+
+const (
+	CorruptBitFlip CorruptMode = iota
+	CorruptByteSmash
+	CorruptTruncate
+	CorruptMagicGarble
+
+	// NumCorruptModes is the count of distinct corruption modes.
+	NumCorruptModes
+)
+
+func (m CorruptMode) String() string {
+	switch m {
+	case CorruptBitFlip:
+		return "bitflip"
+	case CorruptByteSmash:
+		return "bytesmash"
+	case CorruptTruncate:
+		return "truncate"
+	case CorruptMagicGarble:
+		return "magicgarble"
+	default:
+		return "unknown"
+	}
+}
+
+// Mode returns the corruption mode the plan applies to the given attempt.
+// Like every decision it is a pure function of (seed, identity, attempt).
+func (p *Plan) Mode(id Identity, attempt int) CorruptMode {
+	return CorruptMode(p.hash(tagMode, id, attempt) % uint64(NumCorruptModes))
+}
+
+// ApplyCorruption mangles a copy of frame according to mode, using h as
+// the position/value entropy. The input is never modified; an empty
+// frame is returned unchanged (there is nothing to corrupt).
+func ApplyCorruption(mode CorruptMode, h uint64, frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	if len(out) == 0 {
+		return out
+	}
+	switch mode {
+	case CorruptBitFlip:
+		bit := h % uint64(len(out)*8)
+		out[bit/8] ^= 1 << (bit % 8)
+	case CorruptByteSmash:
+		// XOR with an always-odd value: the byte is guaranteed to change.
+		out[h%uint64(len(out))] ^= byte(h>>8) | 1
+	case CorruptTruncate:
+		out = out[:h%uint64(len(out))]
+	case CorruptMagicGarble:
+		out[0] ^= 0xff
+	}
+	return out
+}
+
+// CorruptFrame applies the plan's corruption decision for this attempt
+// to a wire frame, returning the mangled copy and the mode used.
+func (p *Plan) CorruptFrame(id Identity, attempt int, frame []byte) ([]byte, CorruptMode) {
+	mode := p.Mode(id, attempt)
+	return ApplyCorruption(mode, p.hash(tagPos, id, attempt), frame), mode
+}

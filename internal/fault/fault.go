@@ -1,0 +1,274 @@
+// Package fault builds seeded, fully deterministic fault plans for the
+// execution-driven machine backend. A Plan answers questions — "is this
+// parcel's k-th transmission dropped?", "is this node a straggler?",
+// "when does the machine crash?" — as pure functions of the plan's seed
+// and a *canonical* identity, never of execution order:
+//
+//   - network faults (drop, corruption, duplication, delay jitter) are
+//     keyed by the parcel identity (sent cycle, source node, per-source
+//     sequence number) plus the transmission attempt index;
+//   - node faults (straggler slowdown, crash-at-cycle) are keyed by the
+//     node index alone.
+//
+// Because every decision hashes identity rather than arrival order, the
+// same program run serially, windowed, or on any PDES worker count and
+// partition shape sees the *same* faults at the same points — the VM's
+// byte-identical-under-parallelism guarantee extends to every fault
+// matrix entry. Delay jitter only ever adds latency, so a declared
+// network lookahead remains a valid lower bound and the conservative
+// windows stay safe.
+//
+// The Plan also pre-computes reliable-delivery schedules: PlanDelivery
+// resolves a sequence-numbered ack/timeout/retransmit exchange
+// analytically at send time (every attempt's fate is already a pure
+// function of identity), so the VM can enqueue only the surviving
+// arrival and count retries without simulating per-attempt round trips.
+//
+// CorruptFrame mirrors the injector's corruption decisions onto real
+// wire frames from internal/parcel; each CorruptMode is constructed so
+// the codec's CRC/shape checks are guaranteed to reject the result,
+// which ties the fault layer to the fuzz-hardened codec path.
+package fault
+
+import "fmt"
+
+// MaxAttempts caps reliable-mode retransmissions per parcel. A parcel
+// whose every attempt faults is declared lost; the machine's cycle-limit
+// guard then diagnoses the stalled program. With per-attempt failure
+// probability p, loss odds are p^64 — negligible for any rate a sweep
+// would use, but a hard bound keeps pathological rates (drop=1.0)
+// terminating.
+const MaxAttempts = 64
+
+// Config declares the fault mix a Plan injects. The zero value is a
+// no-fault plan.
+type Config struct {
+	// Seed keys every decision. Two plans with equal configs are
+	// indistinguishable; changing only the seed reshuffles which
+	// parcels/nodes fault while preserving the rates.
+	Seed uint64
+
+	// DropRate, CorruptRate, DupRate are per-transmission-attempt
+	// probabilities in [0, 1]. A dropped attempt never arrives; a
+	// corrupted attempt arrives but fails the receiver's CRC and is
+	// discarded; a duplicated attempt delivers a second copy.
+	DropRate    float64
+	CorruptRate float64
+	DupRate     float64
+
+	// JitterMax bounds per-attempt extra delivery delay, uniform in
+	// [0, JitterMax] cycles. Jitter only adds latency, so declared
+	// lookaheads still hold.
+	JitterMax int64
+
+	// StragglerFactor slows a deterministic subset of nodes by scaling
+	// their memory and spawn cycle costs. 0 or 1 disables stragglers.
+	StragglerFactor int64
+	// StragglerFrac is the fraction of nodes that straggle (default
+	// 0.25 when StragglerFactor is active).
+	StragglerFrac float64
+
+	// CrashCycle, when > 0, halts the whole run at that cycle with a
+	// crash error attributed to CrashNode — modeling the loss of a node
+	// mid-run. CrashCycle 0 disables the crash.
+	CrashCycle int64
+	CrashNode  int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"DropRate", c.DropRate}, {"CorruptRate", c.CorruptRate}, {"DupRate", c.DupRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s %v out of range [0, 1]", r.name, r.v)
+		}
+	}
+	if c.JitterMax < 0 {
+		return fmt.Errorf("fault: JitterMax %d must be >= 0", c.JitterMax)
+	}
+	if c.StragglerFactor < 0 {
+		return fmt.Errorf("fault: StragglerFactor %d must be >= 0", c.StragglerFactor)
+	}
+	if c.StragglerFrac < 0 || c.StragglerFrac > 1 {
+		return fmt.Errorf("fault: StragglerFrac %v out of range [0, 1]", c.StragglerFrac)
+	}
+	if c.CrashCycle < 0 {
+		return fmt.Errorf("fault: CrashCycle %d must be >= 0", c.CrashCycle)
+	}
+	if c.CrashCycle > 0 && c.CrashNode < 0 {
+		return fmt.Errorf("fault: CrashNode %d must be >= 0 when CrashCycle is set", c.CrashNode)
+	}
+	return nil
+}
+
+// Identity names one parcel canonically: the cycle its spawn issued, the
+// sending node, and that node's running parcel sequence number. All
+// three are functions of the sending node's own instruction stream, so
+// they are identical across serial, windowed, and parallel execution —
+// which is what makes identity-keyed faults order-independent.
+type Identity struct {
+	Sent int64
+	Src  int
+	Seq  uint64
+}
+
+// Plan is an immutable, concurrency-safe fault oracle. All methods are
+// pure; a Plan may be shared freely across PDES workers.
+type Plan struct {
+	cfg  Config
+	frac float64 // resolved straggler fraction
+}
+
+// New validates cfg and returns its Plan.
+func New(cfg Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{cfg: cfg, frac: cfg.StragglerFrac}
+	if p.frac == 0 {
+		p.frac = 0.25
+	}
+	return p, nil
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// NetEnabled reports whether any network fault (drop, corrupt, dup,
+// jitter) can fire. Node-only plans (straggler/crash) leave the parcel
+// path untouched.
+func (p *Plan) NetEnabled() bool {
+	return p.cfg.DropRate > 0 || p.cfg.CorruptRate > 0 || p.cfg.DupRate > 0 || p.cfg.JitterMax > 0
+}
+
+// Decision domains: each class of question mixes in its own tag so the
+// drop/corrupt/dup/jitter streams for one attempt are independent.
+const (
+	tagDrop = iota + 1
+	tagCorrupt
+	tagDup
+	tagJitter
+	tagMode
+	tagPos
+	tagStraggler
+)
+
+// mix64 is the SplitMix64 output finalizer — a strong 64-bit mixer used
+// here as the hash primitive for all decisions.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hash folds (seed, tag, identity, attempt) into one 64-bit value.
+func (p *Plan) hash(tag uint64, id Identity, attempt int) uint64 {
+	z := mix64(p.cfg.Seed ^ tag)
+	z = mix64(z + uint64(id.Sent))
+	z = mix64(z + uint64(int64(id.Src)))
+	z = mix64(z + id.Seq)
+	return mix64(z + uint64(int64(attempt)))
+}
+
+// unit maps a hash to [0, 1) with 53 bits of precision.
+func unit(z uint64) float64 { return float64(z>>11) / (1 << 53) }
+
+// Dropped reports whether transmission attempt `attempt` of the parcel
+// is lost in the network.
+func (p *Plan) Dropped(id Identity, attempt int) bool {
+	return p.cfg.DropRate > 0 && unit(p.hash(tagDrop, id, attempt)) < p.cfg.DropRate
+}
+
+// Corrupted reports whether the attempt arrives corrupted (and is
+// therefore discarded by the receiver's CRC check).
+func (p *Plan) Corrupted(id Identity, attempt int) bool {
+	return p.cfg.CorruptRate > 0 && unit(p.hash(tagCorrupt, id, attempt)) < p.cfg.CorruptRate
+}
+
+// Duplicated reports whether the attempt is delivered twice.
+func (p *Plan) Duplicated(id Identity, attempt int) bool {
+	return p.cfg.DupRate > 0 && unit(p.hash(tagDup, id, attempt)) < p.cfg.DupRate
+}
+
+// Jitter returns the attempt's extra delivery delay in [0, JitterMax].
+func (p *Plan) Jitter(id Identity, attempt int) int64 {
+	if p.cfg.JitterMax <= 0 {
+		return 0
+	}
+	return int64(p.hash(tagJitter, id, attempt) % uint64(p.cfg.JitterMax+1))
+}
+
+// Straggler reports whether the node belongs to the slow subset.
+func (p *Plan) Straggler(node int) bool {
+	if p.cfg.StragglerFactor <= 1 {
+		return false
+	}
+	z := mix64(mix64(p.cfg.Seed^tagStraggler) + uint64(int64(node)))
+	return unit(z) < p.frac
+}
+
+// CostScale returns the node's cycle-cost multiplier: StragglerFactor
+// for stragglers, 1 otherwise. Always >= 1.
+func (p *Plan) CostScale(node int) int64 {
+	if p.Straggler(node) {
+		return p.cfg.StragglerFactor
+	}
+	return 1
+}
+
+// CrashAt reports the planned node crash, if any, for a machine with
+// `nodes` nodes. ok is false when no crash is configured or the crashed
+// node does not exist in this machine.
+func (p *Plan) CrashAt(nodes int) (node int, cycle int64, ok bool) {
+	if p.cfg.CrashCycle <= 0 || p.cfg.CrashNode >= nodes {
+		return 0, 0, false
+	}
+	return p.cfg.CrashNode, p.cfg.CrashCycle, true
+}
+
+// Delivery is the pre-computed outcome of one reliable-mode transfer:
+// the sender retransmits on an RTO timer until an attempt survives both
+// drop and corruption, and the receiver suppresses duplicate frames by
+// sequence number.
+type Delivery struct {
+	// Attempts is the number of transmissions made (1 + retries).
+	Attempts int
+	// Delivered is false when all MaxAttempts transmissions faulted.
+	Delivered bool
+	// ExtraDelay is the successful attempt's extra latency beyond the
+	// base one-way trip: the retransmission timeouts spent plus that
+	// attempt's jitter. Always >= 0.
+	ExtraDelay int64
+	// Drops and Corrupts count the failed attempts by cause.
+	Drops, Corrupts int
+	// Duplicated marks the successful frame as double-delivered on the
+	// wire; the receiver's sequence check suppresses the copy.
+	Duplicated bool
+}
+
+// PlanDelivery resolves the reliable exchange for one parcel given the
+// sender's retransmission timeout (cycles between attempts). Every
+// attempt's fate is a pure function of (plan seed, identity, attempt),
+// so the whole schedule is known at send time.
+func (p *Plan) PlanDelivery(id Identity, rto int64) Delivery {
+	var d Delivery
+	for a := 0; a < MaxAttempts; a++ {
+		d.Attempts = a + 1
+		if p.Dropped(id, a) {
+			d.Drops++
+			continue
+		}
+		if p.Corrupted(id, a) {
+			d.Corrupts++
+			continue
+		}
+		d.Delivered = true
+		d.ExtraDelay = int64(a)*rto + p.Jitter(id, a)
+		d.Duplicated = p.Duplicated(id, a)
+		return d
+	}
+	return d
+}

@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPlan(t *testing.T, cfg Config) *Plan {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{DropRate: -0.1},
+		{DropRate: 1.5},
+		{CorruptRate: 2},
+		{DupRate: -1},
+		{JitterMax: -1},
+		{StragglerFactor: -2},
+		{StragglerFrac: 1.5},
+		{CrashCycle: -5},
+		{CrashCycle: 10, CrashNode: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v): want error, got nil", cfg)
+		}
+	}
+	good := []Config{
+		{},
+		{DropRate: 1, CorruptRate: 1, DupRate: 1, JitterMax: 100},
+		{StragglerFactor: 4, StragglerFrac: 0.5},
+		{CrashCycle: 1, CrashNode: 0},
+	}
+	for _, cfg := range good {
+		if _, err := New(cfg); err != nil {
+			t.Errorf("New(%+v): unexpected error %v", cfg, err)
+		}
+	}
+}
+
+// TestFaultDecisionDeterminism: decisions depend only on (seed, identity,
+// attempt), so two independently constructed plans agree everywhere, and
+// querying in any order changes nothing (the plan holds no state).
+func TestFaultDecisionDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, DropRate: 0.3, CorruptRate: 0.2, DupRate: 0.25, JitterMax: 17, StragglerFactor: 3}
+	a, b := mustPlan(t, cfg), mustPlan(t, cfg)
+	ids := []Identity{
+		{Sent: 0, Src: 0, Seq: 0},
+		{Sent: 1, Src: 0, Seq: 0},
+		{Sent: 12345, Src: 7, Seq: 99},
+		{Sent: math.MaxInt64, Src: 255, Seq: math.MaxUint64},
+	}
+	for _, id := range ids {
+		for attempt := 0; attempt < 5; attempt++ {
+			if a.Dropped(id, attempt) != b.Dropped(id, attempt) ||
+				a.Corrupted(id, attempt) != b.Corrupted(id, attempt) ||
+				a.Duplicated(id, attempt) != b.Duplicated(id, attempt) ||
+				a.Jitter(id, attempt) != b.Jitter(id, attempt) ||
+				a.Mode(id, attempt) != b.Mode(id, attempt) {
+				t.Fatalf("plans disagree on id=%+v attempt=%d", id, attempt)
+			}
+		}
+	}
+	for n := 0; n < 64; n++ {
+		if a.CostScale(n) != b.CostScale(n) {
+			t.Fatalf("plans disagree on CostScale(%d)", n)
+		}
+	}
+}
+
+// TestFaultRates: over many identities the empirical fault frequencies
+// track the configured rates (loose bounds — this guards against a
+// broken hash, not statistical purity).
+func TestFaultRates(t *testing.T) {
+	cfg := Config{Seed: 7, DropRate: 0.3, CorruptRate: 0.1, DupRate: 0.5, JitterMax: 9}
+	p := mustPlan(t, cfg)
+	const trials = 20000
+	var drops, corrupts, dups int
+	for i := 0; i < trials; i++ {
+		id := Identity{Sent: int64(i), Src: i % 16, Seq: uint64(i)}
+		if p.Dropped(id, 0) {
+			drops++
+		}
+		if p.Corrupted(id, 0) {
+			corrupts++
+		}
+		if p.Duplicated(id, 0) {
+			dups++
+		}
+		if j := p.Jitter(id, 0); j < 0 || j > cfg.JitterMax {
+			t.Fatalf("Jitter out of bounds: %d (max %d)", j, cfg.JitterMax)
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		f := float64(got) / trials
+		if math.Abs(f-want) > 0.02 {
+			t.Errorf("%s rate %.3f, want ~%.2f", name, f, want)
+		}
+	}
+	check("drop", drops, cfg.DropRate)
+	check("corrupt", corrupts, cfg.CorruptRate)
+	check("dup", dups, cfg.DupRate)
+}
+
+func TestZeroConfigNeverFaults(t *testing.T) {
+	p := mustPlan(t, Config{Seed: 99})
+	if p.NetEnabled() {
+		t.Fatal("zero config reports NetEnabled")
+	}
+	for i := 0; i < 1000; i++ {
+		id := Identity{Sent: int64(i), Src: i % 8, Seq: uint64(i)}
+		if p.Dropped(id, 0) || p.Corrupted(id, 0) || p.Duplicated(id, 0) || p.Jitter(id, 0) != 0 {
+			t.Fatalf("zero config faulted at id %+v", id)
+		}
+	}
+	for n := 0; n < 32; n++ {
+		if p.CostScale(n) != 1 {
+			t.Fatalf("zero config CostScale(%d) = %d", n, p.CostScale(n))
+		}
+	}
+	if _, _, ok := p.CrashAt(32); ok {
+		t.Fatal("zero config plans a crash")
+	}
+}
+
+func TestStragglerSubset(t *testing.T) {
+	p := mustPlan(t, Config{Seed: 3, StragglerFactor: 4})
+	const nodes = 1024
+	slow := 0
+	for n := 0; n < nodes; n++ {
+		switch p.CostScale(n) {
+		case 4:
+			slow++
+		case 1:
+		default:
+			t.Fatalf("CostScale(%d) = %d, want 1 or 4", n, p.CostScale(n))
+		}
+	}
+	// Default fraction is 0.25; allow a wide statistical band.
+	if frac := float64(slow) / nodes; frac < 0.15 || frac > 0.35 {
+		t.Errorf("straggler fraction %.3f, want ~0.25", frac)
+	}
+	// Factor 1 disables stragglers entirely.
+	off := mustPlan(t, Config{Seed: 3, StragglerFactor: 1})
+	for n := 0; n < nodes; n++ {
+		if off.CostScale(n) != 1 {
+			t.Fatalf("factor-1 plan scales node %d", n)
+		}
+	}
+}
+
+func TestCrashAt(t *testing.T) {
+	p := mustPlan(t, Config{CrashCycle: 500, CrashNode: 3})
+	if node, cycle, ok := p.CrashAt(8); !ok || node != 3 || cycle != 500 {
+		t.Fatalf("CrashAt(8) = (%d, %d, %v), want (3, 500, true)", node, cycle, ok)
+	}
+	// The crashed node must exist in the machine.
+	if _, _, ok := p.CrashAt(3); ok {
+		t.Fatal("CrashAt(3) reported a crash for node 3 of a 3-node machine")
+	}
+}
+
+func TestPlanDelivery(t *testing.T) {
+	// No faults: one attempt, no extra delay.
+	clean := mustPlan(t, Config{Seed: 1})
+	d := clean.PlanDelivery(Identity{Sent: 10, Src: 2, Seq: 0}, 100)
+	if !d.Delivered || d.Attempts != 1 || d.ExtraDelay != 0 || d.Drops+d.Corrupts != 0 {
+		t.Fatalf("clean delivery = %+v", d)
+	}
+
+	// Heavy loss: retries happen, accounting balances, delay grows with
+	// the attempt index, and ExtraDelay stays non-negative (lookahead
+	// safety).
+	lossy := mustPlan(t, Config{Seed: 5, DropRate: 0.4, CorruptRate: 0.2, DupRate: 0.3, JitterMax: 11})
+	const rto = int64(64)
+	delivered, retried := 0, 0
+	for i := 0; i < 5000; i++ {
+		id := Identity{Sent: int64(i), Src: i % 4, Seq: uint64(i)}
+		d := lossy.PlanDelivery(id, rto)
+		if d.Attempts < 1 || d.Attempts > MaxAttempts {
+			t.Fatalf("attempts %d out of range", d.Attempts)
+		}
+		if d.Drops+d.Corrupts != d.Attempts-boolInt(d.Delivered) {
+			t.Fatalf("accounting mismatch: %+v", d)
+		}
+		if d.ExtraDelay < 0 {
+			t.Fatalf("negative ExtraDelay: %+v", d)
+		}
+		if d.Delivered {
+			delivered++
+			if d.Attempts > 1 {
+				retried++
+				if d.ExtraDelay < int64(d.Attempts-1)*rto {
+					t.Fatalf("ExtraDelay %d below RTO floor for %d attempts", d.ExtraDelay, d.Attempts)
+				}
+			}
+		}
+	}
+	if delivered < 4990 {
+		t.Errorf("only %d/5000 delivered under 60%% per-attempt failure; retransmit cap too low?", delivered)
+	}
+	if retried == 0 {
+		t.Error("no parcel ever needed a retry at 60% failure rate")
+	}
+
+	// Certain loss: all attempts burn, nothing delivered.
+	dead := mustPlan(t, Config{Seed: 2, DropRate: 1})
+	d = dead.PlanDelivery(Identity{Sent: 1, Src: 1, Seq: 1}, rto)
+	if d.Delivered || d.Attempts != MaxAttempts || d.Drops != MaxAttempts {
+		t.Fatalf("drop=1 delivery = %+v", d)
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestApplyCorruptionChangesFrame(t *testing.T) {
+	frame := make([]byte, 64)
+	for i := range frame {
+		frame[i] = byte(i * 7)
+	}
+	for mode := CorruptMode(0); mode < NumCorruptModes; mode++ {
+		for h := uint64(0); h < 200; h++ {
+			got := ApplyCorruption(mode, h, frame)
+			if string(got) == string(frame) {
+				t.Fatalf("mode %v h=%d left the frame unchanged", mode, h)
+			}
+			// Purity: the input frame must never be modified.
+			for i := range frame {
+				if frame[i] != byte(i*7) {
+					t.Fatalf("mode %v h=%d mutated the input frame", mode, h)
+				}
+			}
+		}
+	}
+	if got := ApplyCorruption(CorruptBitFlip, 0, nil); len(got) != 0 {
+		t.Fatalf("empty frame corruption returned %d bytes", len(got))
+	}
+}

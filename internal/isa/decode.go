@@ -295,26 +295,8 @@ func (m *Machine) execDecoded(n *NodeState, t *Thread, d *decop, ti int, fusible
 			return fmt.Errorf("isa: node %d pc %d: spawn to node %d of %d",
 				n.ID, t.PC, dst, len(m.Nodes))
 		}
-		lat := int64(0)
-		if dst != n.ID {
-			if m.NetDelay != nil {
-				lat = m.NetDelay(n.ID, dst)
-			} else {
-				lat = m.Timing.NetLatency
-			}
-		}
-		m.inFlight = append(m.inFlight, flight{
-			arrive: m.cycle + lat + 1,
-			sent:   m.cycle,
-			node:   dst,
-			entry:  regs[d.rb],
-			arg:    regs[d.rd],
-			src:    uint64(n.ID),
-		})
-		t.stall = m.Timing.SpawnCycles - 1
-		if t.stall < 0 {
-			t.stall = 0
-		}
+		m.sendParcel(n, dst, regs[d.rb], regs[d.rd])
+		t.stall = m.spawnStall(n)
 		n.Spawns++
 	case OpNodeID:
 		if d.rd != 0 {

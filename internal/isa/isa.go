@@ -14,6 +14,17 @@
 // fusible pairs and a self-modification guard that re-decodes entries
 // clobbered by in-span stores — while Machine.ForceInterpret keeps the
 // per-cycle decode path alive as a differential-testing oracle.
+//
+// The parcel network can run under deterministic fault injection
+// (Machine.Fault, an internal/fault plan): per-attempt drop, corruption,
+// duplication, and delay jitter, per-node straggler slowdown, and a
+// planned crash cycle. With Machine.Reliable the send path runs a
+// seq/ack retransmit protocol whose every attempt's fate is resolved
+// analytically at send time from the parcel's identity (sent cycle,
+// source, sequence number) — never from execution order — so faulted
+// runs stay byte-identical across the interpreted, windowed, and
+// parallel (PDES) execution paths; per-node counters and
+// Machine.DeliveryStats expose the degradation.
 package isa
 
 import (

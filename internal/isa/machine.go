@@ -3,6 +3,9 @@ package isa
 import (
 	"fmt"
 	"math/bits"
+	"strings"
+
+	"repro/internal/fault"
 )
 
 // Timing parameterizes the cycle costs of the interpreter, in LWP cycles.
@@ -87,6 +90,23 @@ type NodeState struct {
 	BusyCycles   int64
 	IdleCycles   int64
 	Completed    int64
+
+	// Parcel-delivery counters, live only on faulted runs (all zero when
+	// Machine.Fault is nil). Every counter is attributed to the *sending*
+	// node at send time — a pure function of that node's own instruction
+	// stream — so parallel partitions never write another partition's
+	// counters and the counts are identical across execution modes.
+	ParcelsSent      int64 // remote spawns routed through the fault plan
+	ParcelDrops      int64 // transmission attempts lost in the network
+	ParcelCorrupts   int64 // attempts rejected by the receiver's CRC
+	ParcelDups       int64 // duplicate frames (suppressed in reliable mode)
+	ParcelRetries    int64 // reliable-mode retransmissions
+	ParcelsDelivered int64 // parcels whose payload reached the destination
+	ParcelsLost      int64 // parcels that never arrived (all attempts faulted)
+
+	// seq numbers this node's outbound parcels, forming the canonical
+	// fault identity (sent cycle, src, seq) together with the send cycle.
+	seq uint64
 }
 
 // Load copies a program image into node memory and pre-decodes it into
@@ -190,6 +210,23 @@ type Machine struct {
 	// huge lookahead cannot starve parcel-free runs of termination
 	// checks (0 = the 65536 default).
 	MaxWindow int64
+	// Fault, when non-nil, injects the plan's deterministic faults into
+	// the run: parcel drop/corruption/duplication/jitter on the remote
+	// spawn path, straggler cost scaling on memory and spawn stalls, and
+	// a crash-at-cycle stop. Every decision is keyed by canonical parcel
+	// identity (sent cycle, src, seq) or node index — never execution
+	// order — so faulted runs keep the byte-identical-under-parallelism
+	// guarantee. Jitter only adds latency, so declared lookaheads hold.
+	Fault *fault.Plan
+	// Reliable selects the delivery protocol under an active fault plan.
+	// True models a sequence-numbered ack/timeout/retransmit exchange:
+	// the sender retries on an RTO timer until an attempt survives, the
+	// receiver suppresses duplicates by sequence number, and programs
+	// complete under loss (at degraded goodput, visible in the Parcel*
+	// counters). False models fire-and-forget datagrams: a dropped or
+	// corrupted parcel is simply lost and a duplicated one starts a
+	// second payload thread. Ignored when Fault is nil.
+	Reliable bool
 
 	cycle    int64
 	inFlight []flight
@@ -251,6 +288,9 @@ func (m *Machine) Reset() {
 		n.next = 0
 		n.Instructions, n.MemOps, n.WideOps, n.Spawns = 0, 0, 0, 0
 		n.BusyCycles, n.IdleCycles, n.Completed = 0, 0, 0
+		n.ParcelsSent, n.ParcelDrops, n.ParcelCorrupts, n.ParcelDups = 0, 0, 0, 0
+		n.ParcelRetries, n.ParcelsDelivered, n.ParcelsLost = 0, 0, 0
+		n.seq = 0
 	}
 }
 
@@ -298,8 +338,8 @@ func (m *Machine) Run() (int64, error) {
 		if !live && len(m.inFlight) == 0 {
 			return m.cycle, nil
 		}
-		if m.MaxCycles > 0 && m.cycle >= m.MaxCycles {
-			return m.cycle, fmt.Errorf("isa: exceeded %d cycles (livelock or unfinished work)", m.MaxCycles)
+		if lim := m.limit(); lim > 0 && m.cycle >= lim {
+			return m.cycle, m.limitErr(lim)
 		}
 		issued, err := m.step()
 		if err != nil {
@@ -358,8 +398,9 @@ func (m *Machine) step() (bool, error) {
 // cycle on which anything can issue: stall expiries tick down, busy/idle
 // counters advance, the clock jumps. Callers guarantee the current cycle
 // issued nothing, so every skipped cycle would have been an exact no-op
-// scan. The jump is capped at MaxCycles so exhaustion faults at the same
-// cycle a per-cycle run would report.
+// scan. The jump is capped at the run limit (MaxCycles, or an earlier
+// planned crash) so exhaustion faults at the same cycle a per-cycle run
+// would report.
 func (m *Machine) fastForward() {
 	const never = int64(^uint64(0) >> 1)
 	next := never
@@ -386,8 +427,8 @@ func (m *Machine) fastForward() {
 		return
 	}
 	delta := next - m.cycle - 1
-	if m.MaxCycles > 0 && m.cycle+delta > m.MaxCycles {
-		delta = m.MaxCycles - m.cycle
+	if lim := m.limit(); lim > 0 && m.cycle+delta > lim {
+		delta = lim - m.cycle
 	}
 	if delta <= 0 {
 		return
@@ -406,6 +447,63 @@ func (m *Machine) fastForward() {
 			}
 		}
 	}
+}
+
+// limit returns the run's effective cycle bound: MaxCycles, tightened to
+// the fault plan's crash cycle when one is scheduled earlier (a planned
+// crash is just a run limit that reports differently). 0 means unbounded.
+func (m *Machine) limit() int64 {
+	lim := m.MaxCycles
+	if m.Fault != nil {
+		if _, at, ok := m.Fault.CrashAt(len(m.Nodes)); ok && (lim <= 0 || at < lim) {
+			lim = at
+		}
+	}
+	return lim
+}
+
+// limitErr builds the error for a run stopped at cycle bound lim: a node
+// crash when the fault plan scheduled one there, otherwise the livelock/
+// exhaustion diagnosis. Both include the live-thread and in-flight state
+// so a degraded run is diagnosable from the engine's per-point error
+// capture alone.
+func (m *Machine) limitErr(lim int64) error {
+	if m.Fault != nil {
+		if node, at, ok := m.Fault.CrashAt(len(m.Nodes)); ok && at == lim {
+			return fmt.Errorf("isa: node %d crashed at cycle %d (fault plan): run stopped with %s", node, at, m.liveSummary())
+		}
+	}
+	return fmt.Errorf("isa: exceeded %d cycles (livelock or unfinished work) at cycle %d with %s", lim, m.cycle, m.liveSummary())
+}
+
+// liveSummary renders the machine's blocked state: the total live-thread
+// count, the per-node counts for the first few stuck nodes, and the
+// number of parcels still in flight.
+func (m *Machine) liveSummary() string {
+	var b strings.Builder
+	total, listed, stuck := 0, 0, 0
+	for _, n := range m.Nodes {
+		if n.live == 0 {
+			continue
+		}
+		total += n.live
+		stuck++
+		if listed < 8 {
+			if listed > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "node%d=%d", n.ID, n.live)
+			listed++
+		}
+	}
+	if total == 0 {
+		return fmt.Sprintf("0 live threads, %d parcels in flight", len(m.inFlight))
+	}
+	tail := ""
+	if stuck > listed {
+		tail = fmt.Sprintf(" +%d more nodes", stuck-listed)
+	}
+	return fmt.Sprintf("%d live threads [%s%s], %d parcels in flight", total, b.String(), tail, len(m.inFlight))
 }
 
 // lookahead returns the machine's conservative network lookahead — a
@@ -496,13 +594,13 @@ func (m *Machine) runWindowed(window int64) (int64, error) {
 		if !live && len(m.inFlight) == 0 {
 			return m.cycle, nil
 		}
-		if m.MaxCycles > 0 && m.cycle >= m.MaxCycles {
-			return m.cycle, fmt.Errorf("isa: exceeded %d cycles (livelock or unfinished work)", m.MaxCycles)
+		if lim := m.limit(); lim > 0 && m.cycle >= lim {
+			return m.cycle, m.limitErr(lim)
 		}
 		wstart := m.cycle + 1
 		wend := wstart + window - 1
-		if m.MaxCycles > 0 && wend > m.MaxCycles {
-			wend = m.MaxCycles
+		if lim := m.limit(); lim > 0 && wend > lim {
+			wend = lim
 		}
 		// The first fault in (cycle, node) order wins, as in the serial
 		// loop. Later-ordered nodes may have run past the fault cycle
@@ -701,8 +799,12 @@ func (m *Machine) runNodeWindowFast(n *NodeState, wstart, wend int64) (lastIssue
 		}
 	}
 	// MemDelay is nil on this path (the runWindowed gate checked), so
-	// every scalar memory op stalls the same fixed cost — hoist it.
+	// every scalar memory op stalls the same fixed cost — hoist it,
+	// including the node's straggler scale (constant per node).
 	memC := m.Timing.MemCycles
+	if m.Fault != nil {
+		memC *= m.Fault.CostScale(n.ID)
+	}
 	if memC < 1 {
 		memC = 1
 	}
@@ -1182,7 +1284,8 @@ func (m *Machine) stepNode(n *NodeState, fuseOK bool) (bool, error) {
 	return true, m.execute(n, chosen, fusible)
 }
 
-// memCost returns the cycle cost of one memory operation.
+// memCost returns the cycle cost of one memory operation, scaled by the
+// fault plan's straggler factor for slow nodes.
 func (m *Machine) memCost(n *NodeState, addr uint64, wide bool) int64 {
 	var c int64
 	switch {
@@ -1193,10 +1296,115 @@ func (m *Machine) memCost(n *NodeState, addr uint64, wide bool) int64 {
 	default:
 		c = m.Timing.MemCycles
 	}
+	if m.Fault != nil {
+		c *= m.Fault.CostScale(n.ID)
+	}
 	if c < 1 {
 		c = 1
 	}
 	return c
+}
+
+// spawnStall returns the issue stall of one spawn instruction (the local
+// parcel-launch cost), scaled for straggler nodes.
+func (m *Machine) spawnStall(n *NodeState) int64 {
+	c := m.Timing.SpawnCycles
+	if m.Fault != nil {
+		c *= m.Fault.CostScale(n.ID)
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c - 1
+}
+
+// parcelLatency returns the base one-way flight time from n to dst.
+func (m *Machine) parcelLatency(n *NodeState, dst int) int64 {
+	if dst == n.ID {
+		return 0
+	}
+	if m.NetDelay != nil {
+		return m.NetDelay(n.ID, dst)
+	}
+	return m.Timing.NetLatency
+}
+
+// rto is the reliable mode's retransmission timeout toward a destination
+// with base latency lat: a full round trip, the worst jitter an attempt
+// can pick up, and a small ack-processing slack.
+func (m *Machine) rto(lat int64) int64 {
+	return 2*lat + m.Fault.Config().JitterMax + 4
+}
+
+// sendParcel launches one spawn parcel from n to dst, routing it through
+// the fault plan when one is armed. Both execution paths (interpretive
+// and pre-decoded) call this, so fault semantics cannot fork between
+// them.
+//
+// The faulted path resolves the entire delivery analytically at send
+// time: every attempt's fate is a pure function of (plan seed, identity,
+// attempt), so the surviving arrival — if any — is known immediately and
+// is the only flight that enters the queue. Crucially the flight keeps
+// the *original* send cycle in flight.sent even when retransmissions
+// delayed it: (sent, src) is the canonical merge order the windowed and
+// parallel barriers restore, and it must name the issuing instruction
+// slot, not the retry clock. Extra delay (RTO waits, jitter) only ever
+// increases the arrival cycle, so the declared network lookahead remains
+// a valid lower bound and conservative windows stay safe.
+func (m *Machine) sendParcel(n *NodeState, dst int, entry, arg uint64) {
+	lat := m.parcelLatency(n, dst)
+	f := flight{arrive: m.cycle + lat + 1, sent: m.cycle, node: dst, entry: entry, arg: arg, src: uint64(n.ID)}
+	if dst == n.ID || m.Fault == nil || !m.Fault.NetEnabled() {
+		// Node-local spawns never cross the network; without an armed
+		// plan the perfect interconnect delivers exactly one flight.
+		m.inFlight = append(m.inFlight, f)
+		return
+	}
+	id := fault.Identity{Sent: m.cycle, Src: n.ID, Seq: n.seq}
+	n.seq++
+	n.ParcelsSent++
+	if m.Reliable {
+		d := m.Fault.PlanDelivery(id, m.rto(lat))
+		n.ParcelDrops += int64(d.Drops)
+		n.ParcelCorrupts += int64(d.Corrupts)
+		n.ParcelRetries += int64(d.Attempts - 1)
+		if d.Duplicated {
+			// Delivered twice on the wire; the receiver's sequence number
+			// suppresses the copy, so no second thread starts.
+			n.ParcelDups++
+		}
+		if !d.Delivered {
+			// Every attempt faulted: the payload never runs. The cycle
+			// limit guard diagnoses the stalled program.
+			n.ParcelsLost++
+			return
+		}
+		n.ParcelsDelivered++
+		f.arrive += d.ExtraDelay
+		m.inFlight = append(m.inFlight, f)
+		return
+	}
+	// Unreliable datagram mode: one attempt, no acks, faults are final.
+	switch {
+	case m.Fault.Dropped(id, 0):
+		n.ParcelDrops++
+		n.ParcelsLost++
+	case m.Fault.Corrupted(id, 0):
+		n.ParcelCorrupts++
+		n.ParcelsLost++
+	default:
+		f.arrive += m.Fault.Jitter(id, 0)
+		n.ParcelsDelivered++
+		m.inFlight = append(m.inFlight, f)
+		if m.Fault.Duplicated(id, 0) {
+			// No sequence numbers to suppress it: the duplicate starts a
+			// second payload thread one cycle (plus jitter) later.
+			dup := f
+			dup.arrive += 1 + m.Fault.Jitter(id, 1)
+			n.ParcelDups++
+			m.inFlight = append(m.inFlight, dup)
+		}
+	}
 }
 
 // execute runs one instruction on thread slot ti of node n, dispatching
@@ -1357,26 +1565,8 @@ func (m *Machine) executeInterp(n *NodeState, ti int) error {
 			return fmt.Errorf("isa: node %d pc %d: spawn to node %d of %d",
 				n.ID, t.PC, dst, len(m.Nodes))
 		}
-		lat := int64(0)
-		if dst != n.ID {
-			if m.NetDelay != nil {
-				lat = m.NetDelay(n.ID, dst)
-			} else {
-				lat = m.Timing.NetLatency
-			}
-		}
-		m.inFlight = append(m.inFlight, flight{
-			arrive: m.cycle + lat + 1,
-			sent:   m.cycle,
-			node:   dst,
-			entry:  rb(),
-			arg:    rd(),
-			src:    uint64(n.ID),
-		})
-		t.stall = m.Timing.SpawnCycles - 1
-		if t.stall < 0 {
-			t.stall = 0
-		}
+		m.sendParcel(n, dst, rb(), rd())
+		t.stall = m.spawnStall(n)
 		n.Spawns++
 	case OpNodeID:
 		set(in.Rd, uint64(n.ID))
@@ -1396,6 +1586,27 @@ func (m *Machine) TotalInstructions() int64 {
 	var s int64
 	for _, n := range m.Nodes {
 		s += n.Instructions
+	}
+	return s
+}
+
+// DeliveryStats aggregates the per-node parcel-delivery counters of a
+// faulted run (all zero when no fault plan was armed).
+type DeliveryStats struct {
+	Sent, Drops, Corrupts, Dups, Retries, Delivered, Lost int64
+}
+
+// DeliveryStats sums the parcel-delivery counters over all nodes.
+func (m *Machine) DeliveryStats() DeliveryStats {
+	var s DeliveryStats
+	for _, n := range m.Nodes {
+		s.Sent += n.ParcelsSent
+		s.Drops += n.ParcelDrops
+		s.Corrupts += n.ParcelCorrupts
+		s.Dups += n.ParcelDups
+		s.Retries += n.ParcelRetries
+		s.Delivered += n.ParcelsDelivered
+		s.Lost += n.ParcelsLost
 	}
 	return s
 }

@@ -117,6 +117,8 @@ func (m *Machine) runParallel(window int64) (int64, error) {
 				Timing:       m.Timing,
 				NetDelay:     m.NetDelay,
 				NetLookahead: m.NetLookahead,
+				Fault:        m.Fault,
+				Reliable:     m.Reliable,
 			},
 			nodes: nodes,
 			start: make(chan [2]int64, 1),
@@ -181,14 +183,16 @@ func (m *Machine) runParallel(window int64) (int64, error) {
 				return m.cycle, nil
 			}
 		}
-		if m.MaxCycles > 0 && m.cycle >= m.MaxCycles {
+		if lim := m.limit(); lim > 0 && m.cycle >= lim {
+			// gather first so the error's in-flight count matches what the
+			// serial paths report at the same cycle.
 			gather()
-			return m.cycle, fmt.Errorf("isa: exceeded %d cycles (livelock or unfinished work)", m.MaxCycles)
+			return m.cycle, m.limitErr(lim)
 		}
 		wstart := m.cycle + 1
 		wend := wstart + window - 1
-		if m.MaxCycles > 0 && wend > m.MaxCycles {
-			wend = m.MaxCycles
+		if lim := m.limit(); lim > 0 && wend > lim {
+			wend = lim
 		}
 		wg.Add(len(workers))
 		for _, w := range workers {

@@ -177,6 +177,12 @@ func runFingerprint(t *testing.T, m *Machine) string {
 		fmt.Fprintf(&b, "node %d: instr=%d mem=%d wide=%d spawn=%d busy=%d idle=%d done=%d\n",
 			n.ID, n.Instructions, n.MemOps, n.WideOps, n.Spawns,
 			n.BusyCycles, n.IdleCycles, n.Completed)
+		// Parcel-delivery counters: all zero on fault-free runs, so this
+		// line is inert for the classic matrix and pins the delivery
+		// schedule for the fault matrix.
+		fmt.Fprintf(&b, "node %d parcels: sent=%d drop=%d corrupt=%d dup=%d retry=%d deliver=%d lost=%d\n",
+			n.ID, n.ParcelsSent, n.ParcelDrops, n.ParcelCorrupts, n.ParcelDups,
+			n.ParcelRetries, n.ParcelsDelivered, n.ParcelsLost)
 	}
 	fmt.Fprintf(&b, "memhash=%#x\n", h.Sum64())
 	return b.String()

@@ -1,0 +1,87 @@
+package parcel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestFaultCorruptionRejected ties the fault injector to the wire codec:
+// every frame the injector can emit — any mode, any entropy, any parcel
+// identity — must be rejected by Decode, never silently mis-decoded. This
+// is the deterministic face of the guarantee the machine backend leans on
+// when it counts a corrupted parcel as lost and retransmits.
+func TestFaultCorruptionRejected(t *testing.T) {
+	plan, err := fault.New(fault.Config{Seed: 0x9142, CorruptRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fuzzSeedParcels() {
+		frame, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The plan's own mode/position draws across many identities.
+		for src := 0; src < 4; src++ {
+			for seq := uint64(0); seq < 8; seq++ {
+				id := fault.Identity{Sent: int64(7 * seq), Src: src, Seq: seq}
+				for attempt := 0; attempt < 4; attempt++ {
+					mangled, mode := plan.CorruptFrame(id, attempt, frame)
+					if bytes.Equal(mangled, frame) {
+						t.Fatalf("action %v mode %v id %+v attempt %d: corruption left the frame intact",
+							p.Action, mode, id, attempt)
+					}
+					if _, err := Decode(mangled); err == nil {
+						t.Fatalf("action %v mode %v id %+v attempt %d: corrupted frame decoded\nframe:   %x\nmangled: %x",
+							p.Action, mode, id, attempt, frame, mangled)
+					}
+				}
+			}
+		}
+		// And each mode explicitly, sweeping the entropy input.
+		for mode := fault.CorruptMode(0); mode < fault.NumCorruptModes; mode++ {
+			for i := uint64(0); i < 512; i++ {
+				h := i * 0x9e3779b97f4a7c15
+				if _, err := Decode(fault.ApplyCorruption(mode, h, frame)); err == nil {
+					t.Fatalf("action %v mode %v h=%#x: corrupted frame decoded", p.Action, mode, h)
+				}
+			}
+		}
+	}
+}
+
+// FuzzFaultedFrames hunts for an (identity, seed, frame) combination where
+// an injector-corrupted frame still decodes. The corruption modes are
+// constructed to make that impossible (see fault.CorruptMode); the fuzzer
+// is the adversary checking the construction.
+func FuzzFaultedFrames(f *testing.F) {
+	for i, p := range fuzzSeedParcels() {
+		buf, err := p.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(uint64(0x9142), int64(i), i, uint64(i), buf)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, sent int64, src int, seq uint64, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // only valid frames feed the injector in the machine
+		}
+		// Corrupt the exact frame: trailing garbage past EncodedSize is
+		// not part of the wire frame and would mask the rejection.
+		frame := data[:p.EncodedSize()]
+		plan, err := fault.New(fault.Config{Seed: seed, CorruptRate: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fault.Identity{Sent: sent, Src: src, Seq: seq}
+		for attempt := 0; attempt < fault.MaxAttempts; attempt += 7 {
+			mangled, mode := plan.CorruptFrame(id, attempt, frame)
+			if _, err := Decode(mangled); err == nil {
+				t.Fatalf("mode %v id %+v attempt %d: corrupted frame decoded\nframe:   %x\nmangled: %x",
+					mode, id, attempt, frame, mangled)
+			}
+		}
+	})
+}

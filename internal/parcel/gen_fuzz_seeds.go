@@ -1,0 +1,43 @@
+//go:build ignore
+
+// gen_fuzz_seeds regenerates the committed FuzzParcelCodec corpus entries
+// under testdata/fuzz/FuzzParcelCodec: one corrupted frame per injector
+// corruption mode (internal/fault), so the codec fuzz target chews on the
+// exact shapes the fault plan can emit on every plain `go test` run.
+//
+//	cd internal/parcel && go run gen_fuzz_seeds.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+	"repro/internal/parcel"
+)
+
+func main() {
+	p := &parcel.Parcel{
+		DestNode: 2, DestAddr: 128, Action: parcel.ActionInvoke, MethodID: 31,
+		Operands: []uint64{1, 2, 3, 4, 5}, SrcNode: 3, ContAddr: 256, Seq: 3,
+	}
+	frame, err := p.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzParcelCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for mode := fault.CorruptMode(0); mode < fault.NumCorruptModes; mode++ {
+		out := fault.ApplyCorruption(mode, 0x91429142, frame)
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", out)
+		name := filepath.Join(dir, "injector-"+mode.String())
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", name)
+	}
+}

@@ -90,6 +90,24 @@ var fields = []Field{
 	{"topology", "VM interconnect: 0 flat, 1 ring, 2 mesh, 3 torus, 4 hypercube",
 		func(s *Scenario, v float64) { s.Machine.Topology = topologyName(int(v)) },
 		func(s Scenario) float64 { return float64(topologyIndex(s.Machine.Topology)) }},
+	{"faultdrop", "parcel drop probability per attempt, [0, 1) (machine backend)",
+		func(s *Scenario, v float64) { s.Machine.FaultDrop = v },
+		func(s Scenario) float64 { return s.Machine.FaultDrop }},
+	{"faultcorrupt", "parcel corruption probability per attempt, [0, 1) (machine backend)",
+		func(s *Scenario, v float64) { s.Machine.FaultCorrupt = v },
+		func(s Scenario) float64 { return s.Machine.FaultCorrupt }},
+	{"faultdup", "parcel duplication probability per attempt, [0, 1) (machine backend)",
+		func(s *Scenario, v float64) { s.Machine.FaultDup = v },
+		func(s Scenario) float64 { return s.Machine.FaultDup }},
+	{"faultjitter", "max extra parcel delivery delay in cycles (machine backend)",
+		func(s *Scenario, v float64) { s.Machine.FaultJitter = v },
+		func(s Scenario) float64 { return s.Machine.FaultJitter }},
+	{"straggler", "slow-node cost factor, 0/1 = off (machine backend)",
+		func(s *Scenario, v float64) { s.Machine.Straggler = v },
+		func(s Scenario) float64 { return s.Machine.Straggler }},
+	{"faultseed", "fault-plan seed, 0 = derive from run seed (machine backend)",
+		func(s *Scenario, v float64) { s.Machine.FaultSeed = uint64(v) },
+		func(s Scenario) float64 { return float64(s.Machine.FaultSeed) }},
 	{"overlap", "overlap HWP and LWP phases (non-zero = on)",
 		func(s *Scenario, v float64) { s.Overlap = v != 0 },
 		func(s Scenario) float64 { return b2f(s.Overlap) }},

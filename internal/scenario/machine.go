@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/network"
 	"repro/internal/rng"
@@ -37,6 +38,22 @@ const (
 	// MetricRowHit is the DRAM row-buffer hit rate (PagePolicy scenarios
 	// only).
 	MetricRowHit = "row_hit"
+
+	// Degraded-delivery metrics, present only when a fault plan is armed
+	// (some Fault*/Straggler field nonzero), so fault-free metric maps
+	// stay byte-identical to pre-fault baselines.
+
+	// MetricDrops is the number of parcel transmission attempts lost or
+	// CRC-rejected in the network.
+	MetricDrops = "drops"
+	// MetricRetries is the number of reliable-mode retransmissions.
+	MetricRetries = "retries"
+	// MetricDelivered is the number of parcels whose payload arrived.
+	MetricDelivered = "delivered"
+	// MetricGoodput is delivered parcels per transmission attempt,
+	// delivered/(sent+retries): 1.0 on a clean network, degrading toward
+	// 0 as loss forces retransmissions.
+	MetricGoodput = "goodput"
 )
 
 // lwpCycleNS converts internal/dram nanosecond latencies into VM (LWP)
@@ -112,6 +129,23 @@ func (s Scenario) validateMachine() error {
 		return fmt.Errorf("scenario %s: SpawnCycles = %g rounds below one VM cycle", s.Name, m.SpawnCycles)
 	case m.RunParallel < 0:
 		return fmt.Errorf("scenario %s: RunParallel = %d", s.Name, m.RunParallel)
+	case m.FaultDrop < 0 || m.FaultDrop >= 1:
+		// 1.0 is rejected: with every attempt dropped, even the
+		// retransmit protocol can never deliver, so the run is a
+		// guaranteed livelock rather than a degraded experiment.
+		return fmt.Errorf("scenario %s: FaultDrop = %g out of [0, 1)", s.Name, m.FaultDrop)
+	case m.FaultCorrupt < 0 || m.FaultCorrupt >= 1:
+		return fmt.Errorf("scenario %s: FaultCorrupt = %g out of [0, 1)", s.Name, m.FaultCorrupt)
+	case m.FaultDup < 0 || m.FaultDup >= 1:
+		return fmt.Errorf("scenario %s: FaultDup = %g out of [0, 1)", s.Name, m.FaultDup)
+	case m.FaultJitter < 0:
+		return fmt.Errorf("scenario %s: FaultJitter = %g", s.Name, m.FaultJitter)
+	case m.Straggler < 0:
+		return fmt.Errorf("scenario %s: Straggler = %g", s.Name, m.Straggler)
+	case m.Straggler > 0 && math.Round(m.Straggler) < 1:
+		// Zero disables stragglers; a positive factor that rounds below
+		// one would silently speed nodes up instead of slowing them.
+		return fmt.Errorf("scenario %s: Straggler = %g rounds below one", s.Name, m.Straggler)
 	}
 	if _, err := network.ByName(m.Topology, m.N); err != nil {
 		return fmt.Errorf("scenario %s: %v", s.Name, err)
@@ -206,6 +240,18 @@ func runMachineScenario(s Scenario, cfg Config) (map[string]float64, error) {
 	m.ForceInterpret = machineForceInterpret
 	m.Parallelism = s.Machine.RunParallel
 
+	// Fault injection: an armed plan switches the VM to its reliable
+	// retransmit protocol so programs still complete (and verify) under
+	// loss; the degradation shows up in the delivery metrics below.
+	plan, err := s.machineFaultPlan(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", s.Name, err)
+	}
+	if plan != nil {
+		m.Fault = plan
+		m.Reliable = plan.NetEnabled()
+	}
+
 	// Interconnect: hop topologies route each parcel over the network
 	// model at Latency cycles per hop; flat keeps Timing.NetLatency.
 	topo, err := network.ByName(s.Machine.Topology, s.Machine.N)
@@ -283,7 +329,44 @@ func runMachineScenario(s Scenario, cfg Config) (map[string]float64, error) {
 			metrics[MetricRowHit] = float64(hits) / float64(acc)
 		}
 	}
+	if m.Fault != nil {
+		st := m.DeliveryStats()
+		metrics[MetricDrops] = float64(st.Drops + st.Corrupts)
+		metrics[MetricRetries] = float64(st.Retries)
+		metrics[MetricDelivered] = float64(st.Delivered)
+		goodput := 1.0
+		if attempts := st.Sent + st.Retries; attempts > 0 {
+			goodput = float64(st.Delivered) / float64(attempts)
+		}
+		metrics[MetricGoodput] = goodput
+	}
 	return metrics, nil
+}
+
+// machineFaultPlan builds the run's fault plan, or nil when every fault
+// knob is zero — structurally fault-free: the VM never consults a plan,
+// so metrics and fingerprints match a pre-fault baseline byte for byte.
+// A zero FaultSeed derives the plan seed from the run's Config.Seed, so
+// replications draw different faults at the same rates.
+func (s Scenario) machineFaultPlan(cfg Config) (*fault.Plan, error) {
+	mc := s.Machine
+	straggler := int64(math.Round(mc.Straggler))
+	if mc.FaultDrop == 0 && mc.FaultCorrupt == 0 && mc.FaultDup == 0 &&
+		mc.FaultJitter == 0 && straggler <= 1 {
+		return nil, nil
+	}
+	seed := mc.FaultSeed
+	if seed == 0 {
+		seed = cfg.Seed ^ 0x6661756c74 // "fault"
+	}
+	return fault.New(fault.Config{
+		Seed:            seed,
+		DropRate:        mc.FaultDrop,
+		CorruptRate:     mc.FaultCorrupt,
+		DupRate:         mc.FaultDup,
+		JitterMax:       int64(math.Round(mc.FaultJitter)),
+		StragglerFactor: straggler,
+	})
 }
 
 // machineWork is what stageMachineProgram set up: the work-unit count for

@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// faultPresetNames are the presets that arm a fault plan.
+var faultPresetNames = []string{"machine-treesum-faults", "machine-gups-straggler"}
+
+// zeroFaults clears every fault-injection knob.
+func zeroFaults(s *Scenario) {
+	s.Machine.FaultDrop = 0
+	s.Machine.FaultCorrupt = 0
+	s.Machine.FaultDup = 0
+	s.Machine.FaultJitter = 0
+	s.Machine.Straggler = 0
+	s.Machine.FaultSeed = 0
+}
+
+// TestMachineFaultZeroRateNoOp is the zero-rate no-op guarantee: with
+// every fault rate at zero — even with a FaultSeed set — each machine
+// preset's metric map is byte-identical to the fault-free baseline,
+// serially and under RunParallel 1 and 4. No plan may be built, so not
+// even the metric *keys* change.
+func TestMachineFaultZeroRateNoOp(t *testing.T) {
+	cfg := Config{Seed: 2004, Quick: true}
+	for _, name := range machinePresetNames(t) {
+		base := MustFind(name)
+		zeroFaults(&base)
+		for _, p := range []int{0, 1, 4} {
+			baseline := base
+			baseline.Machine.RunParallel = p
+			want, err := Run(baseline, "machine", cfg)
+			if err != nil {
+				t.Fatalf("%s p=%d baseline: %v", name, p, err)
+			}
+			for m := range want.Metrics {
+				if m == MetricGoodput || m == MetricDrops || m == MetricRetries || m == MetricDelivered {
+					t.Fatalf("%s p=%d: fault-free baseline emits degraded metric %q", name, p, m)
+				}
+			}
+			zeroed := baseline
+			// Explicit zeros plus a live seed: rates gate the plan, the
+			// seed alone must not arm it.
+			zeroFaults(&zeroed)
+			zeroed.Machine.FaultSeed = 12345
+			got, err := Run(zeroed, "machine", cfg)
+			if err != nil {
+				t.Fatalf("%s p=%d zero-rate: %v", name, p, err)
+			}
+			if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+				t.Errorf("%s p=%d: zero-rate fault fields leak into metrics:\nbaseline: %v\nzeroed:   %v",
+					name, p, want.Metrics, got.Metrics)
+			}
+		}
+	}
+}
+
+// TestMachineRunParallelInvariantFault extends the PDES invariant to the
+// fault presets and a heavier ad-hoc mix: identical metric maps for any
+// worker count, twice over (the fault plan is deterministic, so even the
+// degraded metrics replay exactly). The name rides the CI race step's
+// TestMachineRunParallelInvariant prefix.
+func TestMachineRunParallelInvariantFault(t *testing.T) {
+	heavy := MustFind("machine-treesum-faults")
+	heavy.Name = "heavy-mix"
+	heavy.Machine.FaultDrop = 0.25
+	heavy.Machine.FaultCorrupt = 0.10
+	heavy.Machine.FaultDup = 0.20
+	heavy.Machine.FaultJitter = 15
+	heavy.Machine.Straggler = 2
+	heavy.Machine.Topology = "torus"
+	scenarios := []Scenario{heavy}
+	for _, name := range faultPresetNames {
+		scenarios = append(scenarios, MustFind(name))
+	}
+	cfg := Config{Seed: 7, Quick: true}
+	for _, s := range scenarios {
+		serial := s
+		serial.Machine.RunParallel = 0
+		want, err := Run(serial, "machine", cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", s.Name, err)
+		}
+		if g, ok := want.Metrics[MetricGoodput]; !ok || g <= 0 || g > 1 {
+			t.Errorf("%s: goodput = %v (present %v), want (0, 1]", s.Name, g, ok)
+		}
+		if s.Machine.FaultDrop > 0 {
+			if want.Metrics[MetricRetries] <= 0 || want.Metrics[MetricDrops] <= 0 {
+				t.Errorf("%s: lossy preset reports no degradation: %v", s.Name, want.Metrics)
+			}
+			if want.Metrics[MetricGoodput] >= 1 {
+				t.Errorf("%s: goodput = 1 despite retries", s.Name)
+			}
+			if want.Metrics[MetricDelivered] <= 0 {
+				t.Errorf("%s: nothing delivered: %v", s.Name, want.Metrics)
+			}
+		}
+		for _, p := range []int{1, 4} {
+			sc := s
+			sc.Machine.RunParallel = p
+			for rep := 0; rep < 2; rep++ {
+				got, err := Run(sc, "machine", cfg)
+				if err != nil {
+					t.Fatalf("%s p=%d rep=%d: %v", s.Name, p, rep, err)
+				}
+				if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+					t.Errorf("%s: RunParallel=%d rep=%d leaks into faulted metrics:\nserial:   %v\nparallel: %v",
+						s.Name, p, rep, want.Metrics, got.Metrics)
+				}
+			}
+		}
+	}
+}
+
+// TestMachineFaultSeedDerivation: with FaultSeed 0 the plan derives from
+// the run seed, so different Config.Seeds draw different faults (the
+// replication story), while equal seeds replay exactly.
+func TestMachineFaultSeedDerivation(t *testing.T) {
+	s := MustFind("machine-treesum-faults")
+	s.Machine.FaultSeed = 0
+	run := func(seed uint64) map[string]float64 {
+		r, err := Run(s, "machine", Config{Seed: seed, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Metrics
+	}
+	a1, a2, b := run(1), run(1), run(99)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("same seed, different metrics:\n%v\n%v", a1, a2)
+	}
+	if reflect.DeepEqual(a1, b) {
+		t.Fatalf("seeds 1 and 99 drew identical faults (metrics %v)", a1)
+	}
+}
+
+func TestMachineFaultValidation(t *testing.T) {
+	cases := []struct {
+		mutate func(*Scenario)
+		want   string
+	}{
+		{func(s *Scenario) { s.Machine.FaultDrop = 1 }, "FaultDrop"},
+		{func(s *Scenario) { s.Machine.FaultDrop = -0.1 }, "FaultDrop"},
+		{func(s *Scenario) { s.Machine.FaultCorrupt = 1.2 }, "FaultCorrupt"},
+		{func(s *Scenario) { s.Machine.FaultDup = 1 }, "FaultDup"},
+		{func(s *Scenario) { s.Machine.FaultJitter = -4 }, "FaultJitter"},
+		{func(s *Scenario) { s.Machine.Straggler = -1 }, "Straggler"},
+		{func(s *Scenario) { s.Machine.Straggler = 0.3 }, "rounds below one"},
+	}
+	for _, c := range cases {
+		s := MustFind("machine-gups")
+		c.mutate(&s)
+		if err := s.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("mutation expecting %q validated: %v", c.want, err)
+		}
+	}
+	// Fault knobs are machine-only: an analytic study-1 scenario must
+	// reject them instead of silently ignoring them.
+	s := MustFind("paper-baseline")
+	s.Machine.FaultDrop = 0.1
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "machine scenarios") {
+		t.Errorf("study-1 scenario accepted fault fields: %v", err)
+	}
+}
+
+func TestMachineFaultSweepFields(t *testing.T) {
+	s := MustFind("machine-gups")
+	set := map[string]float64{
+		"faultdrop":    0.2,
+		"faultcorrupt": 0.05,
+		"faultdup":     0.1,
+		"faultjitter":  12,
+		"straggler":    3,
+		"faultseed":    77,
+	}
+	for name, v := range set {
+		if err := SetField(&s, name, v); err != nil {
+			t.Fatalf("SetField(%s): %v", name, err)
+		}
+		got, err := GetField(s, name)
+		if err != nil {
+			t.Fatalf("GetField(%s): %v", name, err)
+		}
+		if got != v {
+			t.Errorf("%s round-trips %v -> %v", name, v, got)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("swept fault scenario invalid: %v", err)
+	}
+	// And the swept point actually runs degraded.
+	r, err := Run(s, "machine", Config{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Metrics[MetricGoodput]; !ok {
+		t.Errorf("swept fault point emits no goodput metric: %v", r.Metrics)
+	}
+}

@@ -176,6 +176,28 @@ var presets = []Scenario{
 		s.Machine.PagePolicy = "open"
 		return s
 	}(),
+	func() Scenario {
+		s := machineScenario("machine-treesum-faults",
+			"tree sum on a lossy interconnect: 12% drop, 6% corrupt, 10% dup, jitter, reliable retransmit",
+			"treesum", 16, 1, 256, 200)
+		s.Machine.FaultDrop = 0.12
+		s.Machine.FaultCorrupt = 0.06
+		s.Machine.FaultDup = 0.10
+		s.Machine.FaultJitter = 8
+		// A fixed plan seed keeps the preset's faults (and so its
+		// degraded metrics) identical across replications and sweeps;
+		// sweep faultseed to explore other draws.
+		s.Machine.FaultSeed = 0x9142
+		return s
+	}(),
+	func() Scenario {
+		s := machineScenario("machine-gups-straggler",
+			"GUPS with a deterministic quarter of the nodes slowed 3x (straggler plan)",
+			"gups", 16, 4, 256, 200)
+		s.Machine.Straggler = 3
+		s.Machine.FaultSeed = 0x9142
+		return s
+	}(),
 }
 
 // Presets returns all named scenarios in presentation order. The slice is

@@ -80,6 +80,32 @@ type Machine struct {
 	// and advanced in conservative lookahead windows, with results
 	// byte-identical to the serial run for any value. 0 or 1 runs serially.
 	RunParallel int
+
+	// The fault-injection knobs (machine scenarios only; see
+	// internal/fault). When any of them is nonzero the run arms a
+	// deterministic fault plan and the VM switches to its reliable
+	// ack/timeout/retransmit delivery protocol, so programs complete
+	// under loss and the run reports degraded-delivery metrics (drops,
+	// retries, delivered, goodput). All six at zero is *structurally* a
+	// fault-free run: no plan is built and the metrics are byte-identical
+	// to a baseline that never heard of faults.
+
+	// FaultDrop, FaultCorrupt, FaultDup are per-transmission-attempt
+	// probabilities in [0, 1) of a parcel being dropped, corrupted (CRC-
+	// rejected at the receiver), or duplicated.
+	FaultDrop    float64
+	FaultCorrupt float64
+	FaultDup     float64
+	// FaultJitter bounds per-attempt extra delivery delay, uniform in
+	// [0, FaultJitter] cycles. Jitter only adds latency, so the parallel
+	// executor's declared lookahead still holds.
+	FaultJitter float64
+	// Straggler, when >= 2 (rounded), slows a deterministic quarter of
+	// the nodes by that factor on memory and spawn costs.
+	Straggler float64
+	// FaultSeed keys the fault plan; 0 derives a seed from the run's
+	// Config.Seed, so replications see different fault draws.
+	FaultSeed uint64
 }
 
 // Workload describes the work offered to the machine.
@@ -282,6 +308,10 @@ func (s Scenario) Validate() error {
 	}
 	if s.Kind() == KindMachine {
 		return s.validateMachine()
+	}
+	if m.FaultDrop != 0 || m.FaultCorrupt != 0 || m.FaultDup != 0 ||
+		m.FaultJitter != 0 || m.Straggler != 0 || m.FaultSeed != 0 {
+		return fmt.Errorf("scenario %s: fault-injection fields apply only to machine scenarios", s.Name)
 	}
 	if s.Kind() != KindParcel && w.W <= 0 {
 		return fmt.Errorf("scenario %s: W = %g", s.Name, w.W)
