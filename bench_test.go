@@ -170,3 +170,6 @@ func BenchmarkMachineGUPSPar(b *testing.B)  { benches.MachineGUPSPar(b) }
 func BenchmarkMachineDecode(b *testing.B)   { benches.MachineDecode(b) }
 
 func BenchmarkMachineFaultTreeSum(b *testing.B) { benches.MachineFaultTreeSum(b) }
+
+func BenchmarkServeSpecDecode(b *testing.B) { benches.ServeSpecDecode(b) }
+func BenchmarkServeRoundTrip(b *testing.B)  { benches.ServeRoundTrip(b) }

@@ -311,6 +311,8 @@ var microBenchmarks = []struct {
 	{"machine_gups_par", benches.MachineGUPSPar},
 	{"machine_decode", benches.MachineDecode},
 	{"machine_fault_treesum", benches.MachineFaultTreeSum},
+	{"serve_decode", benches.ServeSpecDecode},
+	{"serve_roundtrip", benches.ServeRoundTrip},
 }
 
 // measureMicros runs the substrate micro-benchmarks through

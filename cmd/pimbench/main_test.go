@@ -127,6 +127,8 @@ func TestMicroBenchNamesStable(t *testing.T) {
 		"machine_gups_par",
 		"machine_decode",
 		"machine_fault_treesum",
+		"serve_decode",
+		"serve_roundtrip",
 	}
 	if len(microBenchmarks) != len(want) {
 		t.Fatalf("micro suite has %d benchmarks, want %d — extend this pin, never rename", len(microBenchmarks), len(want))

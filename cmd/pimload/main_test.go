@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// loadServer runs an in-process pimserve core for the generator to hit.
+func loadServer(t *testing.T, opts serve.Options) (*serve.Server, string) {
+	t.Helper()
+	s := serve.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts.URL
+}
+
+func TestLoadAgainstServer(t *testing.T) {
+	s, url := loadServer(t, serve.Options{})
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", url,
+		"-requests", "60",
+		"-rate", "2000",
+		"-seedpool", "4",
+		"-preset", "machine-gups",
+		"-field", "nodes=4", "-field", "updates=8",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad report %q: %v", out.String(), err)
+	}
+	if rep.OK+rep.Shed+rep.Deadlined != 60 || rep.Errors != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// 60 requests over 4 distinct seeds: nearly everything after the first
+	// four is a coalesce or a cache hit.
+	if rep.CacheHits+rep.Coalesced == 0 {
+		t.Errorf("no duplicate-spec reuse observed: %+v", rep)
+	}
+	if m := s.Metrics(); m.Received != 60 {
+		t.Errorf("server saw %d requests, want 60", m.Received)
+	}
+}
+
+func TestLoadMMPPShedsUnderOverload(t *testing.T) {
+	// One worker, depth-1 queue, a run stub is not reachable from here —
+	// use a tiny real preset and a burst far beyond capacity instead.
+	_, url := loadServer(t, serve.Options{Workers: 1, QueueDepth: 1})
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", url,
+		"-requests", "80",
+		"-rate", "4000",
+		"-shape", "mmpp",
+		"-burstdwell", "50ms",
+		"-seedpool", "80", // all-distinct specs: no coalescing relief
+		"-preset", "machine-gups",
+		"-field", "nodes=8", "-field", "updates=64",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("transport errors under overload: %+v", rep)
+	}
+	t.Logf("overload report: ok %d shed %d p99 %.2fms", rep.OK, rep.Shed, rep.P99MS)
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-requests", "0"},
+		{"-seedpool", "0"},
+		{"-shape", "fractal"},
+		{"-field", "nodes"},
+		{"-rate", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestReportAgainstDeadServer(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-addr", "127.0.0.1:1", "-requests", "3", "-rate", "1000"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("err = %v, want transport failures reported", err)
+	}
+}

@@ -1,0 +1,124 @@
+// Command pimserve is the model-evaluation daemon: an HTTP/JSON service
+// that accepts scenario specs (the internal/scenario wire format) and
+// evaluates them through the engine on any registered backend.
+//
+// Usage:
+//
+//	pimserve [-addr HOST:PORT] [flags]
+//
+// Endpoints:
+//
+//	POST /run      {"preset":..., "backend":..., "fields":{...}, "seed":...,
+//	               "quick":..., "replications":..., "timeout_ms":...}
+//	GET  /healthz  liveness (200 while the process runs)
+//	GET  /readyz   readiness (503 once draining)
+//	GET  /metrics  JSON counters: admission, shedding, coalescing, cache
+//
+// Overload behavior: admission is a bounded queue; beyond it requests are
+// shed with 429 and a Retry-After hint. Identical in-flight specs coalesce
+// into one run, and completed runs are cached, so repeat specs are cheap.
+// Every request runs under a deadline that propagates into the engine's
+// watchdog and the backends' cooperative cancellation.
+//
+// On SIGTERM/SIGINT the daemon drains: it stops admitting work, finishes
+// (or deadlines-out) what was admitted within -draintimeout, and exits 0
+// on a clean drain.
+//
+// Flags:
+//
+//	-addr HOST:PORT   listen address (default 127.0.0.1:8080; port 0 picks
+//	                  a free port and prints it)
+//	-queue N          admission queue depth (default 64)
+//	-workers N        concurrent runs (default GOMAXPROCS)
+//	-timeout D        default per-request deadline (default 30s)
+//	-maxtimeout D     cap on client-requested deadlines (default 5m)
+//	-draintimeout D   budget for the shutdown drain (default 30s)
+//	-retryafter D     Retry-After hint on 429/503 (default 1s)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	if err := run(os.Args[1:], os.Stdout, sig, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pimserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body: it serves until sig delivers or the
+// listener fails, then drains. ready, when non-nil, receives the bound
+// address once the listener is up (how tests learn a port-0 choice).
+func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr string)) error {
+	fs := flag.NewFlagSet("pimserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	queue := fs.Int("queue", 64, "admission queue depth")
+	workers := fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("maxtimeout", 5*time.Minute, "cap on client-requested deadlines")
+	drainTimeout := fs.Duration("draintimeout", 30*time.Second, "budget for the shutdown drain")
+	retryAfter := fs.Duration("retryafter", time.Second, "Retry-After hint on 429/503")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Options{
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		RetryAfter:     *retryAfter,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "pimserve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("listener failed: %w", err)
+	case s := <-sig:
+		fmt.Fprintf(stdout, "pimserve: %v: draining\n", s)
+	}
+
+	// Drain order: first stop admitting runs (new /run requests get 503,
+	// /readyz flips) and wait the admitted flights out, then shut the HTTP
+	// layer down so every response is written before the listener dies.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := hs.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = fmt.Errorf("http shutdown: %w", err)
+	}
+
+	out, _ := json.Marshal(srv.Metrics())
+	fmt.Fprintf(stdout, "pimserve: final metrics %s\n", out)
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintln(stdout, "pimserve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeAndDrain boots the daemon on a free port, runs a spec through
+// it, then delivers SIGTERM and expects a clean (nil-error) drain.
+func TestServeAndDrain(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0"}, &out, sig,
+			func(a string) { addrCh <- a })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	body := `{"preset":"machine-gups","fields":{"nodes":4,"updates":8},"quick":true}`
+	resp, err = http.Post(base+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"metrics"`) {
+		t.Errorf("no metrics in response: %s", buf.String())
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never drained\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("missing drain confirmation in output:\n%s", out.String())
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	sig := make(chan os.Signal)
+	if err := run([]string{"-nope"}, &bytes.Buffer{}, sig, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, &bytes.Buffer{}, make(chan os.Signal), nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

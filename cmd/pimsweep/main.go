@@ -31,6 +31,12 @@
 //	-replications N  sweep repetitions with derived seeds; a mean/CI table
 //	                 follows the base table (default 1)
 //	-json            emit structured JSON instead of tables
+//	-runtimeout D    wall-clock watchdog per sweep replicate (0 = none)
+//	-retries N       re-run a failed sweep point up to N times, each attempt
+//	                 with a seed derived from (point seed, attempt) and
+//	                 exponential backoff between attempts (default 0)
+//	-retrybackoff D  base backoff between point retries (default 100ms)
+//	-v               print retry counts and result-cache statistics
 //
 // hostpim flags: -pmiss, -mix, -w, -overlap, -fixedmiss, -sim
 // parcelsys flags: -nodes, -remote, -mem, -horizon, -software
@@ -118,6 +124,10 @@ type engineFlags struct {
 	replications *int
 	jsonOut      *bool
 	runTimeout   *time.Duration
+	retries      *int
+	retryBackoff *time.Duration
+	verbose      *bool
+	retryStats   sweep.RetryStats
 }
 
 func addEngineFlags(fs *flag.FlagSet) *engineFlags {
@@ -129,7 +139,16 @@ func addEngineFlags(fs *flag.FlagSet) *engineFlags {
 		replications: fs.Int("replications", 1, "sweep repetitions with derived seeds"),
 		jsonOut:      fs.Bool("json", false, "emit structured JSON"),
 		runTimeout:   fs.Duration("runtimeout", 0, "wall-clock watchdog per sweep replicate (0 = none)"),
+		retries:      fs.Int("retries", 0, "re-run a failed sweep point up to N times with derived seeds"),
+		retryBackoff: fs.Duration("retrybackoff", 100*time.Millisecond, "base backoff between point retries (doubles, capped at 32x)"),
+		verbose:      fs.Bool("v", false, "print retry and cache statistics after the sweep"),
 	}
+}
+
+// withRetries applies the -retries policy to a point function; with
+// -retries 0 it returns fn unchanged.
+func (ef *engineFlags) withRetries(fn sweep.RunFunc) sweep.RunFunc {
+	return sweep.WithRetries(fn, *ef.retries, *ef.retryBackoff, nil, &ef.retryStats)
 }
 
 // sweepSpec describes one sweep as the engine sees it: the grid, how to
@@ -279,6 +298,7 @@ func (s *sweepSpec) experiment(baseSeed uint64, capture func(*report.Table)) *co
 // executeSweep runs the sweep through the engine and emits table, CSV, and
 // aggregate output per the shared flags.
 func executeSweep(ef *engineFlags, spec *sweepSpec) error {
+	spec.run = ef.withRetries(spec.run)
 	var mu sync.Mutex
 	var baseTable *report.Table
 	exp := spec.experiment(*ef.seed, func(t *report.Table) {
@@ -303,8 +323,9 @@ func executeSweep(ef *engineFlags, spec *sweepSpec) error {
 func emitSweepResults(ef *engineFlags, exp *core.Experiment, baseTable func() *report.Table,
 	aggTable func(aggs map[string]engine.Aggregate, reps int, level float64) (*report.Table, error)) error {
 	cfg := core.Config{Seed: *ef.seed, Workers: *ef.workers}
+	cache := engine.NewCache()
 	eng := engine.New(engine.Options{Workers: *ef.parallel, Replications: *ef.replications,
-		RunTimeout: *ef.runTimeout})
+		RunTimeout: *ef.runTimeout, Cache: cache})
 	// When replicated sweeps run concurrently, pin each sweep's inner pool
 	// to one worker (unless -workers was set explicitly) so total
 	// goroutines stay ~GOMAXPROCS instead of its square.
@@ -312,6 +333,13 @@ func emitSweepResults(ef *engineFlags, exp *core.Experiment, baseTable func() *r
 		cfg.Workers = 1
 	}
 	results, err := eng.Run(cfg, []*core.Experiment{exp})
+	if *ef.verbose {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr,
+			"pimsweep: retries: %d attempts, %d retried, %d recovered; cache: %d hits, %d misses, %d evictions\n",
+			ef.retryStats.Attempts.Load(), ef.retryStats.Retries.Load(), ef.retryStats.Recovered.Load(),
+			st.Hits, st.Misses, st.Evictions)
+	}
 	if err != nil {
 		return err
 	}
@@ -586,7 +614,7 @@ func runScenarioSweep(args []string) error {
 			if err != nil {
 				return nil, err
 			}
-			outs := g.Run(cfg.Workers, func(pt sweep.Point) (map[string]float64, error) {
+			outs := g.Run(cfg.Workers, ef.withRetries(func(pt sweep.Point) (map[string]float64, error) {
 				s := base
 				for _, a := range axes {
 					if err := scenario.SetField(&s, a.Name, pt.Get(a.Name)); err != nil {
@@ -598,7 +626,7 @@ func runScenarioSweep(args []string) error {
 					return nil, err
 				}
 				return r.Metrics, nil
-			})
+			}))
 			failed, err := sweepErrors(outs)
 			if err != nil {
 				return nil, fmt.Errorf("all %d sweep points failed: %w", len(outs), err)

@@ -213,3 +213,71 @@ func TestScenarioSweepCSVAndReplications(t *testing.T) {
 		t.Errorf("CSV missing metric column: %s", data)
 	}
 }
+
+// captureStderr redirects os.Stderr around fn.
+func captureStderr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	ch := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		ch <- b.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stderr = old
+	return <-ch, runErr
+}
+
+func TestRetriesAndVerboseStats(t *testing.T) {
+	// A healthy sweep with -retries on: nothing retries, and -v reports
+	// the attempt and cache counters.
+	errOut, err := captureStderr(t, func() error {
+		_, err := testutil.CaptureStdout(t, func() error {
+			return run([]string{"hostpim", "-pct", "0,1", "-nodes", "2",
+				"-retries", "2", "-retrybackoff", "1ms", "-v"})
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "retries: 2 attempts, 0 retried, 0 recovered") {
+		t.Errorf("verbose retry stats missing or wrong:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "cache:") {
+		t.Errorf("verbose cache stats missing:\n%s", errOut)
+	}
+}
+
+func TestRetriesExhaustDegradesGracefully(t *testing.T) {
+	// faultdrop=1 on the machine backend loses every parcel: the point
+	// fails on each attempt, retries exhaust, and the sweep still renders
+	// with "-" cells rather than aborting (single-point sweeps abort when
+	// everything failed, so sweep two points where one is healthy).
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"scenario", "-quick", "-preset", "machine-treesum-faults",
+			"-backend", "machine", "-sweep", "faultdrop=0,1",
+			"-retries", "1", "-retrybackoff", "1ms"})
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "-") || !strings.Contains(out, "failed") {
+		t.Errorf("degraded sweep output missing failure markers:\n%s", out)
+	}
+}

@@ -7,8 +7,14 @@
 package benches
 
 import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/hostpim"
@@ -17,6 +23,8 @@ import (
 	"repro/internal/parcelsys"
 	"repro/internal/queueing"
 	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -380,5 +388,65 @@ func MachineFaultTreeSum(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run()
+	}
+}
+
+// ServeSpecDecode measures the daemon's per-request admission CPU in
+// isolation: strict JSON decode, preset resolution with field overrides,
+// resource-limit checks, and the canonical run key. This is work pimserve
+// does for every request before any queueing, so its cost bounds the
+// spec-validation throughput of one core.
+func ServeSpecDecode(b *testing.B) {
+	body := []byte(`{"preset":"machine-gups","backend":"machine",` +
+		`"fields":{"nodes":16,"updates":64},"seed":7,"quick":true}`)
+	lim := scenario.DefaultSpecLimits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := scenario.DecodeSpec(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sp.Resolve(lim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+// ServeRoundTrip measures the hot serving path end to end over loopback
+// HTTP: the same spec every iteration, so after the warm-up request every
+// round trip is decode + resolve + single-flight lookup + result-cache
+// hit + JSON response — the daemon's best case, and the floor under every
+// served request's latency.
+func ServeRoundTrip(b *testing.B) {
+	s := serve.New(serve.Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	body := `{"preset":"paper-baseline","quick":true}`
+	post := func() {
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	post() // warm: run once so the timed loop measures cache hits
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
 	}
 }

@@ -28,7 +28,16 @@ type Config struct {
 	Workers int
 	// CSVDir, when non-empty, receives one CSV file per emitted table.
 	CSVDir string
+	// Cancel, when non-nil, is polled by long-running experiments (via
+	// Canceled); once it returns true the run should stop early with an
+	// error. The engine's RunTimeout watchdog and pimserve's per-request
+	// deadlines arm it so abandoned runs actually terminate instead of
+	// leaking goroutines. It must be safe to call concurrently.
+	Cancel func() bool
 }
+
+// Canceled reports whether the run's Cancel hook, if any, has fired.
+func (c Config) Canceled() bool { return c.Cancel != nil && c.Cancel() }
 
 // DefaultConfig returns the full-scale configuration with seed 2004 (the
 // paper's year; any seed works).

@@ -27,7 +27,7 @@ func init() {
 
 // scenarioConfig maps the experiment config onto the scenario layer's.
 func scenarioConfig(cfg Config) scenario.Config {
-	return scenario.Config{Seed: cfg.Seed, Quick: cfg.Quick}
+	return scenario.Config{Seed: cfg.Seed, Quick: cfg.Quick, Cancel: cfg.Cancel}
 }
 
 // table1Base returns the Table 1 design point as a scenario — the

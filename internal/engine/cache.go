@@ -15,6 +15,49 @@ import (
 // limit; a few hundred entries covers any realistic working set.
 const DefaultCacheEntries = 256
 
+// CacheStats is a point-in-time snapshot of a result cache's counters.
+type CacheStats struct {
+	// Hits and Misses count lookups since construction.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Evictions counts entries displaced by the capacity bound (entries
+	// never expire by time).
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// add folds another snapshot in (used by ShardedCache aggregation).
+func (s CacheStats) add(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+	}
+}
+
+// ResultCache is the contract Options.Cache expects: Cache is the
+// single-lock implementation, ShardedCache the contention-spreading one a
+// server shares across many concurrent engines. Implementations must be
+// safe for concurrent use.
+type ResultCache interface {
+	// get and put are unexported on purpose: only this package's
+	// implementations can satisfy the interface, keeping the key scheme
+	// (cacheKey) an engine-internal detail.
+	get(key uint64) (Result, bool)
+	put(key uint64, r Result)
+	// Len returns the number of cached results.
+	Len() int
+	// Stats snapshots the hit/miss/eviction counters.
+	Stats() CacheStats
+}
+
 // Cache memoizes experiment Results keyed by a hash of the experiment ID
 // and the full run configuration (seed, quick flag, CSV directory,
 // replication count, CI level), evicting least-recently-used entries past
@@ -23,12 +66,11 @@ const DefaultCacheEntries = 256
 // deterministic given its configuration, so a cached result stays valid
 // for the life of the process — only capacity evicts.
 type Cache struct {
-	mu     sync.Mutex
-	max    int // <= 0 means unbounded
-	m      map[uint64]*list.Element
-	ll     *list.List // front = most recently used
-	hits   int
-	misses int
+	mu    sync.Mutex
+	max   int // <= 0 means unbounded
+	m     map[uint64]*list.Element
+	ll    *list.List // front = most recently used
+	stats CacheStats
 }
 
 // cacheEntry is one LRU node.
@@ -57,10 +99,10 @@ func (c *Cache) get(key uint64) (Result, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
-		c.misses++
+		c.stats.Misses++
 		return Result{}, false
 	}
-	c.hits++
+	c.stats.Hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).r, true
 }
@@ -78,6 +120,7 @@ func (c *Cache) put(key uint64, r Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
 	}
 }
 
@@ -98,11 +141,91 @@ func (c *Cache) Cap() int {
 	return c.max
 }
 
-// Stats returns the lookup hit and miss counts so far.
-func (c *Cache) Stats() (hits, misses int) {
+// Stats snapshots the lookup hit/miss and eviction counters.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.stats
+}
+
+// ShardedCache spreads the result cache over independently locked Cache
+// shards, routed by key, so many concurrent engines (pimserve's request
+// workers) never serialize on one mutex. Each shard carries its own LRU
+// list and capacity bound; the aggregate capacity is shards × per-shard
+// entries. Zero-value-unusable: build with NewShardedCache.
+type ShardedCache struct {
+	shards []*Cache
+}
+
+// DefaultCacheShards is NewShardedCache's shard count for n <= 0: enough
+// to make same-lock collisions rare at realistic worker counts while
+// keeping the fixed footprint trivial.
+const DefaultCacheShards = 16
+
+// NewShardedCache creates a cache of `shards` independent LRU shards
+// (<= 0 = DefaultCacheShards) of entriesPerShard entries each (<= 0 =
+// DefaultCacheEntries / shards, minimum 1 — so the default aggregate
+// capacity matches NewCache).
+func NewShardedCache(shards, entriesPerShard int) *ShardedCache {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	if entriesPerShard <= 0 {
+		entriesPerShard = DefaultCacheEntries / shards
+		if entriesPerShard < 1 {
+			entriesPerShard = 1
+		}
+	}
+	c := &ShardedCache{shards: make([]*Cache, shards)}
+	for i := range c.shards {
+		c.shards[i] = NewCacheSize(entriesPerShard)
+	}
+	return c
+}
+
+// shard routes a key: cacheKey is an FNV-64a hash, so the low bits are
+// already well mixed.
+func (c *ShardedCache) shard(key uint64) *Cache {
+	return c.shards[key%uint64(len(c.shards))]
+}
+
+func (c *ShardedCache) get(key uint64) (Result, bool) { return c.shard(key).get(key) }
+func (c *ShardedCache) put(key uint64, r Result)      { c.shard(key).put(key, r) }
+
+// Shards returns the shard count.
+func (c *ShardedCache) Shards() int { return len(c.shards) }
+
+// Len returns the number of cached results across all shards.
+func (c *ShardedCache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Cap returns the aggregate capacity (0 = unbounded).
+func (c *ShardedCache) Cap() int {
+	n := 0
+	for _, s := range c.shards {
+		sc := s.Cap()
+		if sc == 0 {
+			return 0
+		}
+		n += sc
+	}
+	return n
+}
+
+// Stats aggregates the shard counters. The snapshot is per-shard atomic
+// but not cross-shard atomic; counters only grow, so any aggregate is a
+// valid point between the first and last shard lock.
+func (c *ShardedCache) Stats() CacheStats {
+	var out CacheStats
+	for _, s := range c.shards {
+		out = out.add(s.Stats())
+	}
+	return out
 }
 
 // cacheKey hashes everything that can influence a Result: the experiment

@@ -2,12 +2,27 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // fakeResult builds a distinguishable Result for cache tests.
 func fakeResult(i int) Result {
 	return Result{ID: fmt.Sprintf("exp-%d", i)}
+}
+
+// countingExperiment counts how many times it actually executes.
+func countingExperiment(id string, runs *int) *core.Experiment {
+	return &core.Experiment{
+		ID: id, Title: id, PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			*runs++
+			fmt.Fprintln(w, "ran")
+			return &core.Outcome{Metrics: map[string]float64{"m": 1}}, nil
+		},
+	}
 }
 
 func TestCacheLRUEviction(t *testing.T) {
@@ -94,8 +109,80 @@ func TestCacheStatsCount(t *testing.T) {
 	c.put(1, fakeResult(1))
 	c.get(1)
 	c.get(2)
-	hits, misses := c.Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("Stats = (%d, %d), want (1, 1)", hits, misses)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("Stats = %+v, want 1 hit, 1 miss", st)
+	}
+	c.put(2, fakeResult(2))
+	c.put(3, fakeResult(3)) // displaces key 1
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	if got := (CacheStats{Hits: 3, Misses: 1}).HitRate(); got != 0.75 {
+		t.Errorf("HitRate = %g, want 0.75", got)
+	}
+	if got := (CacheStats{}).HitRate(); got != 0 {
+		t.Errorf("empty HitRate = %g, want 0", got)
+	}
+}
+
+func TestShardedCacheRoutesAndCounts(t *testing.T) {
+	c := NewShardedCache(4, 8)
+	if c.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", c.Shards())
+	}
+	if c.Cap() != 32 {
+		t.Fatalf("Cap = %d, want 32", c.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		c.put(uint64(i), fakeResult(i))
+	}
+	if c.Len() > 32 {
+		t.Fatalf("Len = %d exceeds aggregate capacity 32", c.Len())
+	}
+	// Recent keys are retained per shard; key 99 must still be there.
+	if r, ok := c.get(99); !ok || r.ID != "exp-99" {
+		t.Errorf("key 99 missing after fill: %v %v", r.ID, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 100-int64(c.Len()) {
+		t.Errorf("Evictions = %d, want %d", st.Evictions, 100-c.Len())
+	}
+	if st.Hits+st.Misses != 1 {
+		t.Errorf("lookups = %d, want 1", st.Hits+st.Misses)
+	}
+}
+
+func TestShardedCacheDefaults(t *testing.T) {
+	c := NewShardedCache(0, 0)
+	if c.Shards() != DefaultCacheShards {
+		t.Fatalf("Shards = %d, want %d", c.Shards(), DefaultCacheShards)
+	}
+	if c.Cap() != DefaultCacheEntries {
+		t.Fatalf("Cap = %d, want %d", c.Cap(), DefaultCacheEntries)
+	}
+}
+
+func TestShardedCacheAsEngineCache(t *testing.T) {
+	// A ShardedCache plugged into Options.Cache must hit exactly like the
+	// single-lock cache: second run served without re-executing.
+	runs := 0
+	exp := countingExperiment("sharded-cache-exp", &runs)
+	cache := NewShardedCache(4, 4)
+	eng := New(Options{Workers: 2, Cache: cache})
+	for i := 0; i < 2; i++ {
+		res, err := eng.Run(core.Config{Seed: 7, Quick: true}, []*core.Experiment{exp})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if want := i == 1; res[0].FromCache != want {
+			t.Errorf("run %d: FromCache = %v, want %v", i, res[0].FromCache, want)
+		}
+	}
+	if runs != 1 {
+		t.Errorf("experiment ran %d times, want 1", runs)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("Stats = %+v, want 1 hit, 1 miss", st)
 	}
 }

@@ -30,11 +30,18 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/stats"
 )
+
+// ErrCanceled reports a replicate that was skipped or stopped because the
+// caller's core.Config.Cancel hook fired (a serving deadline, a drain).
+// Replicates cut down by the RunTimeout watchdog report the watchdog error
+// instead.
+var ErrCanceled = errors.New("engine: run canceled")
 
 // Options configures an Engine.
 type Options struct {
@@ -59,15 +66,18 @@ type Options struct {
 	// serializes callbacks, so the handler needs no locking of its own.
 	Events func(Event)
 	// Cache, when non-nil, is consulted before running an experiment and
-	// updated after a successful run. A cache may be shared by several
-	// engines, including concurrently.
-	Cache *Cache
+	// updated after a successful run (NewCache or NewShardedCache). A cache
+	// may be shared by several engines, including concurrently.
+	Cache ResultCache
 	// RunTimeout, when positive, is a per-replicate wall-clock watchdog: a
 	// replicate that has not returned within the budget is abandoned and
 	// recorded as failed, so one hung backend (a livelocked VM, an injected
-	// crash loop) cannot wedge a whole study. The abandoned goroutine keeps
-	// running to completion in the background — Go cannot preempt it — but
-	// its buffer is private and its result is discarded.
+	// crash loop) cannot wedge a whole study. The watchdog also arms the
+	// run's core.Config.Cancel hook, so a backend that polls it (the
+	// machine backend's VM loops) actually stops shortly after the timeout
+	// instead of running to completion in the background; a backend that
+	// never polls still merely leaks a goroutine with a private,
+	// never-pooled buffer whose result is discarded.
 	RunTimeout time.Duration
 }
 
@@ -241,6 +251,13 @@ func (e *Engine) Run(cfg core.Config, exps []*core.Experiment) ([]Result, error)
 			defer wg.Done()
 			for t := range work {
 				exp := exps[t.exp]
+				if cfg.Canceled() {
+					// The caller gave up (deadline, drain): drain the queue
+					// without starting work, so Run returns promptly.
+					runs[t.exp][t.rep] = runOut{err: ErrCanceled}
+					e.emit(Event{Kind: EventError, ID: exp.ID, Replicate: t.rep, Replications: reps, Err: ErrCanceled})
+					continue
+				}
 				e.emit(Event{Kind: EventStart, ID: exp.ID, Replicate: t.rep, Replications: reps})
 				rcfg := cfg
 				rcfg.Seed = ReplicateSeed(cfg.Seed, t.rep)
@@ -326,8 +343,15 @@ func (e *Engine) runReplicate(exp *core.Experiment, rcfg core.Config, keepOutput
 		return o, output, err
 	}
 	// Watchdog path: the run gets a private, never-pooled buffer — an
-	// abandoned run keeps executing and may still write to it after the
-	// timeout fires.
+	// abandoned run may still write to it after the timeout fires. The
+	// timeout also arms the run's Cancel hook (composed over any hook the
+	// caller installed), so a backend that polls Config.Canceled stops
+	// cooperatively soon after instead of executing to completion.
+	var timedOut atomic.Bool
+	callerCancel := rcfg.Cancel
+	rcfg.Cancel = func() bool {
+		return timedOut.Load() || (callerCancel != nil && callerCancel())
+	}
 	var buf bytes.Buffer
 	var w io.Writer = io.Discard
 	if keepOutput {
@@ -352,6 +376,7 @@ func (e *Engine) runReplicate(exp *core.Experiment, rcfg core.Config, keepOutput
 		}
 		return res.o, output, res.err
 	case <-timer.C:
+		timedOut.Store(true)
 		return nil, nil, fmt.Errorf("run exceeded the %v RunTimeout watchdog: backend abandoned", e.opts.RunTimeout)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -273,9 +274,9 @@ func TestCache(t *testing.T) {
 	if !reflect.DeepEqual(first[0].Outcome, second[0].Outcome) || !bytes.Equal(first[0].Output, second[0].Output) {
 		t.Error("cached result differs from original")
 	}
-	hits, misses := cache.Stats()
-	if hits != 1 || misses != 1 || cache.Len() != 1 {
-		t.Errorf("cache stats hits=%d misses=%d len=%d", hits, misses, cache.Len())
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || cache.Len() != 1 {
+		t.Errorf("cache stats %+v len=%d", st, cache.Len())
 	}
 	var sawHit bool
 	for _, ev := range events {
@@ -683,5 +684,219 @@ func TestRunTimeoutGenerousBudgetIsNoOp(t *testing.T) {
 			!bytes.Equal(plain[i].Output, guarded[i].Output) {
 			t.Errorf("%s: watchdog path changed the result", plain[i].ID)
 		}
+	}
+}
+
+func TestWatchdogCancelStopsCooperativeRun(t *testing.T) {
+	// Satellite of the RunTimeout watchdog: abandoning a replicate must
+	// also arm its Cancel hook, so a backend that polls Config.Canceled
+	// actually terminates instead of leaking a goroutine forever.
+	baseline := runtime.NumGoroutine()
+	stopped := make(chan struct{})
+	exp := &core.Experiment{
+		ID: "coop", Title: "coop", PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			defer close(stopped)
+			for !cfg.Canceled() {
+				time.Sleep(time.Millisecond)
+			}
+			return nil, errors.New("stopped by cancel")
+		},
+	}
+	_, err := New(Options{Workers: 1, RunTimeout: 20 * time.Millisecond}).
+		Run(core.Config{Seed: 1}, []*core.Experiment{exp})
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("err = %v, want watchdog timeout", err)
+	}
+	select {
+	case <-stopped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("abandoned run never observed the armed Cancel hook")
+	}
+	// The abandoned goroutine (and the engine's own workers) must drain:
+	// the goroutine count returns to the pre-run level.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before the run",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCallerCancelHookPreserved(t *testing.T) {
+	// The watchdog composes over — never replaces — a caller-installed
+	// Cancel hook: a request deadline fires even under a generous budget.
+	var requestDone atomic.Bool
+	exp := &core.Experiment{
+		ID: "caller-cancel", Title: "caller-cancel", PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			for !cfg.Canceled() {
+				time.Sleep(time.Millisecond)
+			}
+			return nil, ErrCanceled
+		},
+	}
+	cfg := core.Config{Seed: 1, Cancel: requestDone.Load}
+	done := make(chan error, 1)
+	go func() {
+		_, err := New(Options{Workers: 1, RunTimeout: time.Minute}).
+			Run(cfg, []*core.Experiment{exp})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	requestDone.Store(true)
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("caller cancel hook was lost under the watchdog")
+	}
+}
+
+func TestCancelSkipsQueuedReplicates(t *testing.T) {
+	// A cancel that fires before the queue drains must skip the remaining
+	// replicates without executing them.
+	var ran atomic.Int64
+	exp := &core.Experiment{
+		ID: "never", Title: "never", PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			ran.Add(1)
+			return &core.Outcome{Metrics: map[string]float64{"m": 1}}, nil
+		},
+	}
+	cfg := core.Config{Seed: 1, Cancel: func() bool { return true }}
+	results, err := New(Options{Workers: 2, Replications: 4}).
+		Run(cfg, []*core.Experiment{exp})
+	if err == nil || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("canceled run still executed %d replicates", got)
+	}
+	if results[0].Aggregates != nil || results[0].Outcome != nil {
+		t.Errorf("canceled run produced results: %+v", results[0])
+	}
+}
+
+func TestAllReplicatesFail(t *testing.T) {
+	// Every replicate dying leaves a Result with the error and nothing
+	// else: no outcome, no output, no aggregates over an empty subset.
+	boom := errors.New("total loss")
+	results, err := New(Options{Workers: 2, Replications: 4}).
+		Run(core.Config{Seed: 3}, []*core.Experiment{failingExperiment("allbad", boom)})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("combined error = %v, want wrapped boom", err)
+	}
+	r := results[0]
+	if r.Err == nil || !errors.Is(r.Err, boom) {
+		t.Errorf("Err = %v, want boom", r.Err)
+	}
+	if r.Outcome != nil || r.Output != nil {
+		t.Errorf("all-fail run left Outcome=%v Output=%q", r.Outcome, r.Output)
+	}
+	if r.Aggregates != nil {
+		t.Errorf("aggregates over zero survivors: %+v", r.Aggregates)
+	}
+}
+
+func TestTimeoutMidAggregation(t *testing.T) {
+	// Some replicates hit the watchdog while others succeed: the result
+	// must aggregate exactly the survivors alongside the watchdog error.
+	release := make(chan struct{})
+	defer close(release)
+	const reps = 5
+	cfg := core.Config{Seed: 21}
+	hang := map[uint64]bool{
+		ReplicateSeed(cfg.Seed, 1): true,
+		ReplicateSeed(cfg.Seed, 3): true,
+	}
+	exp := &core.Experiment{
+		ID: "half-hung", Title: "half-hung", PaperClaim: "n/a",
+		Run: func(cfg core.Config, w io.Writer) (*core.Outcome, error) {
+			if hang[cfg.Seed] {
+				<-release
+				return nil, errors.New("late")
+			}
+			fmt.Fprintf(w, "seed=%d\n", cfg.Seed)
+			return &core.Outcome{Metrics: map[string]float64{
+				"seedval": float64(cfg.Seed % 1000),
+			}}, nil
+		},
+	}
+	results, err := New(Options{Workers: 2, Replications: reps, RunTimeout: 30 * time.Millisecond}).
+		Run(cfg, []*core.Experiment{exp})
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("combined error = %v, want watchdog", err)
+	}
+	r := results[0]
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "watchdog") {
+		t.Errorf("Err = %v, want watchdog", r.Err)
+	}
+	if r.Outcome == nil || r.Outcome.Metrics["seedval"] != float64(cfg.Seed%1000) {
+		t.Errorf("replicate 0 outcome lost: %+v", r.Outcome)
+	}
+	a, ok := r.Aggregates["seedval"]
+	if !ok || a.N != reps-2 {
+		t.Fatalf("survivor aggregate = %+v (present %v), want N=%d", a, ok, reps-2)
+	}
+	var want stats.Sample
+	for rep := 0; rep < reps; rep++ {
+		if rep == 1 || rep == 3 {
+			continue
+		}
+		want.Add(float64(ReplicateSeed(cfg.Seed, rep) % 1000))
+	}
+	if a.Mean != want.Mean() || a.Min != want.Min() || a.Max != want.Max() {
+		t.Errorf("survivor aggregate %+v, want mean=%g min=%g max=%g",
+			a, want.Mean(), want.Min(), want.Max())
+	}
+}
+
+func TestFailedReplicatesNeverPoisonCacheReplicated(t *testing.T) {
+	// The replicated variant of TestPartialResultNotCached: a run where
+	// only SOME replicates fail must also stay out of the cache, and the
+	// healed rerun becomes cacheable.
+	cfg := core.Config{Seed: 5}
+	badSeed := ReplicateSeed(cfg.Seed, 1)
+	attempt := 0
+	exp := &core.Experiment{
+		ID: "heal-reps", Title: "heal-reps", PaperClaim: "n/a",
+		Run: func(rcfg core.Config, w io.Writer) (*core.Outcome, error) {
+			attempt++
+			if rcfg.Seed == badSeed && attempt <= 3 {
+				return nil, errors.New("transient")
+			}
+			return &core.Outcome{Metrics: map[string]float64{
+				"seedval": float64(rcfg.Seed % 1000),
+			}}, nil
+		},
+	}
+	eng := New(Options{Workers: 1, Replications: 3, Cache: NewCache()})
+	if _, err := eng.Run(cfg, []*core.Experiment{exp}); err == nil {
+		t.Fatal("first run should report the failed replicate")
+	}
+	second, err := eng.Run(cfg, []*core.Experiment{exp})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if second[0].FromCache {
+		t.Error("partial result was served from cache")
+	}
+	if attempt != 6 {
+		t.Errorf("replicates executed %d times, want 6 (3 + 3 on retry)", attempt)
+	}
+	third, err := eng.Run(cfg, []*core.Experiment{exp})
+	if err != nil {
+		t.Fatalf("third run: %v", err)
+	}
+	if !third[0].FromCache {
+		t.Error("fully successful run was not cached")
+	}
+	if attempt != 6 {
+		t.Errorf("cached run re-executed replicates: %d", attempt)
 	}
 }

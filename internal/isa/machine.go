@@ -1,12 +1,17 @@
 package isa
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"strings"
 
 	"repro/internal/fault"
 )
+
+// ErrCanceled reports a run stopped early because Machine.Cancel returned
+// true. Callers distinguish it from execution faults with errors.Is.
+var ErrCanceled = errors.New("isa: run canceled")
 
 // Timing parameterizes the cycle costs of the interpreter, in LWP cycles.
 // Defaults follow Table 1's LWP figures (memory = TML/TLcycle = 6 LWP
@@ -218,6 +223,13 @@ type Machine struct {
 	// order — so faulted runs keep the byte-identical-under-parallelism
 	// guarantee. Jitter only adds latency, so declared lookaheads hold.
 	Fault *fault.Plan
+	// Cancel, when non-nil, is polled at cycle/window boundaries; once it
+	// returns true the run stops with ErrCanceled (machine state is
+	// best-effort, as on any mid-run fault). It must be safe to call from
+	// the Run goroutine at any time — an atomic load or closed-channel
+	// check, typically — and lets a watchdog or serving deadline actually
+	// stop an abandoned run instead of leaking it.
+	Cancel func() bool
 	// Reliable selects the delivery protocol under an active fault plan.
 	// True models a sequence-numbered ack/timeout/retransmit exchange:
 	// the sender retries on an RTO timer until an attempt survives, the
@@ -338,6 +350,9 @@ func (m *Machine) Run() (int64, error) {
 		if !live && len(m.inFlight) == 0 {
 			return m.cycle, nil
 		}
+		if m.canceled() {
+			return m.cycle, ErrCanceled
+		}
 		if lim := m.limit(); lim > 0 && m.cycle >= lim {
 			return m.cycle, m.limitErr(lim)
 		}
@@ -350,6 +365,9 @@ func (m *Machine) Run() (int64, error) {
 		}
 	}
 }
+
+// canceled polls the Cancel hook.
+func (m *Machine) canceled() bool { return m.Cancel != nil && m.Cancel() }
 
 // Step advances the machine one cycle.
 func (m *Machine) Step() error {
@@ -593,6 +611,9 @@ func (m *Machine) runWindowed(window int64) (int64, error) {
 		}
 		if !live && len(m.inFlight) == 0 {
 			return m.cycle, nil
+		}
+		if m.canceled() {
+			return m.cycle, ErrCanceled
 		}
 		if lim := m.limit(); lim > 0 && m.cycle >= lim {
 			return m.cycle, m.limitErr(lim)

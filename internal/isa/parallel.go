@@ -183,6 +183,10 @@ func (m *Machine) runParallel(window int64) (int64, error) {
 				return m.cycle, nil
 			}
 		}
+		if m.canceled() {
+			gather()
+			return m.cycle, ErrCanceled
+		}
 		if lim := m.limit(); lim > 0 && m.cycle >= lim {
 			// gather first so the error's in-flight count matches what the
 			// serial paths report at the same cycle.

@@ -1,0 +1,114 @@
+package queueing
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Open-arrival processes for load generation. pimload paces requests at a
+// pimserve daemon with these; the sim-kernel Source components above model
+// closed or rate-driven arrivals *inside* a simulation, whereas these
+// generate wall-clock schedules for driving a real system under test. Both
+// are deterministic given a seed, so a load run is exactly replayable.
+
+// ArrivalProcess yields successive inter-arrival gaps, in seconds of
+// abstract time (the caller chooses the wall-clock scale).
+type ArrivalProcess interface {
+	// Next returns the gap between the previous arrival and the next one.
+	// Gaps are strictly non-negative.
+	Next() float64
+	// MeanRate returns the long-run arrival rate (arrivals per unit time).
+	MeanRate() float64
+}
+
+// PoissonArrivals is the classical memoryless open-arrival process:
+// independent exponential inter-arrival gaps at a fixed rate.
+type PoissonArrivals struct {
+	rate float64
+	rng  *rng.Stream
+}
+
+// NewPoissonArrivals returns a Poisson process with the given mean rate
+// (arrivals per unit time), drawing from src.
+func NewPoissonArrivals(rate float64, src *rng.Stream) (*PoissonArrivals, error) {
+	if !(rate > 0) {
+		return nil, fmt.Errorf("queueing: arrival rate = %g (want > 0)", rate)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("queueing: nil rng stream")
+	}
+	return &PoissonArrivals{rate: rate, rng: src}, nil
+}
+
+// Next implements ArrivalProcess.
+func (p *PoissonArrivals) Next() float64 { return p.rng.ExpRate(p.rate) }
+
+// MeanRate implements ArrivalProcess.
+func (p *PoissonArrivals) MeanRate() float64 { return p.rate }
+
+// MMPPArrivals is a two-state Markov-modulated Poisson process: a baseline
+// state emitting at BaseRate and a burst state emitting at BurstRate, with
+// exponentially distributed dwell times in each. It is the standard minimal
+// model of bursty open traffic — the long-run rate is the dwell-weighted
+// mix of the two state rates, but arrivals clump while the burst state
+// holds, which is exactly the overload pattern a shedding admission queue
+// has to survive.
+type MMPPArrivals struct {
+	rate  [2]float64 // per-state arrival rate
+	leave [2]float64 // per-state transition-out rate (1/mean dwell)
+	state int
+	rng   *rng.Stream
+}
+
+// NewMMPPArrivals returns a two-state MMPP drawing from src. baseRate and
+// burstRate are the per-state arrival rates; baseDwell and burstDwell are
+// the mean times spent in each state before switching. The process starts
+// in the baseline state.
+func NewMMPPArrivals(baseRate, burstRate, baseDwell, burstDwell float64, src *rng.Stream) (*MMPPArrivals, error) {
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{
+		{"base rate", baseRate}, {"burst rate", burstRate},
+		{"base dwell", baseDwell}, {"burst dwell", burstDwell},
+	} {
+		if !(v.v > 0) {
+			return nil, fmt.Errorf("queueing: MMPP %s = %g (want > 0)", v.name, v.v)
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("queueing: nil rng stream")
+	}
+	return &MMPPArrivals{
+		rate:  [2]float64{baseRate, burstRate},
+		leave: [2]float64{1 / baseDwell, 1 / burstDwell},
+		rng:   src,
+	}, nil
+}
+
+// Next implements ArrivalProcess by racing competing exponentials: in the
+// current state, the time to the next arrival and the time to the next
+// state switch are both exponential; whichever fires first wins, and a
+// switch restarts the race from the new state (memorylessness makes that
+// exact, not an approximation).
+func (m *MMPPArrivals) Next() float64 {
+	var elapsed float64
+	for {
+		toArrival := m.rng.ExpRate(m.rate[m.state])
+		toSwitch := m.rng.ExpRate(m.leave[m.state])
+		if toArrival <= toSwitch {
+			return elapsed + toArrival
+		}
+		elapsed += toSwitch
+		m.state = 1 - m.state
+	}
+}
+
+// MeanRate implements ArrivalProcess: the stationary state occupancies are
+// proportional to the mean dwells, so the long-run rate is the dwell-
+// weighted average of the two state rates.
+func (m *MMPPArrivals) MeanRate() float64 {
+	d0, d1 := 1/m.leave[0], 1/m.leave[1]
+	return (d0*m.rate[0] + d1*m.rate[1]) / (d0 + d1)
+}

@@ -1,0 +1,112 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// observedRate draws n gaps and returns arrivals per unit time.
+func observedRate(p ArrivalProcess, n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 0 {
+			panic("negative gap")
+		}
+		total += g
+	}
+	return float64(n) / total
+}
+
+func TestPoissonArrivalsRate(t *testing.T) {
+	p, err := NewPoissonArrivals(50, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeanRate() != 50 {
+		t.Errorf("MeanRate = %g, want 50", p.MeanRate())
+	}
+	got := observedRate(p, 200000)
+	if math.Abs(got-50)/50 > 0.02 {
+		t.Errorf("observed rate %g, want ~50", got)
+	}
+}
+
+func TestMMPPArrivalsRate(t *testing.T) {
+	// Base 20/s for a mean 1s, burst 200/s for a mean 0.1s:
+	// stationary rate = (1*20 + 0.1*200) / 1.1 = 40/1.1.
+	m, err := NewMMPPArrivals(20, 200, 1, 0.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 40.0 / 1.1
+	if math.Abs(m.MeanRate()-want) > 1e-12 {
+		t.Errorf("MeanRate = %g, want %g", m.MeanRate(), want)
+	}
+	got := observedRate(m, 400000)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("observed rate %g, want ~%g", got, want)
+	}
+}
+
+func TestMMPPBurstiness(t *testing.T) {
+	// An MMPP with well-separated state rates must be over-dispersed
+	// relative to Poisson: the coefficient of variation of its gaps
+	// exceeds 1 (a Poisson process has CV exactly 1).
+	m, err := NewMMPPArrivals(5, 500, 1, 0.2, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		g := m.Next()
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	cv := math.Sqrt(sumSq/n-mean*mean) / mean
+	if cv < 1.2 {
+		t.Errorf("gap CV = %g, want clearly > 1 (bursty)", cv)
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	build := func() []ArrivalProcess {
+		p, _ := NewPoissonArrivals(10, rng.NewWithStream(7, 1))
+		m, _ := NewMMPPArrivals(10, 100, 0.5, 0.05, rng.NewWithStream(7, 2))
+		return []ArrivalProcess{p, m}
+	}
+	a, b := build(), build()
+	for i := range a {
+		for k := 0; k < 1000; k++ {
+			if ga, gb := a[i].Next(), b[i].Next(); ga != gb {
+				t.Fatalf("process %d diverged at draw %d: %g vs %g", i, k, ga, gb)
+			}
+		}
+	}
+}
+
+func TestArrivalsRejectBadParams(t *testing.T) {
+	src := rng.New(1)
+	if _, err := NewPoissonArrivals(0, src); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPoissonArrivals(math.NaN(), src); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if _, err := NewPoissonArrivals(10, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := NewMMPPArrivals(10, 100, 0, 1, src); err == nil {
+		t.Error("zero dwell accepted")
+	}
+	if _, err := NewMMPPArrivals(-1, 100, 1, 1, src); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewMMPPArrivals(10, 100, 1, 1, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzScenarioSpec holds the line the network-facing spec decoder must
+// never cross: arbitrary request bodies either decode+resolve into a
+// scenario that passes Validate, or are rejected with an error — no
+// panics, no accepted-but-invalid points, and deterministic run keys.
+func FuzzScenarioSpec(f *testing.F) {
+	seeds := []string{
+		`{"preset":"paper-baseline"}`,
+		`{"preset":"machine-gups","backend":"machine","fields":{"nodes":16,"updates":32},"seed":7,"quick":true}`,
+		`{"preset":"fig11-point","backend":"sim","replications":3,"timeout_ms":1000}`,
+		`{"preset":"machine-gups-256","fields":{"runparallel":2,"topology":3}}`,
+		`{"preset":"machine-treesum-faults","fields":{"faultdrop":0.5,"straggler":4}}`,
+		`{"preset":"paper-baseline","fields":{"pctwl":2}}`,
+		`{"preset":"paper-baseline","fields":{"nodes":1e30}}`,
+		`{"preset":"machine-gups","fields":{"memwords":-1}}`,
+		`{"preset":"nope"}`,
+		`{"preset":"paper-baseline","bogus":1}`,
+		`{"preset":"paper-baseline"} trailing`,
+		`{"preset":7}`,
+		`[]`,
+		`{}`,
+		``,
+		`{"preset":"paper-baseline","fields":{"":0}}`,
+		`{"preset":"paper-baseline","seed":18446744073709551615}`,
+		`{"preset":"paper-baseline","replications":-1,"timeout_ms":-1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	lim := DefaultSpecLimits()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		r, err := sp.Resolve(lim)
+		if err != nil {
+			return
+		}
+		// An accepted spec must be internally consistent...
+		if err := r.Scenario.Validate(); err != nil {
+			t.Fatalf("accepted spec fails Validate: %v\nbody: %q", err, data)
+		}
+		if r.Replications < 1 || (lim.MaxReplications > 0 && r.Replications > lim.MaxReplications) {
+			t.Fatalf("accepted replications out of range: %d", r.Replications)
+		}
+		if r.Timeout < 0 {
+			t.Fatalf("accepted negative timeout: %v", r.Timeout)
+		}
+		// ...and resolve deterministically: same bytes, same key.
+		r2, err := sp.Resolve(lim)
+		if err != nil {
+			t.Fatalf("second Resolve failed: %v", err)
+		}
+		if r.Key() != r2.Key() {
+			t.Fatalf("non-deterministic key:\n%s\n%s", r.Key(), r2.Key())
+		}
+	})
+}

@@ -239,6 +239,7 @@ func runMachineScenario(s Scenario, cfg Config) (map[string]float64, error) {
 	m.MaxCycles = machineMaxCycles
 	m.ForceInterpret = machineForceInterpret
 	m.Parallelism = s.Machine.RunParallel
+	m.Cancel = cfg.Cancel
 
 	// Fault injection: an armed plan switches the VM to its reliable
 	// retransmit protocol so programs still complete (and verify) under
@@ -295,7 +296,7 @@ func runMachineScenario(s Scenario, cfg Config) (map[string]float64, error) {
 	}
 	cycles, err := m.Run()
 	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %v", s.Name, err)
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	if err := work.verify(m); err != nil {
 		return nil, fmt.Errorf("scenario %s: %v", s.Name, err)

@@ -180,6 +180,11 @@ type Config struct {
 	// Quick shrinks workload sizes, horizons, and kernel measurements for
 	// tests: W is clamped to 1e6 ops, Horizon to 20000 cycles.
 	Quick bool
+	// Cancel, when non-nil, is polled by long-running backends (today the
+	// execution-driven machine backend); once it returns true the run
+	// stops early with an error wrapping isa.ErrCanceled. It must be safe
+	// to call concurrently.
+	Cancel func() bool
 }
 
 // Quick-mode clamps (never raised, only lowered).

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RetryStats counts what a WithRetries wrapper did. Grid.Run invokes the
+// point function from several goroutines, hence atomics.
+type RetryStats struct {
+	// Attempts is every execution, first tries included.
+	Attempts atomic.Int64
+	// Retries is re-executions after a failed attempt.
+	Retries atomic.Int64
+	// Recovered is points that failed at least once and then succeeded.
+	Recovered atomic.Int64
+}
+
+// WithRetries wraps a point function with bounded retries for transiently
+// failing points (an injected fault crashing the VM, a watchdogged
+// replicate). Attempt 0 runs the point verbatim — a zero-retry wrapper is
+// byte-identical to the bare function — and attempt k > 0 re-derives the
+// point's seed from (Point.Seed, k), so a stochastic failure is not
+// replayed identically while the whole schedule stays deterministic.
+// Backoff doubles from base per failed attempt (capped at 32x base);
+// sleep is injectable for tests (nil = time.Sleep). stats may be nil.
+func WithRetries(fn RunFunc, retries int, base time.Duration, sleep func(time.Duration), stats *RetryStats) RunFunc {
+	if retries <= 0 {
+		return fn
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return func(p Point) (map[string]float64, error) {
+		for attempt := 0; ; attempt++ {
+			q := p
+			if attempt > 0 {
+				q.Seed = pointSeed(p.Seed, attempt)
+			}
+			if stats != nil {
+				stats.Attempts.Add(1)
+			}
+			m, err := fn(q)
+			if err == nil {
+				if attempt > 0 && stats != nil {
+					stats.Recovered.Add(1)
+				}
+				return m, nil
+			}
+			if attempt >= retries {
+				return m, err
+			}
+			if stats != nil {
+				stats.Retries.Add(1)
+			}
+			shift := attempt
+			if shift > 5 {
+				shift = 5
+			}
+			if d := base << uint(shift); d > 0 {
+				sleep(d)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestWithRetriesRecoversAndDerivesSeeds(t *testing.T) {
+	// The point fails twice, then succeeds on the third attempt.
+	remaining := 2
+	var sleeps []time.Duration
+	var attempts []uint64
+	wrapped := WithRetries(func(p Point) (map[string]float64, error) {
+		attempts = append(attempts, p.Seed)
+		if remaining > 0 {
+			remaining--
+			return nil, errors.New("transient")
+		}
+		return map[string]float64{"v": 1}, nil
+	}, 3, 10*time.Millisecond, func(d time.Duration) {
+		sleeps = append(sleeps, d)
+	}, &RetryStats{})
+
+	m, err := wrapped(Point{Seed: 42})
+	if err != nil || m["v"] != 1 {
+		t.Fatalf("wrapped run: %v %v", m, err)
+	}
+	if len(attempts) != 3 {
+		t.Fatalf("attempt seeds %v, want 3 attempts", attempts)
+	}
+	if attempts[0] != 42 {
+		t.Errorf("attempt 0 seed = %d, want the point seed verbatim", attempts[0])
+	}
+	if attempts[1] == 42 || attempts[2] == 42 || attempts[1] == attempts[2] {
+		t.Errorf("retry seeds %v must be distinct and differ from the original", attempts)
+	}
+	// Deterministic: the same point retried again produces the same seeds.
+	if s1, s2 := pointSeed(42, 1), pointSeed(42, 2); attempts[1] != s1 || attempts[2] != s2 {
+		t.Errorf("retry seeds %v, want derived %d, %d", attempts[1:], s1, s2)
+	}
+	// Exponential backoff: 10ms then 20ms.
+	if len(sleeps) != 2 || sleeps[0] != 10*time.Millisecond || sleeps[1] != 20*time.Millisecond {
+		t.Errorf("backoffs = %v", sleeps)
+	}
+}
+
+func TestWithRetriesExhaustion(t *testing.T) {
+	calls := 0
+	stats := &RetryStats{}
+	wrapped := WithRetries(func(p Point) (map[string]float64, error) {
+		calls++
+		return nil, fmt.Errorf("always broken")
+	}, 2, 0, func(time.Duration) {}, stats)
+	if _, err := wrapped(Point{Seed: 7}); err == nil {
+		t.Fatal("exhausted retries returned nil error")
+	}
+	if calls != 3 { // 1 try + 2 retries
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if stats.Attempts.Load() != 3 || stats.Retries.Load() != 2 || stats.Recovered.Load() != 0 {
+		t.Errorf("stats = %d/%d/%d", stats.Attempts.Load(), stats.Retries.Load(), stats.Recovered.Load())
+	}
+}
+
+func TestWithRetriesZeroIsIdentity(t *testing.T) {
+	fn := func(p Point) (map[string]float64, error) { return nil, nil }
+	if got := WithRetries(fn, 0, time.Second, nil, nil); fmt.Sprintf("%p", got) != fmt.Sprintf("%p", fn) {
+		t.Error("zero retries must return the function unchanged")
+	}
+}
+
+func TestWithRetriesBackoffCap(t *testing.T) {
+	var sleeps []time.Duration
+	wrapped := WithRetries(func(p Point) (map[string]float64, error) {
+		return nil, errors.New("nope")
+	}, 10, time.Millisecond, func(d time.Duration) { sleeps = append(sleeps, d) }, nil)
+	wrapped(Point{})
+	last := sleeps[len(sleeps)-1]
+	if last != 32*time.Millisecond {
+		t.Errorf("final backoff = %v, want the 32x cap", last)
+	}
+}
