@@ -164,6 +164,8 @@ func BenchmarkKernelProcessSwitch(b *testing.B) {
 func BenchmarkMM1Simulation(b *testing.B)   { benches.MM1Simulation(b) }
 func BenchmarkHostPIMSimulate(b *testing.B) { benches.HostPIMSimulate(b) }
 func BenchmarkParcelSysRun(b *testing.B)    { benches.ParcelSysRun(b) }
+func BenchmarkSimParcel1K(b *testing.B)     { benches.SimParcel1K(b) }
+func BenchmarkSimParcelPar(b *testing.B)    { benches.SimParcelPar(b) }
 func BenchmarkMachineGUPS(b *testing.B)     { benches.MachineGUPS(b) }
 func BenchmarkMachineGUPS256(b *testing.B)  { benches.MachineGUPS256(b) }
 func BenchmarkMachineGUPSPar(b *testing.B)  { benches.MachineGUPSPar(b) }

@@ -306,6 +306,8 @@ var microBenchmarks = []struct {
 	{"mm1_simulation", benches.MM1Simulation},
 	{"hostpim_simulate", benches.HostPIMSimulate},
 	{"parcelsys_run", benches.ParcelSysRun},
+	{"sim_parcel_1k", benches.SimParcel1K},
+	{"sim_parcel_par", benches.SimParcelPar},
 	{"machine_gups", benches.MachineGUPS},
 	{"machine_gups_256", benches.MachineGUPS256},
 	{"machine_gups_par", benches.MachineGUPSPar},

@@ -122,6 +122,8 @@ func TestMicroBenchNamesStable(t *testing.T) {
 		"mm1_simulation",
 		"hostpim_simulate",
 		"parcelsys_run",
+		"sim_parcel_1k",
+		"sim_parcel_par",
 		"machine_gups",
 		"machine_gups_256",
 		"machine_gups_par",

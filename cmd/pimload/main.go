@@ -41,6 +41,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -287,11 +288,22 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// percentile reads the p-quantile from an ascending slice (nearest rank).
+// percentile reads the p-quantile from an ascending slice by nearest
+// rank: the smallest value with at least p·n observations at or below it,
+// index ceil(p·n)-1 clamped to the slice. The old floor-of-linear-index
+// form under-read tail quantiles on small samples (p99 of 10 requests
+// returned the 9th-of-10 latency, never the max).
 func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)-1))
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
 	return sorted[i]
 }

@@ -109,3 +109,35 @@ func TestReportAgainstDeadServer(t *testing.T) {
 		t.Fatalf("err = %v, want transport failures reported", err)
 	}
 }
+
+// TestPercentileNearestRank pins the nearest-rank definition
+// (ceil(p*n)-1, clamped): the old floor-of-linear-index form under-read
+// tail quantiles — p99 of 10 samples returned the 9th-of-10 value, never
+// the max.
+func TestPercentileNearestRank(t *testing.T) {
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 0.99, 0},
+		{"n=1 p50", []float64{42}, 0.50, 42},
+		{"n=1 p99", []float64{42}, 0.99, 42},
+		{"n=1 p100", []float64{42}, 1.0, 42},
+		// The pinned regression: p99 of 10 samples is the max (rank
+		// ceil(9.9) = 10), not the 9th-of-10 the old code returned.
+		{"n=10 p99", ten, 0.99, 10},
+		{"n=10 p100", ten, 1.0, 10},
+		{"n=10 p50", ten, 0.50, 5},
+		{"n=10 p90", ten, 0.90, 9},
+		{"n=10 p0", ten, 0, 1},
+		{"n=4 p50", []float64{1, 2, 3, 4}, 0.50, 2},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: percentile(%v, %g) = %g, want %g", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}

@@ -180,6 +180,50 @@ func ParcelSysRun(b *testing.B) {
 	}
 }
 
+// simParcel1K drives the big-run workload behind both sim-kernel
+// parallelism benchmarks: the parcel-scale-1k scenario shape (1024 nodes
+// x 8 parcels over a 500-cycle interconnect) on the partitioned parcelsys
+// formulation, executed with the given worker count. One driver for both
+// names keeps the serial baseline and the parallel run measuring the
+// identical workload — the partitioned kernel's results are identical for
+// every worker count >= 1, so the ns/op ratio is the single-run speedup
+// and nothing else.
+func simParcel1K(b *testing.B, workers int) {
+	p := parcelsys.DefaultParams()
+	p.Nodes = 1024
+	p.Parallelism = 8
+	p.RemoteFrac = 0.4
+	p.Latency = 500
+	p.Horizon = 20000
+	p.RunParallel = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i)
+		if _, err := parcelsys.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SimParcel1K is the serial baseline of the sim-kernel pair: the
+// parcel-scale-1k workload on one shard (the plain serial kernel runs the
+// whole model).
+func SimParcel1K(b *testing.B) { simParcel1K(b, 1) }
+
+// SimParcelPar is the parallel side of the sim-kernel pair: the identical
+// workload partitioned across GOMAXPROCS shards (floored at 2, so the
+// windowed kernel is exercised even on one core) with the 500-cycle
+// one-way latency as the conservative lookahead. On a single-core host
+// expect parity modulo the window machinery's overhead (~10%); with real
+// cores the shards run concurrently and the ratio is the speedup.
+func SimParcelPar(b *testing.B) {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	simParcel1K(b, w)
+}
+
 // MachineGUPS measures the execution-driven backend's substrate: the ISA
 // interpreter running the GUPS random-update kernel on an 8-node machine
 // with 4 threads per node. One Machine is Reset and re-driven per

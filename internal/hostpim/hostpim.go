@@ -224,8 +224,17 @@ type SimOptions struct {
 	ChunkOps int
 	// Tracer, when non-nil, observes the test system's process timeline —
 	// attach a trace.Recorder to regenerate the paper's Fig. 4 thread
-	// timeline.
+	// timeline. Tracing requires a serial run (RunParallel <= 1).
 	Tracer sim.Tracer
+	// RunParallel runs the test system partitioned over min(RunParallel,
+	// N) shard kernels driven by that many workers (sim.ParKernel): the
+	// LWP nodes are sharded contiguously and never communicate, so the
+	// partitions declare an infinite lookahead and the whole run is one
+	// window. 0 or 1 keeps the serial single-kernel path. The Result is
+	// identical — every field, bit for bit — for every value, which the
+	// invariance test pins: the nodes' streams, resources, and event
+	// timelines are per-node and therefore shard-independent.
+	RunParallel int
 }
 
 // Simulate runs the queuing model on the DES kernel: the HWP station of
@@ -245,7 +254,32 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 	if chunk <= 0 {
 		chunk = int(math.Max(1, p.W/10000))
 	}
+	var res Result
+	var err error
+	if opt.RunParallel >= 2 && p.N >= 2 {
+		if opt.Tracer != nil {
+			return Result{}, fmt.Errorf("hostpim: Tracer requires a serial run (RunParallel <= 1)")
+		}
+		res, err = simulateTestPar(p, opt, chunk)
+	} else {
+		res, err = simulateTestSerial(p, opt, chunk)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if err := simulateControl(p, opt, chunk, &res); err != nil {
+		return Result{}, err
+	}
+	if res.Total > 0 {
+		res.Gain = res.ControlTime / res.Total
+	}
+	res.Relative = res.Total / (p.W * p.HWPOpCycles(p.Pmiss))
+	return res, nil
+}
 
+// simulateTestSerial runs the test system on one kernel: the original
+// orchestrated Fig. 4 flow.
+func simulateTestSerial(p Params, opt SimOptions, chunk int) (Result, error) {
 	// --- Test system: HWP phase then LWP array phase (or concurrent in
 	// Overlap mode). ---
 	k := sim.NewKernel()
@@ -270,7 +304,6 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 	}
 
 	wh := (1 - p.PctWL) * p.W
-	wl := p.PctWL * p.W
 	res.NodeTimes = make([]float64, p.N)
 
 	ts := &testSystem{
@@ -295,8 +328,14 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 	if res.Total > 0 && p.N > 0 {
 		res.LWPUtil = lwpBusy / (res.Total * float64(p.N))
 	}
+	return res, nil
+}
 
-	// --- Control system: HWP does all the work. ---
+// simulateControl runs the control system — the HWP alone — and fills
+// res.ControlTime. The control is a single station and always serial.
+func simulateControl(p Params, opt SimOptions, chunk int, res *Result) error {
+	wh := (1 - p.PctWL) * p.W
+	wl := p.PctWL * p.W
 	kc := sim.NewKernel()
 	ctrlStream := rng.NewWithStream(opt.Seed, 2)
 	cCPU := sim.NewResource(kc, "hwp-cpu", 1, sim.FIFO)
@@ -313,15 +352,10 @@ func Simulate(p Params, opt SimOptions) (Result, error) {
 	}
 	kc.SpawnActivity("control-system", cs)
 	if _, err := kc.RunUntilIdle(); err != nil {
-		return Result{}, err
+		return err
 	}
 	res.ControlTime = kc.Now()
-
-	if res.Total > 0 {
-		res.Gain = res.ControlTime / res.Total
-	}
-	res.Relative = res.Total / (p.W * p.HWPOpCycles(p.Pmiss))
-	return res, nil
+	return nil
 }
 
 // stationWork drives a batch of operations through one two-resource

@@ -1,0 +1,59 @@
+package hostpim
+
+// The partitioned test system's contract: Simulate's Result is identical
+// — every field, bit for bit — for every RunParallel value, serial path
+// included. The LWP nodes share nothing, so neither the shard assignment
+// nor the window machinery can perturb a single draw or timestamp.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSimulateRunParallelInvariance(t *testing.T) {
+	p := DefaultParams()
+	p.W = 200000
+	p.PctWL = 0.4
+	p.N = 7
+	for _, overlap := range []bool{false, true} {
+		p.Overlap = overlap
+		want, err := Simulate(p, SimOptions{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Total <= 0 || want.TimeHWPPhase <= 0 || len(want.NodeTimes) != p.N {
+			t.Fatalf("overlap=%v: degenerate serial result %+v", overlap, want)
+		}
+		// 16 > N exercises the shard clamp (7 shards, one node each).
+		for _, rp := range []int{1, 2, 4, 7, 16} {
+			got, err := Simulate(p, SimOptions{Seed: 3, RunParallel: rp})
+			if err != nil {
+				t.Fatalf("overlap=%v RunParallel=%d: %v", overlap, rp, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("overlap=%v RunParallel=%d diverged:\n got  %+v\n want %+v",
+					overlap, rp, got, want)
+			}
+		}
+	}
+}
+
+func TestSimulateRunParallelRejectsTracer(t *testing.T) {
+	p := DefaultParams()
+	p.W = 1000
+	p.N = 2
+	p.PctWL = 0.5
+	_, err := Simulate(p, SimOptions{Seed: 1, RunParallel: 2, Tracer: nopTracer{}})
+	if err == nil || !strings.Contains(err.Error(), "Tracer") {
+		t.Fatalf("err = %v, want Tracer rejection", err)
+	}
+	// Serial runs still trace.
+	if _, err := Simulate(p, SimOptions{Seed: 1, RunParallel: 1, Tracer: nopTracer{}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type nopTracer struct{}
+
+func (nopTracer) ProcState(t float64, name, state string) {}

@@ -1,0 +1,122 @@
+package parcelsys
+
+// The partitioned formulation's contract: Params.RunParallel >= 1 gives
+// results that are exactly identical — every op count, idle fraction, and
+// queue mean, bit for bit — for every worker count, because the
+// formulation's serial reference trajectory does not depend on the
+// partition assignment and sim.ParKernel reproduces that reference
+// byte-identically for every shard count. RunParallel = 1 is the
+// single-shard oracle the others are compared against.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// parParams is a small but non-trivial point: multiple threads per
+// control node, hotspot traffic, enough horizon for thousands of
+// transactions.
+func parParams() Params {
+	p := DefaultParams()
+	p.Nodes = 9
+	p.Parallelism = 3
+	p.Latency = 50
+	p.Horizon = 20000
+	p.Seed = 5
+	p.ControlThreads = 2
+	p.Hotspot = 0.2
+	return p
+}
+
+func TestRunParallelInvariance(t *testing.T) {
+	p := parParams()
+	p.RunParallel = 1
+	want, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Control.Ops == 0 || want.Test.Ops == 0 || want.Ratio == 0 {
+		t.Fatalf("degenerate oracle run: %+v", want)
+	}
+	// 16 > Nodes exercises the worker clamp: still 9 shards.
+	for _, rp := range []int{2, 4, 9, 16} {
+		q := p
+		q.RunParallel = rp
+		got, err := Run(q)
+		if err != nil {
+			t.Fatalf("RunParallel=%d: %v", rp, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("RunParallel=%d diverged:\n got  %+v\n want %+v", rp, got, want)
+		}
+	}
+}
+
+// TestRunParallelAgreesWithSerial: the partitioned formulation is a
+// different formulation (per-parcel routing streams, message-based memory
+// banks), so it cannot be bit-identical to RunParallel = 0 — but it
+// simulates the same system, so the headline statistics must agree
+// closely.
+func TestRunParallelAgreesWithSerial(t *testing.T) {
+	p := parParams()
+	serial, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RunParallel = 1
+	par, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name     string
+		got, ref float64
+		tol      float64
+	}{
+		{"ratio", par.Ratio, serial.Ratio, 0.10},
+		{"control ops", float64(par.Control.Ops), float64(serial.Control.Ops), 0.10},
+		{"test ops", float64(par.Test.Ops), float64(serial.Test.Ops), 0.10},
+		{"control idle", par.Control.IdleFrac, serial.Control.IdleFrac, 0.15},
+		{"test idle", par.Test.IdleFrac, serial.Test.IdleFrac, 0.25},
+	}
+	for _, c := range checks {
+		if e := stats.RelErr(c.got, c.ref); e > c.tol {
+			t.Errorf("%s: partitioned %g vs serial %g (rel err %.3f > %.2f)",
+				c.name, c.got, c.ref, e, c.tol)
+		}
+	}
+}
+
+// TestRunParallelNeedsPositiveLatency: partitioning is conservative PDES,
+// so a zero minimum latency (zero lookahead) must be rejected — except
+// when only one shard results and no lookahead is needed.
+func TestRunParallelNeedsPositiveLatency(t *testing.T) {
+	p := parParams()
+	p.Latency = 0
+	p.RunParallel = 2
+	if _, err := Run(p); err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("zero latency with 2 shards: err = %v, want lookahead error", err)
+	}
+	p.RunParallel = 1
+	if _, err := Run(p); err != nil {
+		t.Fatalf("zero latency on a single shard should run: %v", err)
+	}
+}
+
+// TestRunParallelReplicate: the replication driver reuses its slabs
+// across partitioned runs too.
+func TestRunParallelReplicate(t *testing.T) {
+	p := parParams()
+	p.Horizon = 5000
+	p.RunParallel = 3
+	rr, err := Replicate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Ratio.N != 3 || rr.Ratio.Mean <= 0 {
+		t.Fatalf("replicated ratio %+v", rr.Ratio)
+	}
+}

@@ -75,6 +75,17 @@ type Params struct {
 	// parcels' remaining advantage (one-way migration vs round trips and
 	// hardware-assisted handling). 0 means 1.
 	ControlThreads int
+	// RunParallel selects the partitioned formulation and its worker
+	// count: 0 runs the original serial formulation (byte-identical to
+	// previous releases), k >= 1 runs both systems partitioned over
+	// min(k, Nodes) shard kernels driven by k workers (sim.ParKernel).
+	// Results are identical for every k >= 1 — the formulation routes
+	// parcels with per-parcel streams and serves memory accesses through
+	// request/reply node servers, so its trajectory does not depend on
+	// the partition assignment — but differ in their exact draws (not in
+	// expectation) from the serial formulation's. Partitioning requires a
+	// positive minimum one-way latency (it is the conservative lookahead).
+	RunParallel int
 }
 
 // DefaultParams returns the parameter point used by the Fig. 11/12
@@ -120,6 +131,9 @@ func (p Params) Validate() error {
 	}
 	if p.ControlThreads < 0 {
 		return fmt.Errorf("parcelsys: ControlThreads = %d", p.ControlThreads)
+	}
+	if p.RunParallel < 0 {
+		return fmt.Errorf("parcelsys: RunParallel = %d", p.RunParallel)
 	}
 	return p.Overhead.Validate()
 }
@@ -241,11 +255,15 @@ func runWith(p Params, st *runState) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	ctrl, err := runControl(p, st)
+	runC, runT := runControl, runTest
+	if p.RunParallel >= 1 {
+		runC, runT = runControlPar, runTestPar
+	}
+	ctrl, err := runC(p, st)
 	if err != nil {
 		return Result{}, err
 	}
-	test, err := runTest(p, st)
+	test, err := runT(p, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -415,6 +433,12 @@ func (t *ctrlThread) Step(a *sim.ActCtx) {
 // reusable slab instead of two allocations per parcel.
 type workParcel struct {
 	st rng.Stream
+	// rt draws the parcel's routing decisions in the partitioned
+	// formulation, where a run-wide shared stream would race across
+	// shards; the serial formulation leaves it untouched. Keeping it
+	// separate from st keeps the per-parcel workload draws identical
+	// between the two formulations.
+	rt rng.Stream
 	// dst is the destination node while the parcel is in flight (the
 	// shipping event carries the parcel, not a closure).
 	dst int
@@ -485,6 +509,10 @@ type testNode struct {
 	queue   *sim.Store[*workParcel]
 	route   *rng.Stream
 	deliver func(any)
+	// send, when set, ships parcels the partitioned way: destination
+	// drawn from the parcel's own routing stream, delivery via a
+	// cross-partition Send (see runTestPar). nil = serial formulation.
+	send func(*workParcel)
 
 	state int
 	wp    *workParcel
@@ -602,8 +630,13 @@ func (n *testNode) ship(a *sim.ActCtx) {
 	n.ns.rem++
 	wp := n.wp
 	wp.pendingAccess = true
-	wp.dst = n.p.pickDest(n.route, n.i)
-	a.Kernel().ScheduleArg(n.p.latency(n.i, wp.dst), n.deliver, wp)
+	if n.send != nil {
+		wp.dst = n.p.pickDest(&wp.rt, n.i)
+		n.send(wp)
+	} else {
+		wp.dst = n.p.pickDest(n.route, n.i)
+		a.Kernel().ScheduleArg(n.p.latency(n.i, wp.dst), n.deliver, wp)
+	}
 	n.wp = nil
 	n.state = tnFetch
 }

@@ -131,6 +131,17 @@ var presets = []Scenario{
 	parcelScenario("parcel-scale-256",
 		"scale-out communication: 256 nodes, 8 parcels, 500-cycle latency",
 		256, 8, 0.4, 500, 20000),
+	func() Scenario {
+		s := parcelScenario("parcel-scale-1k",
+			"the DES big run: 1024 nodes, 8 parcels, 500-cycle latency, partitioned sim kernel",
+			1024, 8, 0.4, 500, 20000)
+		// The sim-backend parallel showcase (machine-gups-256 is the VM
+		// counterpart): parcelsys partitions the nodes across 4 workers,
+		// and the windowed kernel keeps the metrics identical for every
+		// worker count >= 1.
+		s.Machine.RunParallel = 4
+		return s
+	}(),
 	hybridScenario("hybrid-baseline",
 		"study 1 under study-2 communication: 30% remote, 200 cycles, 4 parcels",
 		0.5, 32, 4, 0.3, 200, 40000),

@@ -75,10 +75,15 @@ type Machine struct {
 	// memory operation through a per-node internal/dram row-buffer bank
 	// instead of the flat MemCycles.
 	PagePolicy string
-	// RunParallel is the number of OS-level workers the VM uses to execute
-	// a single run (isa.Machine.Parallelism): the nodes are partitioned
-	// and advanced in conservative lookahead windows, with results
-	// byte-identical to the serial run for any value. 0 or 1 runs serially.
+	// RunParallel is the number of OS-level workers one run uses. On the
+	// machine backend it is isa.Machine.Parallelism: the VM nodes are
+	// partitioned and advanced in conservative lookahead windows, with
+	// results byte-identical to the serial run for any value. On the sim
+	// backend it partitions the DES models over a sim.ParKernel: study-1
+	// results are bit-identical to serial for every value; study-2 and
+	// hybrid scenarios run parcelsys's partitioned formulation, whose
+	// results are identical for every value >= 1 but differ in their
+	// exact draws (not in expectation) from 0. 0 or 1 runs serially.
 	RunParallel int
 
 	// The fault-injection knobs (machine scenarios only; see
@@ -435,6 +440,7 @@ func (s Scenario) ParcelParams(cfg Config) (parcelsys.Params, error) {
 		Overhead:    s.Overhead(),
 		Horizon:     s.effectiveHorizon(cfg),
 		Seed:        cfg.Seed,
+		RunParallel: s.Machine.RunParallel,
 	}
 	if s.Kind() == KindHybrid {
 		// Useful cycles per memory access in HWP-cycle units.

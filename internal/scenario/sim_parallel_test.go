@@ -1,0 +1,67 @@
+package scenario
+
+// Scenario-level face of the partitioned sim kernel's determinism
+// guarantee, mirroring TestMachineRunParallelInvariant for the sim
+// backend: study-1 metrics are bit-identical for every RunParallel value
+// (serial included), and parcel metrics are bit-identical across every
+// partitioned worker count >= 1.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSimStudy1RunParallelInvariant(t *testing.T) {
+	cfg := Config{Seed: 2004, Quick: true}
+	for _, name := range []string{"paper-baseline", "balanced-overlap"} {
+		s := MustFind(name)
+		s.Machine.RunParallel = 0
+		want, err := Run(s, "sim", cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, p := range []int{1, 3, 8} {
+			s.Machine.RunParallel = p
+			got, err := Run(s, "sim", cfg)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+				t.Errorf("%s: RunParallel=%d leaks into metrics:\nserial:   %v\nparallel: %v",
+					name, p, want.Metrics, got.Metrics)
+			}
+		}
+	}
+}
+
+func TestSimParcelRunParallelInvariant(t *testing.T) {
+	// The partitioned parcelsys formulation draws from per-parcel routing
+	// streams, so RunParallel 0 (the legacy serial formulation) is a
+	// different — equally valid — sample path; the invariant starts at 1.
+	cfg := Config{Seed: 2004, Quick: true}
+	names := []string{"fig11-point", "parcel-scale-1k"}
+	if testing.Short() {
+		// The 1024-node run is the CI determinism step's job (no -short);
+		// the race-short pass keeps the small point.
+		names = names[:1]
+	}
+	for _, name := range names {
+		s := MustFind(name)
+		s.Machine.RunParallel = 1
+		want, err := Run(s, "sim", cfg)
+		if err != nil {
+			t.Fatalf("%s p=1: %v", name, err)
+		}
+		for _, p := range []int{2, 4} {
+			s.Machine.RunParallel = p
+			got, err := Run(s, "sim", cfg)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+				t.Errorf("%s: RunParallel=%d leaks into metrics:\np=1: %v\np=%d: %v",
+					name, p, want.Metrics, p, got.Metrics)
+			}
+		}
+	}
+}

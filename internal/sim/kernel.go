@@ -30,6 +30,13 @@
 // covers all three, so a mixed model is exactly as deterministic as a pure
 // one. The same seed and model always produce the same trajectory; ties in
 // event time are broken by schedule order.
+//
+// For big models, ParKernel partitions a run across shard kernels advanced
+// concurrently in conservative time windows, with cross-shard interactions
+// routed through Kernel.Send under a declared lookahead. Barrier-time
+// replay renumbering keeps the trajectory byte-identical to one serial
+// kernel running the whole model, for every shard count and partition
+// assignment — parallelism is an execution strategy, never a semantic.
 package sim
 
 import (
@@ -94,10 +101,14 @@ func (q *eventHeap) push(ev *event) {
 	*q = a
 }
 
-// pop removes and returns the minimum event.
+// pop removes and returns the minimum event, nil when the heap is empty
+// (the eventQueue contract both implementations share — see queue.go).
 func (q *eventHeap) pop() *event {
 	a := *q
 	n := len(a) - 1
+	if n < 0 {
+		return nil
+	}
 	top := a[0]
 	last := a[n]
 	a[n] = nil
@@ -152,10 +163,17 @@ const (
 // Kernel is a discrete-event simulation instance. Create one with NewKernel;
 // the zero value is not usable.
 type Kernel struct {
-	now    Time
-	events eventHeap
+	now Time
+	// events is a pointer so a partitioned run can alias one shard of a
+	// partitionedQueue here (see parallel.go); the calls stay devirtualized
+	// *eventHeap methods either way.
+	events *eventHeap
 	free   []*event // recycled events (see event)
 	seq    uint64
+
+	// par is non-nil when this kernel is one shard of a ParKernel; it
+	// carries the shard's window state and cross-shard buffers.
+	par *shardState
 
 	// procs lists every spawned, not-yet-reaped process in id (== spawn)
 	// order; done processes are swept lazily. live counts the non-done
@@ -176,9 +194,12 @@ type Kernel struct {
 	nextID int64
 
 	// until/bounded frame the current drain window (set by Advance, Run,
-	// and RunUntilIdle; read by every dispatcher).
+	// and RunUntilIdle; read by every dispatcher). strict excludes events
+	// at exactly `until` — the half-open [W, W+L) windows of a partitioned
+	// run; serial drains are inclusive and leave it false.
 	until   Time
 	bounded bool
+	strict  bool
 
 	// Tracer, if non-nil, observes process state transitions. Used by the
 	// trace package to build per-processor timelines.
@@ -199,7 +220,7 @@ type Tracer interface {
 
 // NewKernel returns an empty simulation at time 0.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{}, 1)}
+	return &Kernel{events: new(eventHeap), yield: make(chan struct{}, 1)}
 }
 
 // Now returns the current simulated time.
@@ -238,12 +259,30 @@ func (k *Kernel) newEvent(t Time) *event {
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
 		ev.t, ev.dead = t, false
-		ev.seq = k.seq
 	} else {
-		ev = &event{t: t, seq: k.seq}
+		ev = &event{t: t}
 	}
-	k.seq++
+	ev.seq = k.nextSeq()
+	if sh := k.par; sh != nil && sh.window {
+		sh.logCall(ev, ev.gen)
+	}
 	return ev
+}
+
+// nextSeq draws the next sequence number. A standalone kernel uses its own
+// counter; a ParKernel shard draws from the shared counter while the run is
+// single-threaded (setup, between windows) and from its provisional
+// per-shard counter (rebased each window, renumbered to the exact serial
+// values at the barrier — see parallel.go) while a window is draining.
+func (k *Kernel) nextSeq() uint64 {
+	if sh := k.par; sh != nil && !sh.window {
+		s := sh.pk.seq
+		sh.pk.seq++
+		return s
+	}
+	s := k.seq
+	k.seq++
+	return s
 }
 
 // scheduleEvent is the internal Timer-free scheduling path: it registers
@@ -318,20 +357,26 @@ func (k *Kernel) dispatch(self *Proc) dispatchState {
 		if k.stopped || k.draining {
 			return exhausted
 		}
-		if len(k.events) == 0 {
+		if len(*k.events) == 0 {
 			return exhausted
 		}
-		ev := k.events[0]
+		ev := (*k.events)[0]
 		if ev.dead {
 			k.events.pop()
 			k.recycle(ev)
 			continue
 		}
-		if k.bounded && ev.t > k.until {
+		if k.bounded && (ev.t > k.until || (k.strict && ev.t == k.until)) {
 			return exhausted
 		}
 		k.events.pop()
 		k.now = ev.t
+		if sh := k.par; sh != nil && sh.window {
+			// Every schedule made while this event (or code it hands the
+			// logical thread to) runs is logged under it for the barrier's
+			// serial renumbering.
+			sh.curT, sh.curSeq, sh.curLogged = ev.t, ev.seq, false
+		}
 		// The payload fields are read lazily, most-frequent kind first, so
 		// the hot resume paths touch as little of the event as possible.
 		if a := ev.act; a != nil {
@@ -600,11 +645,11 @@ func PopFront[T any](q []T) ([]T, T) {
 // pending, no processes are live, and no activities are blocked in a wait
 // queue. Dormant activities (spawned, not exited, nothing pending) do not
 // count — with no events left they will never be stepped again.
-func (k *Kernel) Idle() bool { return len(k.events) == 0 && k.live == 0 && k.actsBlocked == 0 }
+func (k *Kernel) Idle() bool { return len(*k.events) == 0 && k.live == 0 && k.actsBlocked == 0 }
 
 // PendingEvents returns the number of scheduled (possibly canceled) events;
 // exposed for tests and diagnostics.
-func (k *Kernel) PendingEvents() int { return len(k.events) }
+func (k *Kernel) PendingEvents() int { return len(*k.events) }
 
 // LiveProcs returns the number of live processes.
 func (k *Kernel) LiveProcs() int { return k.live }

@@ -10,15 +10,21 @@ package sim
 // the merge front is deterministic and the pop sequence is byte-identical
 // to a single heap for every partition count and assignment function —
 // the property tests in queue_test.go are the proof. The Kernel itself
-// keeps the concrete eventHeap: the PR 3 hot-path overhaul de-interfaced
-// the ~33 ns Schedule path deliberately, and a partitioned kernel will
-// swap the field type, not re-virtualize the serial one.
+// keeps a concrete *eventHeap: the PR 3 hot-path overhaul de-interfaced
+// the ~33 ns Schedule path deliberately, so the partitioned kernel
+// (parallel.go) aliases each shard kernel's events field to one partition
+// of a partitionedQueue instead of re-virtualizing the serial paths; the
+// queue's merge front then serves as the coordinator's global-minimum
+// (next window base) scan.
 
 // eventQueue is the kernel's event-ordering contract: push any number of
 // events, pop them in strictly ascending (t, seq) order. pop on an empty
-// queue is the caller's error (the single heap panics; callers gate on
-// size). peek returns the next event without removing it, nil when
-// empty.
+// queue returns nil — explicitly, in both implementations (the
+// partitioned queue used to forward front() == -1 straight into a slice
+// index, turning "empty" into an opaque bounds panic where the single
+// heap's behavior differed; the contract test in queue_test.go pins the
+// two to the same answer). peek returns the next event without removing
+// it, nil when empty.
 type eventQueue interface {
 	push(*event)
 	pop() *event
@@ -95,6 +101,9 @@ func (q *partitionedQueue) front() int {
 
 func (q *partitionedQueue) pop() *event {
 	i := q.front()
+	if i < 0 {
+		return nil
+	}
 	q.n--
 	return q.parts[i].pop()
 }

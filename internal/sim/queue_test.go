@@ -114,6 +114,52 @@ func TestPartitionedQueueInterleaved(t *testing.T) {
 	}
 }
 
+// TestEventQueueEmptyPopContract pins the empty-queue contract across
+// both implementations: pop and peek on an empty queue return nil — the
+// partitioned queue used to forward its front() == -1 sentinel straight
+// into a slice index, turning "empty" into an opaque bounds panic — and
+// draining to empty then popping again behaves the same way, with the
+// size and the merge front intact afterwards.
+func TestEventQueueEmptyPopContract(t *testing.T) {
+	impls := map[string]func() eventQueue{
+		"heap": func() eventQueue { return &eventHeap{} },
+		"partitioned": func() eventQueue {
+			return newPartitionedQueue(3, func(ev *event) int { return int(ev.seq) % 3 })
+		},
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if got := q.pop(); got != nil {
+				t.Fatalf("pop on empty = %v, want nil", got)
+			}
+			if got := q.peek(); got != nil {
+				t.Fatalf("peek on empty = %v, want nil", got)
+			}
+			// Fill, drain to empty, pop once more: still nil, not a panic,
+			// and the queue stays usable.
+			for i := 0; i < 7; i++ {
+				q.push(&event{t: Time(i % 3), seq: uint64(i)})
+			}
+			for q.size() > 0 {
+				if q.pop() == nil {
+					t.Fatal("pop returned nil with events queued")
+				}
+			}
+			if got := q.pop(); got != nil {
+				t.Fatalf("pop after drain = %v, want nil", got)
+			}
+			if q.size() != 0 {
+				t.Fatalf("size after empty pops = %d, want 0", q.size())
+			}
+			q.push(&event{t: 1, seq: 99})
+			if ev := q.pop(); ev == nil || ev.seq != 99 {
+				t.Fatalf("queue unusable after empty pops: got %v", ev)
+			}
+		})
+	}
+}
+
 // TestEventQueueInterfaceConformance drives both implementations through
 // the eventQueue interface itself, so the interface's contract — not
 // just the concrete methods — is what the ordering proof covers.
